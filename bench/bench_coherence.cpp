@@ -1,0 +1,129 @@
+// Ablation A1 (DESIGN.md §5): the cache-coherence bracket. Views pay
+// acquireImage/releaseImage on every method (paper §4.3, following the
+// OOPSLA'99 object-views work); this bench quantifies that bracket by
+// policy (none / pull / push / pull+push) and by image size, plus the raw
+// extract/merge codec cost.
+#include "bench_util.hpp"
+#include "mail/components.hpp"
+#include "minilang/interp.hpp"
+#include "views/cache.hpp"
+#include "views/vig.hpp"
+
+namespace {
+
+using namespace psf;
+using minilang::Value;
+using views::CacheManager;
+
+struct Fixture {
+  minilang::ClassRegistry registry;
+  std::shared_ptr<minilang::Instance> original;
+
+  Fixture() {
+    mail::register_all(registry);
+    views::Vig vig(&registry);
+    auto def = views::ViewDefinition::from_xml(mail::view_xml_member());
+    if (!vig.generate(def.value()).ok()) std::abort();
+    original = minilang::instantiate(registry, "MailClient");
+    original->call("addAccount", {Value::string("alice"), Value::string("1"),
+                                  Value::string("a@x")});
+  }
+
+  std::shared_ptr<minilang::Instance> make_view(CacheManager::Policy policy) {
+    auto view = minilang::instantiate(registry, "ViewMailClient_Member");
+    views::attach_cache_manager(view, Value::object(original), policy);
+    // Seed the view once (policies without pull never sync on their own).
+    views::merge_instance_image(*view, views::instance_image(*original));
+    return view;
+  }
+
+  // Grow the original's notes so images have a controlled size.
+  void set_state_size(int entries) {
+    minilang::ValueList notes;
+    for (int i = 0; i < entries; ++i) {
+      notes.push_back(Value::string("note-" + std::to_string(i) +
+                                    std::string(32, 'x')));
+    }
+    original->set_field("notes", Value::list(std::move(notes)));
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void reproduce() {
+  Fixture& f = fixture();
+  std::cout << "  per-call coherence traffic by policy (getPhone through a\n"
+            << "  member view wired to a local original):\n";
+  for (auto [label, policy] :
+       {std::pair{"none     ", CacheManager::Policy::kNone},
+        std::pair{"pull     ", CacheManager::Policy::kPull},
+        std::pair{"push     ", CacheManager::Policy::kPush},
+        std::pair{"pull+push", CacheManager::Policy::kPullPush}}) {
+    auto view = f.make_view(policy);
+    auto* cache = dynamic_cast<CacheManager*>(view->hooks());
+    view->call("getPhone", {Value::string("alice")});
+    std::cout << "    " << label << "  pulls=" << cache->stats().pulls
+              << " pushes=" << cache->stats().pushes << "\n";
+  }
+  std::cout << "  (pull is what makes the read correct; push is write-back\n"
+            << "   traffic a read-only method does not need — the ablation\n"
+            << "   below quantifies both.)\n";
+}
+
+void BM_ViewCallByPolicy(benchmark::State& state) {
+  Fixture& f = fixture();
+  f.set_state_size(16);
+  const auto policy = static_cast<CacheManager::Policy>(state.range(0));
+  auto view = f.make_view(policy);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view->call("getPhone", {Value::string("alice")}));
+  }
+}
+BENCHMARK(BM_ViewCallByPolicy)
+    ->Arg(static_cast<int>(CacheManager::Policy::kNone))
+    ->Arg(static_cast<int>(CacheManager::Policy::kPull))
+    ->Arg(static_cast<int>(CacheManager::Policy::kPush))
+    ->Arg(static_cast<int>(CacheManager::Policy::kPullPush));
+
+void BM_ViewCallByImageSize(benchmark::State& state) {
+  Fixture& f = fixture();
+  f.set_state_size(static_cast<int>(state.range(0)));
+  auto view = f.make_view(CacheManager::Policy::kPullPush);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view->call("getPhone", {Value::string("alice")}));
+  }
+  f.set_state_size(0);
+}
+BENCHMARK(BM_ViewCallByImageSize)->Arg(0)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_ExtractImage(benchmark::State& state) {
+  Fixture& f = fixture();
+  f.set_state_size(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(views::instance_image(*f.original));
+  }
+  f.set_state_size(0);
+}
+BENCHMARK(BM_ExtractImage)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_MergeImage(benchmark::State& state) {
+  Fixture& f = fixture();
+  f.set_state_size(static_cast<int>(state.range(0)));
+  const util::Bytes image = views::instance_image(*f.original);
+  auto target = minilang::instantiate(f.registry, "MailClient");
+  for (auto _ : state) {
+    views::merge_instance_image(*target, image);
+  }
+  f.set_state_size(0);
+}
+BENCHMARK(BM_MergeImage)->Arg(16)->Arg(128)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return psf::bench::run(
+      argc, argv, "Ablation A1: cache-coherence bracket cost", reproduce);
+}

@@ -1,0 +1,86 @@
+// SwitchboardStream (paper reference [6]): secure bulk-transport throughput
+// by chunk size and payload size, against the raw seal/unseal floor.
+#include "bench_util.hpp"
+#include "switchboard/stream.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace psf;
+using switchboard::Connection;
+using switchboard::SwitchboardStream;
+
+struct Fixture {
+  util::Rng rng{4242};
+  std::shared_ptr<util::SimClock> clock = std::make_shared<util::SimClock>();
+  switchboard::Network net;
+  switchboard::Switchboard a{"a", &net, clock};
+  switchboard::Switchboard b{"b", &net, clock};
+  std::shared_ptr<Connection> conn;
+
+  Fixture() {
+    net.connect("a", "b", {util::kMillisecond, 0, false});
+    switchboard::AuthorizationSuite sa, sb;
+    sa.identity = drbac::Entity::create("A", rng);
+    sa.authorizer = std::make_shared<switchboard::AcceptAllAuthorizer>();
+    sb.identity = drbac::Entity::create("B", rng);
+    sb.authorizer = std::make_shared<switchboard::AcceptAllAuthorizer>();
+    conn = Connection::establish(a, b, sa, sb, rng).value();
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void reproduce() {
+  Fixture& f = fixture();
+  SwitchboardStream stream(f.conn, 16 * 1024);
+  const util::Bytes mail_body = f.rng.next_bytes(100'000);
+  stream.send(Connection::End::kA, mail_body);
+  const auto stats = stream.stats();
+  std::cout << "  100 KB mail body over the secure stream: " << stats.chunks
+            << " sealed chunks, " << stats.wire_bytes
+            << " wire bytes (overhead "
+            << (stats.wire_bytes - stats.payload_bytes) << " B)\n";
+  std::cout << "  every chunk rides the same ChaCha20+HMAC+replay-window\n"
+            << "  machinery as RPC frames; suspension and liveness rules\n"
+            << "  apply unchanged.\n";
+}
+
+void BM_StreamSendByChunkSize(benchmark::State& state) {
+  Fixture& f = fixture();
+  SwitchboardStream stream(f.conn, static_cast<std::size_t>(state.range(0)));
+  const util::Bytes payload = f.rng.next_bytes(64 * 1024);
+  for (auto _ : state) {
+    stream.send(Connection::End::kA, payload);
+    benchmark::DoNotOptimize(
+        stream.receive(Connection::End::kB, payload.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_StreamSendByChunkSize)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void BM_StreamSendByPayload(benchmark::State& state) {
+  Fixture& f = fixture();
+  SwitchboardStream stream(f.conn, 16 * 1024);
+  const util::Bytes payload =
+      f.rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    stream.send(Connection::End::kA, payload);
+    benchmark::DoNotOptimize(
+        stream.receive(Connection::End::kB, payload.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_StreamSendByPayload)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return psf::bench::run(
+      argc, argv, "SwitchboardStream: secure bulk transport", reproduce);
+}

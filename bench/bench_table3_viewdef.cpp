@@ -1,0 +1,87 @@
+// Table 3 reproduction: (a) the original MailClient object's interfaces and
+// methods; (b) the XML rules defining ViewMailClient_Partner, parsed into a
+// ViewDefinition. Timings cover XML parsing, definition extraction, and
+// serialization back to XML.
+#include "bench_util.hpp"
+#include "mail/components.hpp"
+#include "views/view_def.hpp"
+#include "xml/xml.hpp"
+
+namespace {
+
+using namespace psf;
+
+void reproduce() {
+  minilang::ClassRegistry registry;
+  mail::register_all(registry);
+
+  std::cout << "  (a) the original object:\n";
+  auto cls = registry.find_class("MailClient");
+  std::cout << "    class MailClient implements ";
+  for (std::size_t i = 0; i < cls->interfaces.size(); ++i) {
+    std::cout << (i ? ", " : "") << cls->interfaces[i];
+  }
+  std::cout << "\n";
+  for (const auto& m : cls->methods) {
+    std::cout << "      "
+              << (m.visibility == minilang::Visibility::kPrivate ? "private "
+                                                                 : "public  ")
+              << m.name << "(";
+    for (std::size_t i = 0; i < m.params.size(); ++i) {
+      std::cout << (i ? ", " : "") << m.params[i];
+    }
+    std::cout << ")\n";
+  }
+
+  std::cout << "\n  (b) the XML rules, parsed:\n";
+  auto def = views::ViewDefinition::from_xml(mail::view_xml_partner());
+  const views::ViewDefinition& v = def.value();
+  std::cout << "    view " << v.name << " represents " << v.represents << "\n";
+  for (const auto& iface : v.interfaces) {
+    std::cout << "    restricts " << iface.name << " as "
+              << minilang::binding_name(iface.binding) << "\n";
+  }
+  for (const auto& f : v.added_fields) {
+    std::cout << "    adds field " << f.name << " : " << f.type << "\n";
+  }
+  for (const auto& m : v.added_methods) {
+    std::cout << "    adds method " << m.signature() << "\n";
+  }
+  for (const auto& m : v.customized_methods) {
+    std::cout << "    customizes " << m.signature() << "\n";
+  }
+}
+
+void BM_XmlParse(benchmark::State& state) {
+  const std::string& xml = mail::view_xml_partner();
+  for (auto _ : state) {
+    auto parsed = xml::parse(xml);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_ViewDefinitionFromXml(benchmark::State& state) {
+  const std::string& xml = mail::view_xml_partner();
+  for (auto _ : state) {
+    auto def = views::ViewDefinition::from_xml(xml);
+    benchmark::DoNotOptimize(def);
+  }
+}
+BENCHMARK(BM_ViewDefinitionFromXml);
+
+void BM_ViewDefinitionToXml(benchmark::State& state) {
+  auto def = views::ViewDefinition::from_xml(mail::view_xml_partner());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(def.value().to_xml());
+  }
+}
+BENCHMARK(BM_ViewDefinitionToXml);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return psf::bench::run(
+      argc, argv,
+      "Table 3: the original object and the XML view rules", reproduce);
+}

@@ -1,0 +1,27 @@
+// Shared helpers for the benchmark binaries: every binary prints its paper
+// reproduction first (so `./bench_*` regenerates the table), then runs the
+// google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+
+namespace psf::bench {
+
+/// Print the reproduction banner + body, then hand over to google-benchmark.
+inline int run(int argc, char** argv, const std::string& title,
+               const std::function<void()>& reproduce) {
+  std::cout << "==================================================\n"
+            << "  " << title << "\n"
+            << "==================================================\n";
+  reproduce();
+  std::cout << "\n-- timings --\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace psf::bench

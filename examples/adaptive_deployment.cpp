@@ -1,0 +1,58 @@
+// QoS-aware adaptation (paper §1, §2.2): PSF masks low bandwidth by
+// deploying a replica view close to the client, and protects sensitive data
+// crossing insecure links with an encryptor/decryptor pair. This example
+// drives the planner through three environments and prints each plan, then
+// shows the monitoring module flagging a degraded session.
+#include <iostream>
+
+#include "mail/scenario.hpp"
+
+int main() {
+  using namespace psf;
+  using mail::Scenario;
+
+  std::cout << "== Environment: NY/SD/SE; WAN links 200 kbps, insecure ==\n\n";
+  mail::Scenario s = mail::build_scenario();
+  framework::Psf& psf = *s.psf;
+
+  std::cout << "-- Request 1: Bob, best-effort QoS --\n";
+  auto loose = psf.request(s.request_for(s.bob, Scenario::kSdPc));
+  std::cout << loose.value().plan.display() << "\n";
+
+  std::cout << "-- Request 2: Bob, min bandwidth 1000 kbps (WAN too slow) --\n";
+  framework::QoS fast;
+  fast.min_bandwidth_kbps = 1000;
+  auto cached = psf.request(s.request_for(s.bob, Scenario::kSdPc, fast));
+  std::cout << cached.value().plan.display() << "\n";
+
+  std::cout << "-- Request 3: same, plus message privacy --\n";
+  framework::QoS secure = fast;
+  secure.privacy = true;
+  auto private_session =
+      psf.request(s.request_for(s.bob, Scenario::kSdPc, secure));
+  std::cout << private_session.value().plan.display() << "\n";
+
+  std::cout << "-- Request 4: Charlie in Seattle wants a replica --\n";
+  auto charlie = psf.request(s.request_for(s.charlie, Scenario::kSePc, fast));
+  if (!charlie.ok()) {
+    std::cout << "planner: " << charlie.error().message << "\n\n";
+  }
+
+  std::cout << "-- Monitoring: the NY LAN degrades mid-session --\n";
+  framework::QoS low_latency;
+  low_latency.max_latency_ms = 10;
+  auto session = psf.request(s.request_for(s.alice, Scenario::kNyPc, low_latency));
+  std::cout << "session valid before degradation: "
+            << psf.session_still_valid(session.value()) << "\n";
+  psf.monitor().subscribe([](const framework::MonitorModule::Event& e) {
+    std::cout << "monitor event: link " << e.a << " <-> " << e.b
+              << " now latency=" << e.props.latency / util::kMillisecond
+              << "ms secure=" << e.props.secure << "\n";
+  });
+  psf.update_link(Scenario::kNyServer, Scenario::kNyPc,
+                  {50 * util::kMillisecond, 100'000, true});
+  std::cout << "session valid after degradation:  "
+            << psf.session_still_valid(session.value())
+            << "  -> PSF would re-plan\n";
+  return 0;
+}

@@ -1,0 +1,156 @@
+// A second application, built entirely on the public API, to show the
+// framework is not mail-specific: a cross-domain file-sharing service.
+//
+//   - FileStore component written in MiniLang (put/get/remove + listing);
+//   - two views: Editor (full FileI) and Auditor (read-only: the put/remove
+//     methods are stripped with <Removes_Methods> — the paper's
+//     method-granularity access control);
+//   - a partner org's auditors are authorized across domains through an
+//     ordinary dRBAC role mapping;
+//   - PSF plans/deploys exactly as for mail: ACL -> plan -> VIG ->
+//     Switchboard.
+#include <iostream>
+
+#include "minilang/parser.hpp"
+#include "psf/framework.hpp"
+
+namespace {
+
+using namespace psf;
+using minilang::Value;
+
+void register_fileshare_components(minilang::ClassRegistry& registry) {
+  minilang::InterfaceDef file_i;
+  file_i.name = "FileI";
+  file_i.methods = {{"put", {"name", "data"}},
+                    {"get", {"name"}},
+                    {"remove", {"name"}},
+                    {"listFiles", {}}};
+  registry.register_interface(file_i);
+
+  auto cls = std::make_shared<minilang::ClassDef>();
+  cls->name = "FileStore";
+  cls->interfaces = {"FileI"};
+  cls->fields = {{"files", "Map", Value::null()}};
+  auto method = [&](const std::string& name, std::vector<std::string> params,
+                    const std::string& body) {
+    minilang::MethodDef m;
+    m.name = name;
+    m.params = std::move(params);
+    m.interface_name = name == "constructor" ? "" : "FileI";
+    m.source = body;
+    m.body = std::move(minilang::parse_block_source(body)).take();
+    cls->methods.push_back(std::move(m));
+  };
+  method("constructor", {}, "files = map();");
+  method("put", {"name", "data"}, "put(files, name, data); return true;");
+  method("get", {"name"}, "return get(files, name);");
+  method("remove", {"name"}, "return remove(files, name);");
+  method("listFiles", {}, "return keys(files);");
+  registry.register_class(cls);
+}
+
+const char* kEditorView = R"(
+<View name="ViewFileShare_Editor">
+  <Represents name="FileStore"/>
+  <Restricts><Interface name="FileI" type="switchboard"/></Restricts>
+  <Adds_Methods><MSign>constructor()</MSign><MBody>return null;</MBody></Adds_Methods>
+</View>)";
+
+const char* kAuditorView = R"(
+<View name="ViewFileShare_Auditor">
+  <Represents name="FileStore"/>
+  <Restricts><Interface name="FileI" type="switchboard"/></Restricts>
+  <Removes_Methods>
+    <Method name="put"/>
+    <Method name="remove"/>
+  </Removes_Methods>
+  <Adds_Methods><MSign>constructor()</MSign><MBody>return null;</MBody></Adds_Methods>
+</View>)";
+
+}  // namespace
+
+int main() {
+  framework::Psf psf(/*seed=*/1999);
+  framework::Guard& corp = psf.create_guard("Corp");
+  framework::Guard& partner = psf.create_guard("Partner.Org");
+  framework::Guard& app = psf.create_guard("FileShare");
+
+  psf.add_node("corp-server", "Corp", 200);
+  psf.add_node("partner-pc", "Partner.Org");
+  psf.connect("corp-server", "partner-pc",
+              {30 * util::kMillisecond, 5000, false});
+  psf.register_components(register_fileshare_components);
+
+  // Node policy + cross-domain component acceptance.
+  app.issue(drbac::Principal::of_role(corp.entity(), "PC"), app.role("Node"),
+            {{"Secure", drbac::Attribute::make_set("Secure", {"true"})},
+             {"Trust", drbac::Attribute::make_range("Trust", 0, 10)}});
+  corp.grant(psf.node("corp-server")->principal(), "PC");
+  partner.issue(drbac::Principal::of_role(corp.entity(), "Executable"),
+                partner.role("Executable"),
+                {{"CPU", drbac::Attribute::make_cap("CPU", 50)}});
+
+  framework::ServiceConfig config;
+  config.name = "fileshare";
+  config.domain = "Corp";
+  config.origin_node = "corp-server";
+  config.origin_class = "FileStore";
+  config.access_rules = {{"Engineer", "ViewFileShare_Editor"},
+                         {"Auditor", "ViewFileShare_Auditor"}};
+  config.view_xml_by_name = {{"ViewFileShare_Editor", kEditorView},
+                             {"ViewFileShare_Auditor", kAuditorView}};
+  config.node_policy_role = app.role("Node");
+  if (auto r = psf.define_service(config); !r.ok()) {
+    std::cerr << r.error().message << "\n";
+    return 1;
+  }
+
+  // Principals: a Corp engineer, and a partner-org auditor mapped across
+  // domains exactly like Table 2's role mapping.
+  drbac::Entity ed = corp.create_principal("Ed");
+  corp.grant(drbac::Principal::of_entity(ed), "Engineer");
+  drbac::Entity ana = partner.create_principal("Ana");
+  partner.grant(drbac::Principal::of_entity(ana), "Reviewer");
+  corp.issue(drbac::Principal::of_role(partner.entity(), "Reviewer"),
+             corp.role("Auditor"));  // cross-domain role map
+
+  std::cout << "== Ed (Corp engineer) edits from corp-server ==\n";
+  framework::ClientRequest ed_request;
+  ed_request.identity = ed;
+  ed_request.client_node = "corp-server";
+  ed_request.service = "fileshare";
+  auto ed_session = psf.request(ed_request);
+  std::cout << "  view: " << ed_session.value().view_name << "\n";
+  ed_session.value().view->call(
+      "put", {Value::string("design.md"),
+              Value::bytes(util::to_bytes("# secret roadmap"))});
+  std::cout << "  put(design.md) done; files = "
+            << ed_session.value().view->call("listFiles", {}).to_display_string()
+            << "\n";
+
+  std::cout << "\n== Ana (Partner.Org reviewer -> Corp.Auditor) ==\n";
+  framework::ClientRequest ana_request;
+  ana_request.identity = ana;
+  ana_request.client_node = "partner-pc";
+  ana_request.service = "fileshare";
+  auto ana_session = psf.request(ana_request);
+  std::cout << "  view: " << ana_session.value().view_name
+            << " (matched role " << ana_session.value().matched_role << ")\n";
+  std::cout << "  listFiles -> "
+            << ana_session.value().view->call("listFiles", {}).to_display_string()
+            << "\n";
+  std::cout << "  get(design.md) -> "
+            << util::to_string(ana_session.value()
+                                   .view->call("get", {Value::string("design.md")})
+                                   .as_bytes())
+            << "\n";
+  try {
+    ana_session.value().view->call(
+        "put", {Value::string("evil.md"), Value::bytes({})});
+  } catch (const minilang::EvalError& e) {
+    std::cout << "  put(...) -> DENIED (" << e.what() << ")\n";
+  }
+  std::cout << "  (read-only view: put/remove stripped at method level)\n";
+  return 0;
+}

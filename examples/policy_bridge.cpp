@@ -1,0 +1,68 @@
+// The paper's §6 future-work item, implemented: "the framework should
+// provide a service able to translate between [a domain's own policy
+// implementation] and dRBAC." A legacy domain publishes a capability list;
+// the PolicyBridge translates it into signed dRBAC delegations, the mail
+// application maps the bridged role into its own namespace, and from then
+// on legacy users authenticate, get views, and are continuously authorized
+// exactly like native dRBAC principals — including revocation when the
+// legacy ACL drops them.
+#include <iostream>
+
+#include "mail/scenario.hpp"
+#include "psf/policy_bridge.hpp"
+
+int main() {
+  using namespace psf;
+  using mail::Scenario;
+  using minilang::Value;
+
+  mail::Scenario s = mail::build_scenario();
+  framework::Psf& psf = *s.psf;
+
+  std::cout << "== A legacy capability-list domain joins the coalition ==\n";
+  framework::PolicyBridge bridge("LegacyCorp", &psf.repository(), psf.rng());
+  drbac::Entity dana = drbac::Entity::create("Dana", psf.rng());
+  bridge.register_principal(drbac::Principal::of_entity(dana));
+
+  framework::CapabilityPolicy acl;
+  acl.grants[dana.fingerprint()] = {"mail-user"};
+  auto sync = bridge.sync(acl);
+  std::cout << "  bridge issued " << sync.issued
+            << " dRBAC credential(s) from the capability list\n";
+
+  // NY-Guard maps the bridged capability onto its Partner role:
+  //   [ LegacyCorp.mail-user -> Comp.NY.Partner ] Comp.NY
+  s.ny->issue(drbac::Principal::of_role_ref(bridge.role_for("mail-user")),
+              s.ny->role("Partner"));
+  std::cout << "  NY-Guard mapped LegacyCorp.mail-user -> Comp.NY.Partner\n";
+
+  std::cout << "\n== Dana requests the mail service from Seattle ==\n";
+  framework::ClientRequest request;
+  request.identity = dana;
+  request.client_node = Scenario::kSePc;
+  request.service = "mail";
+  auto session = psf.request(request);
+  std::cout << "  view: " << session.value().view_name << " (matched role "
+            << session.value().matched_role << ")\n";
+  std::cout << "  getEmail(alice) -> "
+            << session.value()
+                   .view->call("getEmail", {Value::string("alice")})
+                   .as_string()
+            << "\n";
+
+  std::cout << "\n== LegacyCorp drops Dana from its ACL ==\n";
+  session.value().connection->set_authorization_listener(
+      [](switchboard::Connection::End, const std::string& reason) {
+        std::cout << "  AuthorizationMonitor: " << reason << "\n";
+      });
+  framework::CapabilityPolicy empty;
+  auto resync = bridge.sync(empty);
+  std::cout << "  bridge revoked " << resync.revoked << " credential(s)\n";
+  try {
+    session.value().view->call("getEmail", {Value::string("alice")});
+  } catch (const minilang::EvalError& e) {
+    std::cout << "  Dana's next request -> " << e.what() << "\n";
+  }
+  std::cout << "  (revocation crossed the policy-implementation boundary)\n";
+  return 0;
+}

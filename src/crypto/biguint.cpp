@@ -1,0 +1,147 @@
+#include "crypto/biguint.hpp"
+
+#include <stdexcept>
+
+namespace psf::crypto {
+
+BigUInt BigUInt::from_le_bytes(const util::Bytes& bytes) {
+  if (bytes.size() > 64) throw std::invalid_argument("BigUInt: > 64 bytes");
+  BigUInt out;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    out.limbs_[i / 8] |= static_cast<std::uint64_t>(bytes[i]) << (8 * (i % 8));
+  }
+  return out;
+}
+
+util::Bytes BigUInt::to_le_bytes32() const {
+  util::Bytes out(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    out[i] = static_cast<std::uint8_t>(limbs_[i / 8] >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+bool BigUInt::is_zero() const {
+  for (std::uint64_t l : limbs_) {
+    if (l != 0) return false;
+  }
+  return true;
+}
+
+int BigUInt::compare(const BigUInt& other) const {
+  for (std::size_t i = kLimbs; i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUInt BigUInt::add(const BigUInt& a, const BigUInt& b) {
+  BigUInt out;
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < kLimbs; ++i) {
+    carry += a.limbs_[i];
+    carry += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  return out;
+}
+
+BigUInt BigUInt::sub(const BigUInt& a, const BigUInt& b) {
+  BigUInt out;
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < kLimbs; ++i) {
+    const std::uint64_t bi = b.limbs_[i] + borrow;
+    borrow = (bi < b.limbs_[i]) || (a.limbs_[i] < bi) ? 1 : 0;
+    out.limbs_[i] = a.limbs_[i] - bi;
+  }
+  return out;
+}
+
+BigUInt BigUInt::mul256(const BigUInt& a, const BigUInt& b) {
+  BigUInt out;
+  for (std::size_t i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      unsigned __int128 cur =
+          static_cast<unsigned __int128>(a.limbs_[i]) * b.limbs_[j] +
+          out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    out.limbs_[i + 4] = static_cast<std::uint64_t>(carry);
+  }
+  return out;
+}
+
+std::size_t BigUInt::bit_length() const {
+  for (std::size_t i = kLimbs; i-- > 0;) {
+    if (limbs_[i] != 0) {
+      std::size_t bits = 64 * i;
+      std::uint64_t v = limbs_[i];
+      while (v != 0) {
+        ++bits;
+        v >>= 1;
+      }
+      return bits;
+    }
+  }
+  return 0;
+}
+
+void BigUInt::shl1() {
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < kLimbs; ++i) {
+    const std::uint64_t next_carry = limbs_[i] >> 63;
+    limbs_[i] = (limbs_[i] << 1) | carry;
+    carry = next_carry;
+  }
+}
+
+BigUInt BigUInt::mod(const BigUInt& a, const BigUInt& m) {
+  if (m.is_zero()) throw std::invalid_argument("BigUInt::mod by zero");
+  if (a.compare(m) < 0) return a;
+  BigUInt remainder;
+  // Binary long division, processing a's bits from most significant down.
+  for (std::size_t i = a.bit_length(); i-- > 0;) {
+    remainder.shl1();
+    if (a.bit(i)) remainder.limbs_[0] |= 1;
+    if (remainder.compare(m) >= 0) remainder = sub(remainder, m);
+  }
+  return remainder;
+}
+
+BigUInt BigUInt::add_mod(const BigUInt& a, const BigUInt& b, const BigUInt& m) {
+  BigUInt sum = add(a, b);
+  if (sum.compare(m) >= 0) sum = sub(sum, m);
+  return sum;
+}
+
+BigUInt BigUInt::mul_mod(const BigUInt& a, const BigUInt& b, const BigUInt& m) {
+  return mod(mul256(a, b), m);
+}
+
+BigUInt BigUInt::neg_mod(const BigUInt& a, const BigUInt& m) {
+  if (a.is_zero()) return a;
+  return sub(m, a);
+}
+
+std::string BigUInt::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  bool leading = true;
+  for (std::size_t i = kLimbs; i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      const int nibble = static_cast<int>((limbs_[i] >> shift) & 0xf);
+      if (leading && nibble == 0) continue;
+      leading = false;
+      out.push_back(digits[nibble]);
+    }
+  }
+  if (out.empty()) out.push_back('0');
+  return out;
+}
+
+}  // namespace psf::crypto

@@ -1,0 +1,24 @@
+// ChaCha20 stream cipher (RFC 8439). The Switchboard channel cipher and the
+// mail application's Encryptor/Decryptor components both use it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace psf::crypto {
+
+using ChaChaKey = std::array<std::uint8_t, 32>;
+using ChaChaNonce = std::array<std::uint8_t, 12>;
+
+/// XOR `data` with the ChaCha20 keystream (encrypt == decrypt).
+util::Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                         std::uint32_t counter, const util::Bytes& data);
+
+/// Raw 64-byte block function, exposed for tests against RFC 8439 vectors.
+std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
+                                            const ChaChaNonce& nonce,
+                                            std::uint32_t counter);
+
+}  // namespace psf::crypto

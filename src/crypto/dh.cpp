@@ -1,0 +1,36 @@
+#include "crypto/dh.hpp"
+
+#include "crypto/sha256.hpp"
+#include "crypto/sign.hpp"
+
+namespace psf::crypto {
+
+DhKeyPair dh_generate(util::Rng& rng) {
+  DhKeyPair kp;
+  kp.private_scalar = scalar_from_wide_bytes(rng.next_bytes(64));
+  if (kp.private_scalar.is_zero()) kp.private_scalar = BigUInt(1);
+  kp.public_point = point_encode(point_mul_base(kp.private_scalar));
+  return kp;
+}
+
+bool dh_shared_secret(const DhKeyPair& ours, const util::Bytes& peer_public,
+                      util::Bytes& out_secret) {
+  Point peer;
+  if (!point_decode(peer_public, peer)) return false;
+  const Point shared = point_mul(ours.private_scalar, peer);
+  if (point_is_identity(shared)) return false;  // degenerate peer key
+  out_secret = point_encode(shared);
+  return true;
+}
+
+ChaChaKey derive_channel_key(const util::Bytes& secret,
+                             const std::string& label) {
+  util::Bytes data = secret;
+  util::append(data, label);
+  const Digest256 d = sha256(data);
+  ChaChaKey key;
+  std::copy(d.begin(), d.end(), key.begin());
+  return key;
+}
+
+}  // namespace psf::crypto

@@ -1,0 +1,28 @@
+// Ephemeral Diffie-Hellman key agreement on the Ed25519 group, used by
+// Switchboard to establish per-connection ChaCha20 keys.
+#pragma once
+
+#include "crypto/chacha20.hpp"
+#include "crypto/ed25519.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace psf::crypto {
+
+struct DhKeyPair {
+  BigUInt private_scalar;
+  util::Bytes public_point;  // compressed encoding
+};
+
+DhKeyPair dh_generate(util::Rng& rng);
+
+/// Derive the shared secret from our private scalar and the peer's public
+/// point; returns false if the peer point does not decode.
+bool dh_shared_secret(const DhKeyPair& ours, const util::Bytes& peer_public,
+                      util::Bytes& out_secret);
+
+/// Derive a symmetric channel key: sha256(secret || label).
+ChaChaKey derive_channel_key(const util::Bytes& secret,
+                             const std::string& label);
+
+}  // namespace psf::crypto

@@ -1,0 +1,55 @@
+// Twisted Edwards curve -x^2 + y^2 = 1 + d x^2 y^2 over GF(2^255-19)
+// (the Ed25519 curve). Curve constants are derived at startup from first
+// principles (d = -121665/121666, base point y = 4/5) so there are no
+// hand-copied magic constants to get wrong; the test suite checks group laws
+// and that L * B is the identity.
+#pragma once
+
+#include "crypto/biguint.hpp"
+#include "crypto/fe25519.hpp"
+#include "util/bytes.hpp"
+
+namespace psf::crypto {
+
+/// Extended homogeneous coordinates (X : Y : Z : T), x = X/Z, y = Y/Z,
+/// T = XY/Z.
+struct Point {
+  Fe x, y, z, t;
+};
+
+/// Neutral element (0, 1).
+Point point_identity();
+
+/// The standard base point B.
+const Point& point_base();
+
+/// The curve constant d.
+const Fe& curve_d();
+
+/// The prime group order L = 2^252 + 27742317777372353535851937790883648493.
+const BigUInt& group_order();
+
+Point point_add(const Point& p, const Point& q);
+Point point_double(const Point& p);
+Point point_neg(const Point& p);
+
+/// scalar * p via double-and-add; scalar is interpreted mod 2^256.
+Point point_mul(const BigUInt& scalar, const Point& p);
+
+/// scalar * B via a fixed-base window table (64 nibble positions x 16
+/// precomputed multiples, built once): at most 64 point additions instead
+/// of 256 doublings + additions. Signing, key generation, and the s*B half
+/// of verification all go through this.
+Point point_mul_base(const BigUInt& scalar);
+
+bool point_equal(const Point& p, const Point& q);
+bool point_on_curve(const Point& p);
+bool point_is_identity(const Point& p);
+
+/// 32-byte compressed encoding: y with the sign of x in the top bit.
+util::Bytes point_encode(const Point& p);
+
+/// Decompress; returns false for invalid encodings / non-curve points.
+bool point_decode(const util::Bytes& encoded, Point& out);
+
+}  // namespace psf::crypto

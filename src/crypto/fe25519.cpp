@@ -1,0 +1,225 @@
+#include "crypto/fe25519.hpp"
+
+#include <stdexcept>
+
+namespace psf::crypto {
+
+namespace {
+constexpr std::uint64_t kMask51 = (1ULL << 51) - 1;
+using u128 = unsigned __int128;
+
+// Propagate carries so every limb is < 2^51 (value still mod p-equivalent).
+Fe carry(Fe a) {
+  for (int round = 0; round < 2; ++round) {
+    std::uint64_t c = a.v[4] >> 51;
+    a.v[4] &= kMask51;
+    a.v[0] += c * 19;
+    for (int i = 0; i < 4; ++i) {
+      c = a.v[i] >> 51;
+      a.v[i] &= kMask51;
+      a.v[i + 1] += c;
+    }
+  }
+  return a;
+}
+
+// Reduce to the canonical representative in [0, p).
+Fe reduce_full(Fe a) {
+  a = carry(a);
+  // a < 2^255 + small; subtract p at most twice.
+  for (int round = 0; round < 2; ++round) {
+    // Compute a - p = a - (2^255 - 19) = a + 19 - 2^255.
+    std::uint64_t t0 = a.v[0] + 19;
+    std::uint64_t c = t0 >> 51;
+    t0 &= kMask51;
+    std::uint64_t t1 = a.v[1] + c;
+    c = t1 >> 51;
+    t1 &= kMask51;
+    std::uint64_t t2 = a.v[2] + c;
+    c = t2 >> 51;
+    t2 &= kMask51;
+    std::uint64_t t3 = a.v[3] + c;
+    c = t3 >> 51;
+    t3 &= kMask51;
+    std::uint64_t t4 = a.v[4] + c;
+    if (t4 >> 51) {  // a >= p: keep the subtracted value
+      a.v[0] = t0;
+      a.v[1] = t1;
+      a.v[2] = t2;
+      a.v[3] = t3;
+      a.v[4] = t4 & kMask51;
+    }
+  }
+  return a;
+}
+}  // namespace
+
+Fe fe_zero() { return Fe{{0, 0, 0, 0, 0}}; }
+Fe fe_one() { return Fe{{1, 0, 0, 0, 0}}; }
+
+Fe fe_from_u64(std::uint64_t x) {
+  Fe out = fe_zero();
+  out.v[0] = x & kMask51;
+  out.v[1] = x >> 51;
+  return out;
+}
+
+Fe fe_from_bytes(const util::Bytes& bytes) {
+  if (bytes.size() < 32) throw std::invalid_argument("fe_from_bytes: short");
+  auto load64 = [&](std::size_t i) {
+    std::uint64_t v = 0;
+    for (int j = 7; j >= 0; --j) v = (v << 8) | bytes[i + j];
+    return v;
+  };
+  Fe out;
+  out.v[0] = load64(0) & kMask51;
+  out.v[1] = (load64(6) >> 3) & kMask51;
+  out.v[2] = (load64(12) >> 6) & kMask51;
+  out.v[3] = (load64(19) >> 1) & kMask51;
+  out.v[4] = (load64(24) >> 12) & kMask51;
+  return out;
+}
+
+util::Bytes fe_to_bytes(const Fe& a) {
+  const Fe r = reduce_full(a);
+  util::Bytes out(32, 0);
+  // Pack 5x51 bits little-endian through a bit accumulator.
+  unsigned __int128 acc = 0;
+  int acc_bits = 0;
+  std::size_t byte = 0;
+  for (int limb = 0; limb < 5; ++limb) {
+    acc |= static_cast<unsigned __int128>(r.v[limb]) << acc_bits;
+    acc_bits += 51;
+    while (acc_bits >= 8 && byte < 32) {
+      out[byte++] = static_cast<std::uint8_t>(acc);
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+  if (byte < 32) out[byte] = static_cast<std::uint8_t>(acc);
+  return out;
+}
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe out;
+  for (int i = 0; i < 5; ++i) out.v[i] = a.v[i] + b.v[i];
+  return carry(out);
+}
+
+Fe fe_sub(const Fe& a, const Fe& b) {
+  // a + 2p - b keeps limbs nonnegative.
+  static const std::uint64_t two_p[5] = {
+      0xfffffffffffdaULL, 0xffffffffffffeULL, 0xffffffffffffeULL,
+      0xffffffffffffeULL, 0xffffffffffffeULL};
+  Fe out;
+  for (int i = 0; i < 5; ++i) out.v[i] = a.v[i] + two_p[i] - b.v[i];
+  return carry(out);
+}
+
+Fe fe_neg(const Fe& a) { return fe_sub(fe_zero(), a); }
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  const std::uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3],
+                      a4 = a.v[4];
+  const std::uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3],
+                      b4 = b.v[4];
+  const std::uint64_t b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19,
+                      b4_19 = b4 * 19;
+
+  u128 t0 = (u128)a0 * b0 + (u128)a1 * b4_19 + (u128)a2 * b3_19 +
+            (u128)a3 * b2_19 + (u128)a4 * b1_19;
+  u128 t1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)a2 * b4_19 +
+            (u128)a3 * b3_19 + (u128)a4 * b2_19;
+  u128 t2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 +
+            (u128)a3 * b4_19 + (u128)a4 * b3_19;
+  u128 t3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 +
+            (u128)a4 * b4_19;
+  u128 t4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 +
+            (u128)a4 * b0;
+
+  Fe out;
+  std::uint64_t c;
+  out.v[0] = static_cast<std::uint64_t>(t0) & kMask51;
+  c = static_cast<std::uint64_t>(t0 >> 51);
+  t1 += c;
+  out.v[1] = static_cast<std::uint64_t>(t1) & kMask51;
+  c = static_cast<std::uint64_t>(t1 >> 51);
+  t2 += c;
+  out.v[2] = static_cast<std::uint64_t>(t2) & kMask51;
+  c = static_cast<std::uint64_t>(t2 >> 51);
+  t3 += c;
+  out.v[3] = static_cast<std::uint64_t>(t3) & kMask51;
+  c = static_cast<std::uint64_t>(t3 >> 51);
+  t4 += c;
+  out.v[4] = static_cast<std::uint64_t>(t4) & kMask51;
+  c = static_cast<std::uint64_t>(t4 >> 51);
+  out.v[0] += c * 19;
+  return carry(out);
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+Fe fe_pow(const Fe& a, const util::Bytes& exponent_le) {
+  Fe result = fe_one();
+  Fe base = a;
+  for (std::size_t i = 0; i < exponent_le.size() * 8; ++i) {
+    if ((exponent_le[i / 8] >> (i % 8)) & 1) {
+      result = fe_mul(result, base);
+    }
+    base = fe_sq(base);
+  }
+  return result;
+}
+
+Fe fe_invert(const Fe& a) {
+  // Exponent p - 2 = 2^255 - 21, little-endian bytes: eb ff .. ff 7f.
+  util::Bytes exp(32, 0xff);
+  exp[0] = 0xeb;
+  exp[31] = 0x7f;
+  return fe_pow(a, exp);
+}
+
+bool fe_is_zero(const Fe& a) {
+  const util::Bytes b = fe_to_bytes(a);
+  for (std::uint8_t x : b) {
+    if (x != 0) return false;
+  }
+  return true;
+}
+
+bool fe_equal(const Fe& a, const Fe& b) {
+  return fe_to_bytes(a) == fe_to_bytes(b);
+}
+
+bool fe_is_negative(const Fe& a) { return fe_to_bytes(a)[0] & 1; }
+
+const Fe& fe_sqrt_m1() {
+  // 2^((p-1)/4): (p-1)/4 = (2^255 - 20)/4 = 2^253 - 5.
+  static const Fe value = [] {
+    util::Bytes exp(32, 0xff);
+    exp[0] = 0xfb;
+    exp[31] = 0x1f;
+    return fe_pow(fe_from_u64(2), exp);
+  }();
+  return value;
+}
+
+bool fe_sqrt(const Fe& a, Fe& out) {
+  // Candidate root: a^((p+3)/8), (p+3)/8 = 2^252 - 2.
+  util::Bytes exp(32, 0xff);
+  exp[0] = 0xfe;
+  exp[31] = 0x0f;
+  Fe x = fe_pow(a, exp);
+  const Fe x2 = fe_sq(x);
+  if (fe_equal(x2, a)) {
+    out = x;
+    return true;
+  }
+  if (fe_equal(x2, fe_neg(a))) {
+    out = fe_mul(x, fe_sqrt_m1());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace psf::crypto

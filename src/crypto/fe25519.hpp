@@ -1,0 +1,55 @@
+// Field arithmetic modulo p = 2^255 - 19, radix-2^51 representation
+// (5 limbs of ~51 bits in 64-bit words, products via unsigned __int128).
+// This is the workhorse under the curve layer; everything else in crypto/
+// is byte-oriented.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace psf::crypto {
+
+struct Fe {
+  // Little-endian limbs; each nominally < 2^52 after carry propagation.
+  std::array<std::uint64_t, 5> v;
+};
+
+Fe fe_zero();
+Fe fe_one();
+Fe fe_from_u64(std::uint64_t x);
+
+/// Load 32 little-endian bytes; the top bit is ignored (as in RFC 8032).
+Fe fe_from_bytes(const util::Bytes& bytes);
+
+/// Canonical 32-byte little-endian encoding (fully reduced).
+util::Bytes fe_to_bytes(const Fe& a);
+
+Fe fe_add(const Fe& a, const Fe& b);
+Fe fe_sub(const Fe& a, const Fe& b);
+Fe fe_mul(const Fe& a, const Fe& b);
+Fe fe_sq(const Fe& a);
+Fe fe_neg(const Fe& a);
+
+/// a^(p-2) mod p (Fermat inversion); a must be nonzero for a true inverse.
+Fe fe_invert(const Fe& a);
+
+/// Raise to an arbitrary 256-bit exponent given as 32 little-endian bytes.
+Fe fe_pow(const Fe& a, const util::Bytes& exponent_le);
+
+bool fe_is_zero(const Fe& a);
+bool fe_equal(const Fe& a, const Fe& b);
+
+/// Parity of the canonical representation (bit 0); the "sign" in point
+/// compression.
+bool fe_is_negative(const Fe& a);
+
+/// Square root via the 2^((p+3)/8) candidate method.
+/// Returns false if `a` is a non-residue.
+bool fe_sqrt(const Fe& a, Fe& out);
+
+/// sqrt(-1) mod p, computed once.
+const Fe& fe_sqrt_m1();
+
+}  // namespace psf::crypto

@@ -1,0 +1,37 @@
+#include "crypto/hmac.hpp"
+
+namespace psf::crypto {
+
+Digest256 hmac_sha256(const util::Bytes& key, const util::Bytes& message) {
+  constexpr std::size_t kBlock = 64;
+  util::Bytes k = key;
+  if (k.size() > kBlock) {
+    k = sha256_bytes(k);
+  }
+  k.resize(kBlock, 0);
+
+  util::Bytes inner(kBlock);
+  util::Bytes outer(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    inner[i] = k[i] ^ 0x36;
+    outer[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 h_inner;
+  h_inner.update(inner);
+  h_inner.update(message);
+  const Digest256 inner_digest = h_inner.finish();
+
+  Sha256 h_outer;
+  h_outer.update(outer);
+  h_outer.update(inner_digest.data(), inner_digest.size());
+  return h_outer.finish();
+}
+
+util::Bytes hmac_sha256_bytes(const util::Bytes& key,
+                              const util::Bytes& message) {
+  const Digest256 d = hmac_sha256(key, message);
+  return util::Bytes(d.begin(), d.end());
+}
+
+}  // namespace psf::crypto

@@ -1,0 +1,15 @@
+// HMAC-SHA-256 (RFC 2104). Used for channel frame authentication, heartbeat
+// replay protection, and deterministic nonce derivation in signing.
+#pragma once
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace psf::crypto {
+
+Digest256 hmac_sha256(const util::Bytes& key, const util::Bytes& message);
+
+util::Bytes hmac_sha256_bytes(const util::Bytes& key,
+                              const util::Bytes& message);
+
+}  // namespace psf::crypto

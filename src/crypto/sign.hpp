@@ -1,0 +1,48 @@
+// Schnorr signatures over the Ed25519 group with SHA-256 as the hash.
+// This is deliberately a *variant* (Ed25519 proper uses SHA-512); the repo
+// never needs to interoperate with external verifiers, and SHA-256 keeps the
+// hash surface to one primitive. Deterministic nonces are derived HMAC-style
+// from the private key and message.
+#pragma once
+
+#include <string>
+
+#include "crypto/biguint.hpp"
+#include "crypto/ed25519.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace psf::crypto {
+
+/// Public key: compressed point encoding (32 bytes).
+struct PublicKey {
+  util::Bytes encoded;
+
+  bool operator==(const PublicKey& other) const = default;
+  std::string fingerprint() const;  // first 16 hex chars of sha256(encoded)
+};
+
+struct KeyPair {
+  BigUInt private_scalar;
+  PublicKey public_key;
+};
+
+/// Signature: R (32 bytes) || s (32 bytes little-endian).
+struct Signature {
+  util::Bytes bytes;  // 64 bytes
+
+  bool operator==(const Signature& other) const = default;
+};
+
+/// Deterministically generate a keypair from an Rng stream.
+KeyPair generate_keypair(util::Rng& rng);
+
+Signature sign(const KeyPair& key, const util::Bytes& message);
+
+bool verify(const PublicKey& key, const util::Bytes& message,
+            const Signature& sig);
+
+/// Reduce 64 hash-derived bytes to a scalar mod L (exposed for tests).
+BigUInt scalar_from_wide_bytes(const util::Bytes& wide64);
+
+}  // namespace psf::crypto

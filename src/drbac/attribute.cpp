@@ -1,0 +1,164 @@
+#include "drbac/attribute.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace psf::drbac {
+
+Attribute Attribute::make_set(std::string name, std::set<std::string> values) {
+  Attribute a;
+  a.name = std::move(name);
+  a.kind = Kind::kSet;
+  a.set_values = std::move(values);
+  return a;
+}
+
+Attribute Attribute::make_range(std::string name, std::int64_t lo,
+                                std::int64_t hi) {
+  Attribute a;
+  a.name = std::move(name);
+  a.kind = Kind::kRange;
+  a.lo = lo;
+  a.hi = hi;
+  return a;
+}
+
+Attribute Attribute::make_cap(std::string name, std::int64_t cap) {
+  return make_range(std::move(name), 0, cap);
+}
+
+bool Attribute::operator==(const Attribute& other) const {
+  if (name != other.name || kind != other.kind) return false;
+  if (kind == Kind::kSet) return set_values == other.set_values;
+  return lo == other.lo && hi == other.hi;
+}
+
+std::string Attribute::to_string() const {
+  std::ostringstream os;
+  os << name << "=";
+  if (kind == Kind::kSet) {
+    os << "{";
+    bool first = true;
+    for (const auto& v : set_values) {
+      if (!first) os << ",";
+      first = false;
+      os << v;
+    }
+    os << "}";
+  } else {
+    os << "(" << lo << "," << hi << ")";
+  }
+  return os.str();
+}
+
+std::optional<Attribute> intersect(const Attribute& a, const Attribute& b) {
+  if (a.name != b.name || a.kind != b.kind) return std::nullopt;
+  if (a.kind == Attribute::Kind::kSet) {
+    std::set<std::string> common;
+    std::set_intersection(a.set_values.begin(), a.set_values.end(),
+                          b.set_values.begin(), b.set_values.end(),
+                          std::inserter(common, common.begin()));
+    if (common.empty()) return std::nullopt;
+    return Attribute::make_set(a.name, std::move(common));
+  }
+  const std::int64_t lo = std::max(a.lo, b.lo);
+  const std::int64_t hi = std::min(a.hi, b.hi);
+  if (lo > hi) return std::nullopt;
+  return Attribute::make_range(a.name, lo, hi);
+}
+
+std::optional<AttributeMap> attenuate(const AttributeMap& chain,
+                                      const AttributeMap& next) {
+  AttributeMap out = chain;
+  for (const auto& [name, attr] : next) {
+    auto it = out.find(name);
+    if (it == out.end()) {
+      out[name] = attr;
+      continue;
+    }
+    auto common = intersect(it->second, attr);
+    if (!common.has_value()) return std::nullopt;
+    it->second = *common;
+  }
+  return out;
+}
+
+bool satisfies(const AttributeMap& granted, const AttributeMap& required) {
+  for (const auto& [name, req] : required) {
+    auto it = granted.find(name);
+    if (it == granted.end()) return false;
+    const Attribute& have = it->second;
+    if (have.kind != req.kind) return false;
+    if (req.kind == Attribute::Kind::kSet) {
+      if (!std::includes(have.set_values.begin(), have.set_values.end(),
+                         req.set_values.begin(), req.set_values.end())) {
+        return false;
+      }
+    } else {
+      if (req.lo < have.lo || req.hi > have.hi) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Attribute> parse_attribute(const std::string& text) {
+  const auto eq = text.find('=');
+  if (eq == std::string::npos || eq == 0) return std::nullopt;
+  std::string name = text.substr(0, eq);
+  std::string value = text.substr(eq + 1);
+  // Trim whitespace.
+  auto trim = [](std::string& s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.erase(s.begin());
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.pop_back();
+  };
+  trim(name);
+  trim(value);
+  if (name.empty() || value.empty()) return std::nullopt;
+
+  if (value.front() == '{' && value.back() == '}') {
+    std::set<std::string> items;
+    std::string inner = value.substr(1, value.size() - 2);
+    std::istringstream is(inner);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+      trim(item);
+      if (!item.empty()) items.insert(item);
+    }
+    if (items.empty()) return std::nullopt;
+    return Attribute::make_set(name, std::move(items));
+  }
+  if (value.front() == '(' && value.back() == ')') {
+    const std::string inner = value.substr(1, value.size() - 2);
+    const auto comma = inner.find(',');
+    if (comma == std::string::npos) return std::nullopt;
+    try {
+      const std::int64_t lo = std::stoll(inner.substr(0, comma));
+      const std::int64_t hi = std::stoll(inner.substr(comma + 1));
+      if (lo > hi) return std::nullopt;
+      return Attribute::make_range(name, lo, hi);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t cap = std::stoll(value, &consumed);
+    if (consumed != value.size()) return std::nullopt;
+    return Attribute::make_cap(name, cap);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::string attributes_to_string(const AttributeMap& attrs) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, attr] : attrs) {
+    if (!first) os << " ";
+    first = false;
+    os << attr.to_string();
+  }
+  return os.str();
+}
+
+}  // namespace psf::drbac

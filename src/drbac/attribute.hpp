@@ -1,0 +1,58 @@
+// Valued attributes on dRBAC delegations (paper §3.1, Table 1: "with
+// Attr1=Val1, ..."), e.g. `Secure={true,false}`, `Trust=(0,10)`, `CPU=100`.
+// Attenuation along a proof chain is modeled as intersection: rights can
+// only narrow as delegations are chained (paper Table 2: CPU=100 → 80 → 40).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace psf::drbac {
+
+struct Attribute {
+  enum class Kind { kSet, kRange };
+
+  std::string name;
+  Kind kind = Kind::kSet;
+  std::set<std::string> set_values;     // kSet
+  std::int64_t lo = 0, hi = 0;          // kRange (inclusive)
+
+  static Attribute make_set(std::string name, std::set<std::string> values);
+  static Attribute make_range(std::string name, std::int64_t lo, std::int64_t hi);
+  /// Scalar `CPU=100` is sugar for the cap range `(0,100)`.
+  static Attribute make_cap(std::string name, std::int64_t cap);
+
+  bool operator==(const Attribute& other) const;
+
+  /// Render like the paper: `Secure={true,false}`, `Trust=(0,10)`.
+  std::string to_string() const;
+};
+
+/// Keyed by attribute name.
+using AttributeMap = std::map<std::string, Attribute>;
+
+/// Intersection of two attributes of the same name; nullopt when the
+/// intersection is empty (the chain grants nothing for this attribute).
+std::optional<Attribute> intersect(const Attribute& a, const Attribute& b);
+
+/// Attenuate `chain` by `next`: attributes present in both are intersected;
+/// an attribute present in only one side passes through unrestricted.
+/// Returns nullopt if any common attribute intersects to empty.
+std::optional<AttributeMap> attenuate(const AttributeMap& chain,
+                                      const AttributeMap& next);
+
+/// Does `granted` satisfy `required`? Every required attribute must exist in
+/// `granted` and contain it: required sets must be subsets, required ranges
+/// must be sub-ranges.
+bool satisfies(const AttributeMap& granted, const AttributeMap& required);
+
+/// Parse the paper's notation: `Trust=(0,10)`, `Secure={true,false}`,
+/// `CPU=100`. Returns nullopt on malformed input.
+std::optional<Attribute> parse_attribute(const std::string& text);
+
+std::string attributes_to_string(const AttributeMap& attrs);
+
+}  // namespace psf::drbac

@@ -1,0 +1,191 @@
+#include "drbac/credential.hpp"
+
+#include <sstream>
+
+#include "drbac/attribute.hpp"
+
+namespace psf::drbac {
+
+std::string delegation_type_name(DelegationType t) {
+  switch (t) {
+    case DelegationType::kSelfCertifying: return "self-certifying";
+    case DelegationType::kThirdParty: return "third-party";
+    case DelegationType::kAssignment: return "assignment";
+  }
+  return "?";
+}
+
+DelegationType Delegation::type() const {
+  if (assignment) return DelegationType::kAssignment;
+  if (issuer_key.fingerprint() == target.entity_fp) {
+    return DelegationType::kSelfCertifying;
+  }
+  return DelegationType::kThirdParty;
+}
+
+util::Bytes Delegation::payload() const {
+  util::Bytes out;
+  util::append(out, "drbac-delegation-v1\n");
+  util::put_u64_be(out, serial);
+  util::append(out, subject.entity_fp);
+  util::append(out, "|");
+  util::append(out, subject.role);
+  util::append(out, "|");
+  util::append(out, target.entity_fp);
+  util::append(out, "|");
+  util::append(out, target.role);
+  util::append(out, "|");
+  out.push_back(assignment ? 1 : 0);
+  // Attributes in map order (deterministic).
+  for (const auto& [name, attr] : attributes) {
+    util::append(out, attr.to_string());
+    util::append(out, ";");
+  }
+  util::put_u64_be(out, static_cast<std::uint64_t>(issued_at));
+  util::put_u64_be(out, static_cast<std::uint64_t>(expires_at));
+  out.push_back(requires_online_validation ? 1 : 0);
+  util::append(out, issuer_key.encoded);
+  return out;
+}
+
+bool Delegation::verify_signature() const {
+  return crypto::verify(issuer_key, payload(), signature);
+}
+
+std::string Delegation::display() const {
+  std::ostringstream os;
+  os << "[ " << subject.display() << " -> " << target.display()
+     << (assignment ? " '" : "") << " ] " << issuer_name;
+  if (!attributes.empty()) os << " with " << attributes_to_string(attributes);
+  return os.str();
+}
+
+namespace {
+
+void put_string(util::Bytes& out, const std::string& s) {
+  util::put_u32_be(out, static_cast<std::uint32_t>(s.size()));
+  util::append(out, s);
+}
+
+bool get_string(const util::Bytes& in, std::size_t& pos, std::string& out) {
+  if (pos + 4 > in.size()) return false;
+  const std::uint32_t n = util::get_u32_be(in, pos);
+  pos += 4;
+  if (pos + n > in.size()) return false;
+  out.assign(in.begin() + static_cast<std::ptrdiff_t>(pos),
+             in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+  pos += n;
+  return true;
+}
+
+}  // namespace
+
+util::Bytes encode_delegation(const Delegation& d) {
+  util::Bytes out;
+  util::append(out, "DRBC1");
+  util::put_u64_be(out, d.serial);
+  put_string(out, d.subject.entity_name);
+  put_string(out, d.subject.entity_fp);
+  put_string(out, d.subject.role);
+  put_string(out, d.target.entity_name);
+  put_string(out, d.target.entity_fp);
+  put_string(out, d.target.role);
+  out.push_back(d.assignment ? 1 : 0);
+  util::put_u32_be(out, static_cast<std::uint32_t>(d.attributes.size()));
+  for (const auto& [name, attr] : d.attributes) {
+    put_string(out, attr.to_string());
+  }
+  put_string(out, d.issuer_name);
+  util::put_u32_be(out, static_cast<std::uint32_t>(d.issuer_key.encoded.size()));
+  util::append(out, d.issuer_key.encoded);
+  util::put_u64_be(out, static_cast<std::uint64_t>(d.issued_at));
+  util::put_u64_be(out, static_cast<std::uint64_t>(d.expires_at));
+  out.push_back(d.requires_online_validation ? 1 : 0);
+  out.push_back(static_cast<std::uint8_t>(
+      (d.tags.searchable_from_subject ? 1 : 0) |
+      (d.tags.searchable_from_object ? 2 : 0)));
+  util::put_u32_be(out, static_cast<std::uint32_t>(d.signature.bytes.size()));
+  util::append(out, d.signature.bytes);
+  return out;
+}
+
+util::Result<DelegationPtr> decode_delegation(const util::Bytes& wire) {
+  using Fail = util::Result<DelegationPtr>;
+  auto fail = [] { return Fail::failure("decode", "malformed delegation"); };
+  std::size_t pos = 0;
+  if (wire.size() < 5 ||
+      std::string(wire.begin(), wire.begin() + 5) != "DRBC1") {
+    return fail();
+  }
+  pos = 5;
+  auto d = std::make_shared<Delegation>();
+  if (pos + 8 > wire.size()) return fail();
+  d->serial = util::get_u64_be(wire, pos);
+  pos += 8;
+  if (!get_string(wire, pos, d->subject.entity_name)) return fail();
+  if (!get_string(wire, pos, d->subject.entity_fp)) return fail();
+  if (!get_string(wire, pos, d->subject.role)) return fail();
+  if (!get_string(wire, pos, d->target.entity_name)) return fail();
+  if (!get_string(wire, pos, d->target.entity_fp)) return fail();
+  if (!get_string(wire, pos, d->target.role)) return fail();
+  if (pos >= wire.size()) return fail();
+  d->assignment = wire[pos++] != 0;
+  if (pos + 4 > wire.size()) return fail();
+  const std::uint32_t attr_count = util::get_u32_be(wire, pos);
+  pos += 4;
+  if (attr_count > wire.size()) return fail();
+  for (std::uint32_t i = 0; i < attr_count; ++i) {
+    std::string text;
+    if (!get_string(wire, pos, text)) return fail();
+    auto attribute = parse_attribute(text);
+    if (!attribute.has_value()) return fail();
+    d->attributes[attribute->name] = *attribute;
+  }
+  if (!get_string(wire, pos, d->issuer_name)) return fail();
+  if (pos + 4 > wire.size()) return fail();
+  const std::uint32_t key_len = util::get_u32_be(wire, pos);
+  pos += 4;
+  if (pos + key_len > wire.size()) return fail();
+  d->issuer_key.encoded.assign(
+      wire.begin() + static_cast<std::ptrdiff_t>(pos),
+      wire.begin() + static_cast<std::ptrdiff_t>(pos + key_len));
+  pos += key_len;
+  if (pos + 16 + 2 > wire.size()) return fail();
+  d->issued_at = static_cast<util::SimTime>(util::get_u64_be(wire, pos));
+  pos += 8;
+  d->expires_at = static_cast<util::SimTime>(util::get_u64_be(wire, pos));
+  pos += 8;
+  d->requires_online_validation = wire[pos++] != 0;
+  const std::uint8_t tag_bits = wire[pos++];
+  d->tags.searchable_from_subject = (tag_bits & 1) != 0;
+  d->tags.searchable_from_object = (tag_bits & 2) != 0;
+  if (pos + 4 > wire.size()) return fail();
+  const std::uint32_t sig_len = util::get_u32_be(wire, pos);
+  pos += 4;
+  if (pos + sig_len != wire.size()) return fail();
+  d->signature.bytes.assign(
+      wire.begin() + static_cast<std::ptrdiff_t>(pos), wire.end());
+  return DelegationPtr(std::move(d));
+}
+
+DelegationPtr issue(const Entity& issuer, const Principal& subject,
+                    const RoleRef& target, AttributeMap attributes,
+                    bool assignment, util::SimTime issued_at,
+                    util::SimTime expires_at, std::uint64_t serial,
+                    DiscoveryTags tags) {
+  auto d = std::make_shared<Delegation>();
+  d->serial = serial;
+  d->subject = subject;
+  d->target = target;
+  d->assignment = assignment;
+  d->attributes = std::move(attributes);
+  d->issuer_name = issuer.name;
+  d->issuer_key = issuer.keys.public_key;
+  d->issued_at = issued_at;
+  d->expires_at = expires_at;
+  d->tags = tags;
+  d->signature = crypto::sign(issuer.keys, d->payload());
+  return d;
+}
+
+}  // namespace psf::drbac

@@ -1,0 +1,284 @@
+#include "drbac/engine.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace psf::drbac {
+
+namespace {
+
+/// Search state shared across the recursive descent.
+struct Search {
+  const Repository* repo;
+  util::SimTime now;
+  const ProveOptions* options;
+  // Goals on the current path, keyed by "fp.role[+assign]"; cycle guard.
+  std::set<std::string> on_path;
+  // Goals proven impossible (memoized failures keep the search polynomial
+  // on dense delegation graphs).
+  std::set<std::string> failed;
+
+  static std::string goal_key(const RoleRef& target, bool assignment) {
+    return target.entity_fp + "." + target.role + (assignment ? "'" : "");
+  }
+};
+
+struct ChainResult {
+  std::vector<DelegationPtr> chain;    // subject-end first
+  std::vector<DelegationPtr> support;  // assignment sub-proofs
+  AttributeMap attributes;             // attenuated along `chain`
+};
+
+bool credential_usable(const Search& s, const Delegation& c) {
+  if (c.expired_at(s.now)) return false;
+  if (s.repo->is_revoked(c.serial)) return false;
+  if (!c.verify_signature()) return false;
+  return true;
+}
+
+// `truncated` is set when the subtree was cut short by the cycle guard or
+// the depth bound; failures of truncated subtrees must not be memoized (the
+// same goal can succeed on a different path).
+std::optional<ChainResult> find_chain(Search& s, const Principal& subject,
+                                      const RoleRef& target, bool assignment,
+                                      std::size_t depth, bool& truncated);
+
+/// Is this credential's issuer authorized to administer `target`?
+/// Owner-issued credentials qualify directly; otherwise the issuer must hold
+/// the right of assignment (a chain of `'` delegations rooted at the owner).
+std::optional<ChainResult> issuer_authorized(Search& s, const Delegation& c,
+                                             const RoleRef& target,
+                                             std::size_t depth,
+                                             bool& truncated) {
+  if (c.issuer_key.fingerprint() == target.entity_fp) {
+    return ChainResult{};  // owner-issued: no support needed
+  }
+  const Principal issuer_principal{c.issuer_name, c.issuer_key.fingerprint(),
+                                   ""};
+  return find_chain(s, issuer_principal, target, /*assignment=*/true, depth,
+                    truncated);
+}
+
+std::optional<ChainResult> find_chain(Search& s, const Principal& subject,
+                                      const RoleRef& target, bool assignment,
+                                      std::size_t depth, bool& truncated) {
+  // Identity: a role trivially holds itself (lets callers ask questions
+  // about role principals, e.g. "is Inc.SE.PC a Mail.Node?").
+  if (!assignment && subject.is_role() && subject.as_role_ref() == target) {
+    return ChainResult{};
+  }
+  if (depth >= s.options->max_depth) {
+    truncated = true;
+    return std::nullopt;
+  }
+  const std::string key = Search::goal_key(target, assignment);
+  if (s.on_path.count(key) > 0) {
+    truncated = true;
+    return std::nullopt;  // cycle
+  }
+  if (s.failed.count(key + "#" + subject.entity_fp + "." + subject.role) > 0) {
+    return std::nullopt;
+  }
+  s.on_path.insert(key);
+  struct PathGuard {
+    std::set<std::string>& set;
+    std::string key;
+    ~PathGuard() { set.erase(key); }
+  } guard{s.on_path, key};
+
+  // Candidate credentials granting `target`.
+  std::vector<DelegationPtr> candidates;
+  if (s.options->use_discovery_tags) {
+    candidates = s.repo->by_target(target, /*honor_tags=*/true);
+  } else {
+    for (const auto& c : s.repo->all()) {
+      if (c->target == target) candidates.push_back(c);
+    }
+  }
+
+  bool subtree_truncated = false;
+  for (const auto& c : candidates) {
+    if (c->assignment != assignment) continue;
+    // Cheap relevance filter before the (expensive) signature check: a
+    // direct entity grant helps only if it names our subject.
+    if (!c->subject.is_role() && c->subject.entity_fp != subject.entity_fp) {
+      continue;
+    }
+    if (!credential_usable(s, *c)) continue;
+    auto issuer_ok =
+        issuer_authorized(s, *c, target, depth + 1, subtree_truncated);
+    if (!issuer_ok.has_value()) continue;
+
+    if (!c->subject.is_role()) {
+      ChainResult out;
+      out.chain.push_back(c);
+      out.attributes = c->attributes;
+      out.support = std::move(issuer_ok->chain);
+      for (auto& sup : issuer_ok->support) out.support.push_back(std::move(sup));
+      return out;
+    }
+
+    // Subject is a role: the requester must hold that role (always a grant,
+    // never an assignment — holding a role that was *assigned* the target is
+    // membership, not administration).
+    const RoleRef intermediate = c->subject.as_role_ref();
+    auto sub = find_chain(s, subject, intermediate, /*assignment=*/false,
+                          depth + 1, subtree_truncated);
+    if (!sub.has_value()) continue;
+    auto attenuated = attenuate(sub->attributes, c->attributes);
+    if (!attenuated.has_value()) continue;  // empty attribute intersection
+    ChainResult out;
+    out.chain = std::move(sub->chain);
+    out.chain.push_back(c);
+    out.attributes = std::move(*attenuated);
+    out.support = std::move(sub->support);
+    for (auto& sup : issuer_ok->chain) out.support.push_back(std::move(sup));
+    for (auto& sup : issuer_ok->support) out.support.push_back(std::move(sup));
+    return out;
+  }
+
+  if (subtree_truncated) {
+    truncated = true;  // do not memoize: another path may still succeed
+  } else {
+    s.failed.insert(key + "#" + subject.entity_fp + "." + subject.role);
+  }
+  return std::nullopt;
+}
+
+void dedup_by_serial(std::vector<DelegationPtr>& credentials) {
+  std::set<std::uint64_t> seen;
+  std::vector<DelegationPtr> out;
+  for (auto& c : credentials) {
+    if (seen.insert(c->serial).second) out.push_back(std::move(c));
+  }
+  credentials = std::move(out);
+}
+
+}  // namespace
+
+std::vector<DelegationPtr> Proof::all_credentials() const {
+  std::vector<DelegationPtr> out = credentials;
+  out.insert(out.end(), support.begin(), support.end());
+  dedup_by_serial(out);
+  return out;
+}
+
+std::string Proof::display() const {
+  std::ostringstream os;
+  os << "proof: " << subject.display() << " is " << target.display();
+  if (!effective_attributes.empty()) {
+    os << " with " << attributes_to_string(effective_attributes);
+  }
+  os << "\n";
+  for (const auto& c : credentials) {
+    os << "  " << c->display() << "\n";
+  }
+  for (const auto& c : support) {
+    os << "  (support) " << c->display() << "\n";
+  }
+  return os.str();
+}
+
+util::Result<Proof> Engine::prove(const Principal& subject,
+                                  const RoleRef& target, util::SimTime now,
+                                  ProveOptions options) const {
+  Search search{repository_, now, &options, {}, {}};
+
+  bool truncated = false;
+  auto chain =
+      find_chain(search, subject, target, /*assignment=*/false, 0, truncated);
+  if (!chain.has_value()) {
+    return util::Result<Proof>::failure(
+        "no-proof", "no credential chain proves " + subject.display() +
+                        " is " + target.display());
+  }
+  if (!satisfies(chain->attributes, options.required)) {
+    return util::Result<Proof>::failure(
+        "attributes-unsatisfied",
+        "chain found but attenuated attributes (" +
+            attributes_to_string(chain->attributes) +
+            ") do not satisfy requirement (" +
+            attributes_to_string(options.required) + ")");
+  }
+
+  Proof proof;
+  proof.subject = subject;
+  proof.target = target;
+  proof.effective_attributes = std::move(chain->attributes);
+  proof.credentials = std::move(chain->chain);
+  proof.support = std::move(chain->support);
+  dedup_by_serial(proof.support);
+  proof.proved_at = now;
+  return proof;
+}
+
+bool Engine::validate(const Proof& proof, util::SimTime now,
+                      const AttributeMap& required) const {
+  if (proof.credentials.empty()) {
+    // Only the identity proof has an empty chain.
+    return proof.subject.is_role() &&
+           proof.subject.as_role_ref() == proof.target &&
+           satisfies({}, required);
+  }
+
+  // Structural checks on the main chain.
+  if (!(proof.credentials.front()->subject == proof.subject)) return false;
+  if (!(proof.credentials.back()->target == proof.target)) return false;
+
+  AttributeMap attrs;
+  bool first = true;
+  for (std::size_t i = 0; i < proof.credentials.size(); ++i) {
+    const Delegation& c = *proof.credentials[i];
+    if (!c.verify_signature()) return false;
+    if (c.expired_at(now)) return false;
+    if (repository_->is_revoked(c.serial)) return false;
+    if (c.assignment) return false;  // main chain is grants only
+    if (i + 1 < proof.credentials.size()) {
+      // Link: this credential's target must be the next one's subject role.
+      const Delegation& next = *proof.credentials[i + 1];
+      if (!next.subject.is_role()) return false;
+      if (!(next.subject.as_role_ref() == c.target)) return false;
+    }
+    if (first) {
+      attrs = c.attributes;
+      first = false;
+    } else {
+      auto a = attenuate(attrs, c.attributes);
+      if (!a.has_value()) return false;
+      attrs = std::move(*a);
+    }
+  }
+  for (const auto& c : proof.support) {
+    if (!c->verify_signature()) return false;
+    if (c->expired_at(now)) return false;
+    if (repository_->is_revoked(c->serial)) return false;
+  }
+  return satisfies(attrs, required);
+}
+
+ProofMonitor::ProofMonitor(Repository* repository, Proof proof,
+                           Callback on_invalidated)
+    : repository_(repository),
+      proof_(std::move(proof)),
+      invalidated_(std::make_shared<std::atomic<bool>>(false)) {
+  std::set<std::uint64_t> watched;
+  for (const auto& c : proof_.all_credentials()) watched.insert(c->serial);
+  // The callback owns a copy of the proof: a revocation firing concurrently
+  // with monitor destruction must not touch monitor members.
+  auto proof_copy = std::make_shared<const Proof>(proof_);
+  auto flag = invalidated_;
+  subscription_ = repository_->subscribe(
+      [watched, flag, proof_copy,
+       on_invalidated = std::move(on_invalidated)](std::uint64_t serial) {
+        if (watched.count(serial) == 0) return;
+        bool expected = false;
+        if (flag->compare_exchange_strong(expected, true)) {
+          on_invalidated(*proof_copy, serial);
+        }
+      });
+}
+
+ProofMonitor::~ProofMonitor() { repository_->unsubscribe(subscription_); }
+
+}  // namespace psf::drbac

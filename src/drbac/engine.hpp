@@ -1,0 +1,90 @@
+// Proof-graph construction (paper §3.1): given a subject S, a target role R,
+// and the credential repository, build a chain of valid delegations proving
+// that S possesses R, attenuating valued attributes along the way. The
+// engine also validates existing proofs (for continuous authorization) and
+// provides ProofMonitor, which turns repository revocation events into
+// invalidation callbacks — the mechanism Switchboard's
+// AuthorizationMonitors build on.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "drbac/repository.hpp"
+#include "util/result.hpp"
+#include "util/sim_clock.hpp"
+
+namespace psf::drbac {
+
+struct Proof {
+  Principal subject;
+  RoleRef target;
+  AttributeMap effective_attributes;  // intersection along the main chain
+  // Main chain ordered subject-end first:
+  //   credentials[0].subject == subject, credentials.back().target == target.
+  std::vector<DelegationPtr> credentials;
+  // Assignment sub-proof credentials authorizing third-party issuers.
+  std::vector<DelegationPtr> support;
+  util::SimTime proved_at = 0;
+
+  /// Every credential this proof depends on (main chain + support).
+  std::vector<DelegationPtr> all_credentials() const;
+
+  /// Human-readable multi-line rendering of the chain.
+  std::string display() const;
+};
+
+struct ProveOptions {
+  std::size_t max_depth = 16;
+  /// When false, the engine ignores discovery tags and scans the whole
+  /// repository at each step (the ablation baseline in bench_proof_engine).
+  bool use_discovery_tags = true;
+  /// Attributes the effective (attenuated) grant must satisfy.
+  AttributeMap required;
+};
+
+class Engine {
+ public:
+  explicit Engine(const Repository* repository) : repository_(repository) {}
+
+  /// Prove that `subject` possesses `target` at time `now`.
+  util::Result<Proof> prove(const Principal& subject, const RoleRef& target,
+                            util::SimTime now, ProveOptions options = {}) const;
+
+  /// Re-validate an existing proof at time `now`: every credential must
+  /// still verify, be unexpired and unrevoked, and the attenuated attributes
+  /// must still satisfy `required` (continuous authorization, paper §4.3).
+  bool validate(const Proof& proof, util::SimTime now,
+                const AttributeMap& required = {}) const;
+
+  const Repository& repository() const { return *repository_; }
+
+ private:
+  const Repository* repository_;
+};
+
+/// Watches a proof's credentials for revocation; fires `on_invalidated`
+/// (once) when any underlying credential is revoked.
+class ProofMonitor {
+ public:
+  using Callback = std::function<void(const Proof&, std::uint64_t serial)>;
+
+  ProofMonitor(Repository* repository, Proof proof, Callback on_invalidated);
+  ~ProofMonitor();
+
+  ProofMonitor(const ProofMonitor&) = delete;
+  ProofMonitor& operator=(const ProofMonitor&) = delete;
+
+  bool invalidated() const { return invalidated_->load(); }
+  const Proof& proof() const { return proof_; }
+
+ private:
+  Repository* repository_;
+  Proof proof_;
+  std::shared_ptr<std::atomic<bool>> invalidated_;
+  std::uint64_t subscription_ = 0;
+};
+
+}  // namespace psf::drbac

@@ -1,0 +1,28 @@
+#include "drbac/entity.hpp"
+
+namespace psf::drbac {
+
+Entity Entity::create(std::string name, util::Rng& rng) {
+  Entity e;
+  e.name = std::move(name);
+  e.keys = crypto::generate_keypair(rng);
+  return e;
+}
+
+Principal Principal::of_entity(const Entity& e) {
+  return Principal{e.name, e.fingerprint(), ""};
+}
+
+Principal Principal::of_role(const Entity& owner, const std::string& role) {
+  return Principal{owner.name, owner.fingerprint(), role};
+}
+
+Principal Principal::of_role_ref(const RoleRef& ref) {
+  return Principal{ref.entity_name, ref.entity_fp, ref.role};
+}
+
+RoleRef role_of(const Entity& owner, const std::string& role) {
+  return RoleRef{owner.name, owner.fingerprint(), role};
+}
+
+}  // namespace psf::drbac

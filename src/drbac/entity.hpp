@@ -1,0 +1,65 @@
+// Principals in dRBAC: entities (keyed by their public key) and roles
+// (an equivalence class of rights named `Entity.Role`, owned by the entity).
+// Entity *names* like "Comp.NY" are display/namespace labels; the public-key
+// fingerprint is authoritative everywhere proofs are checked.
+#pragma once
+
+#include <string>
+
+#include "crypto/sign.hpp"
+#include "util/rng.hpp"
+
+namespace psf::drbac {
+
+/// A principal with a keypair: a Guard, a user, a node owner, a component.
+struct Entity {
+  std::string name;       // e.g. "Comp.NY", "Alice", "Dell"
+  crypto::KeyPair keys;
+
+  static Entity create(std::string name, util::Rng& rng);
+
+  std::string fingerprint() const { return keys.public_key.fingerprint(); }
+};
+
+/// Reference to a role `entity.role`, carrying the owning entity's key
+/// fingerprint so chains are checkable without a global name service.
+struct RoleRef {
+  std::string entity_name;
+  std::string entity_fp;   // fingerprint of the owning entity's public key
+  std::string role;        // e.g. "Member", "Node", "Executable"
+
+  std::string display() const { return entity_name + "." + role; }
+  bool operator==(const RoleRef& other) const {
+    return entity_fp == other.entity_fp && role == other.role;
+  }
+  bool operator<(const RoleRef& other) const {
+    if (entity_fp != other.entity_fp) return entity_fp < other.entity_fp;
+    return role < other.role;
+  }
+};
+
+/// The subject of a delegation: either a bare entity or a role.
+struct Principal {
+  std::string entity_name;
+  std::string entity_fp;
+  std::string role;  // empty → the entity itself
+
+  bool is_role() const { return !role.empty(); }
+  std::string display() const {
+    return role.empty() ? entity_name : entity_name + "." + role;
+  }
+  bool operator==(const Principal& other) const {
+    return entity_fp == other.entity_fp && role == other.role;
+  }
+
+  static Principal of_entity(const Entity& e);
+  static Principal of_role(const Entity& owner, const std::string& role);
+  static Principal of_role_ref(const RoleRef& ref);
+
+  RoleRef as_role_ref() const { return RoleRef{entity_name, entity_fp, role}; }
+};
+
+/// Make a RoleRef for a role owned by `owner`.
+RoleRef role_of(const Entity& owner, const std::string& role);
+
+}  // namespace psf::drbac

@@ -1,0 +1,307 @@
+#include "mail/components.hpp"
+
+#include <stdexcept>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/sha256.hpp"
+#include "minilang/parser.hpp"
+
+namespace psf::mail {
+
+using minilang::ClassDef;
+using minilang::ClassRegistry;
+using minilang::FieldDef;
+using minilang::InterfaceDef;
+using minilang::MethodDef;
+using minilang::Value;
+using minilang::Visibility;
+
+namespace {
+
+MethodDef parsed_method(const std::string& name,
+                        std::vector<std::string> params,
+                        const std::string& body,
+                        Visibility visibility = Visibility::kPublic,
+                        const std::string& interface_name = "") {
+  MethodDef m;
+  m.name = name;
+  m.params = std::move(params);
+  m.visibility = visibility;
+  m.interface_name = interface_name;
+  m.source = body;
+  auto parsed = minilang::parse_block_source(body);
+  if (!parsed.ok()) {
+    throw std::logic_error("mail component body for " + name +
+                           " does not parse: " + parsed.error().message);
+  }
+  m.body = std::move(parsed).take();
+  return m;
+}
+
+crypto::ChaChaKey cipher_key_from(const util::Bytes& key_material) {
+  const auto digest = crypto::sha256(key_material);
+  crypto::ChaChaKey key;
+  std::copy(digest.begin(), digest.end(), key.begin());
+  return key;
+}
+
+}  // namespace
+
+void register_mail_interfaces(ClassRegistry& registry) {
+  InterfaceDef message_i;
+  message_i.name = "MessageI";
+  message_i.methods = {{"sendMessage", {"mes"}}, {"receiveMessages", {}}};
+  registry.register_interface(message_i);
+
+  InterfaceDef address_i;
+  address_i.name = "AddressI";
+  address_i.methods = {{"getPhone", {"name"}}, {"getEmail", {"name"}}};
+  registry.register_interface(address_i);
+
+  InterfaceDef notes_i;
+  notes_i.name = "NotesI";
+  notes_i.methods = {{"addNote", {"note"}}, {"addMeeting", {"name"}}};
+  registry.register_interface(notes_i);
+
+  InterfaceDef mail_i;
+  mail_i.name = "MailI";
+  mail_i.methods = {{"registerAccount", {"name", "phone", "email"}},
+                    {"sendMail", {"mes"}},
+                    {"fetchMail", {"user"}},
+                    {"getPhone", {"name"}},
+                    {"getEmail", {"name"}}};
+  registry.register_interface(mail_i);
+
+  InterfaceDef cipher_i;
+  cipher_i.name = "CipherI";
+  cipher_i.methods = {{"transform", {"data"}}};
+  registry.register_interface(cipher_i);
+}
+
+void register_mail_client(ClassRegistry& registry) {
+  auto cls = std::make_shared<ClassDef>();
+  cls->name = "MailClient";
+  cls->interfaces = {"MessageI", "AddressI", "NotesI"};
+  cls->fields = {
+      {"accounts", "Account[]", Value::null()},
+      {"inbox", "Set", Value::null()},
+      {"outbox", "Set", Value::null()},
+      {"notes", "List", Value::null()},
+      {"meetings", "List", Value::null()},
+  };
+  cls->methods.push_back(parsed_method(
+      "constructor", {},
+      "accounts = map(); inbox = list(); outbox = list(); notes = list(); "
+      "meetings = list();"));
+  cls->methods.push_back(parsed_method(
+      "sendMessage", {"mes"}, "push(outbox, mes); return null;",
+      Visibility::kPublic, "MessageI"));
+  cls->methods.push_back(parsed_method(
+      "receiveMessages", {},
+      "var out = inbox; inbox = list(); return out;", Visibility::kPublic,
+      "MessageI"));
+  cls->methods.push_back(parsed_method(
+      "getPhone", {"name"}, "return findAccount(name).phone;",
+      Visibility::kPublic, "AddressI"));
+  cls->methods.push_back(parsed_method(
+      "getEmail", {"name"}, "return findAccount(name).email;",
+      Visibility::kPublic, "AddressI"));
+  cls->methods.push_back(parsed_method("addNote", {"note"},
+                                       "push(notes, note); return null;",
+                                       Visibility::kPublic, "NotesI"));
+  cls->methods.push_back(parsed_method("addMeeting", {"name"},
+                                       "push(meetings, name); return true;",
+                                       Visibility::kPublic, "NotesI"));
+  cls->methods.push_back(parsed_method("findAccount", {"name"},
+                                       "return get(accounts, name);",
+                                       Visibility::kPrivate));
+  // Application plumbing beyond Table 3(a): account setup and delivery.
+  cls->methods.push_back(parsed_method(
+      "addAccount", {"name", "phone", "email"},
+      "var a = map(); a.phone = phone; a.email = email; "
+      "put(accounts, name, a); return null;"));
+  cls->methods.push_back(
+      parsed_method("deliver", {"mes"}, "push(inbox, mes); return null;"));
+  registry.register_class(cls);
+}
+
+void register_mail_server(ClassRegistry& registry) {
+  auto cls = std::make_shared<ClassDef>();
+  cls->name = "MailServer";
+  cls->interfaces = {"MailI"};
+  cls->fields = {
+      {"accounts", "Map", Value::null()},
+      {"mailboxes", "Map", Value::null()},
+  };
+  cls->methods.push_back(
+      parsed_method("constructor", {}, "accounts = map(); mailboxes = map();"));
+  cls->methods.push_back(parsed_method(
+      "registerAccount", {"name", "phone", "email"},
+      "var a = map(); a.phone = phone; a.email = email; "
+      "put(accounts, name, a); put(mailboxes, name, list()); return null;",
+      Visibility::kPublic, "MailI"));
+  cls->methods.push_back(parsed_method(
+      "sendMail", {"mes"},
+      "var box = get(mailboxes, mes.to); if (box == null) { return false; } "
+      "push(box, mes); return true;",
+      Visibility::kPublic, "MailI"));
+  cls->methods.push_back(parsed_method(
+      "fetchMail", {"user"},
+      "var box = get(mailboxes, user); if (box == null) { return list(); } "
+      "put(mailboxes, user, list()); return box;",
+      Visibility::kPublic, "MailI"));
+  cls->methods.push_back(parsed_method(
+      "getPhone", {"name"},
+      "var a = get(accounts, name); if (a == null) { return \"\"; } "
+      "return a.phone;",
+      Visibility::kPublic, "MailI"));
+  cls->methods.push_back(parsed_method(
+      "getEmail", {"name"},
+      "var a = get(accounts, name); if (a == null) { return \"\"; } "
+      "return a.email;",
+      Visibility::kPublic, "MailI"));
+  cls->methods.push_back(parsed_method(
+      "countPending", {"user"},
+      "var box = get(mailboxes, user); if (box == null) { return 0; } "
+      "return len(box);"));
+  registry.register_class(cls);
+}
+
+void register_privacy_components(ClassRegistry& registry) {
+  auto make_cipher_class = [&](const std::string& name) {
+    auto cls = std::make_shared<ClassDef>();
+    cls->name = name;
+    cls->interfaces = {"CipherI"};
+    cls->fields = {{"keyMaterial", "byte[]", Value::null()}};
+    cls->methods.push_back(
+        parsed_method("constructor", {"key"}, "keyMaterial = key;"));
+    MethodDef transform;
+    transform.name = "transform";
+    transform.params = {"data"};
+    transform.interface_name = "CipherI";
+    transform.is_native = true;
+    transform.source = "/* native: ChaCha20 keystream XOR */";
+    transform.native = [](minilang::Instance& self,
+                          std::vector<Value> args) {
+      const Value key_field = self.get_field("keyMaterial");
+      if (!key_field.is_bytes()) {
+        throw minilang::EvalError("cipher key not initialized");
+      }
+      const crypto::ChaChaKey key = cipher_key_from(key_field.as_bytes());
+      const crypto::ChaChaNonce nonce{};  // per-deployment key => zero nonce
+      return Value::bytes(
+          crypto::chacha20_xor(key, nonce, 0, args[0].as_bytes()));
+    };
+    cls->methods.push_back(std::move(transform));
+    registry.register_class(cls);
+  };
+  make_cipher_class("Encryptor");
+  make_cipher_class("Decryptor");
+}
+
+void register_all(ClassRegistry& registry) {
+  register_mail_interfaces(registry);
+  register_mail_client(registry);
+  register_mail_server(registry);
+  register_privacy_components(registry);
+}
+
+const std::string& view_xml_partner() {
+  static const std::string xml = R"(
+<View name="ViewMailClient_Partner">
+  <Represents name="MailClient"/>
+  <Restricts>
+    <Interface name="MessageI" type="local"/>
+    <Interface name="NotesI" type="rmi"/>
+    <Interface name="AddressI" type="switchboard"/>
+  </Restricts>
+  <Adds_Fields>
+    <Field name="accountCopy" type="Account"/>
+  </Adds_Fields>
+  <Adds_Methods>
+    <MSign>constructor()</MSign>
+    <MBody><![CDATA[inbox = list(); outbox = list(); accountCopy = map();]]></MBody>
+  </Adds_Methods>
+  <Customizes_Methods>
+    <MSign>addMeeting(name)</MSign>
+    <MBody><![CDATA[addNote("meeting-request: " + name); return false;]]></MBody>
+  </Customizes_Methods>
+</View>)";
+  return xml;
+}
+
+const std::string& view_xml_member() {
+  static const std::string xml = R"(
+<View name="ViewMailClient_Member">
+  <Represents name="MailClient"/>
+  <Restricts>
+    <Interface name="MessageI" type="local"/>
+    <Interface name="AddressI" type="local"/>
+    <Interface name="NotesI" type="local"/>
+  </Restricts>
+  <Adds_Methods>
+    <MSign>constructor()</MSign>
+    <MBody><![CDATA[accounts = map(); inbox = list(); outbox = list(); notes = list(); meetings = list();]]></MBody>
+  </Adds_Methods>
+</View>)";
+  return xml;
+}
+
+const std::string& view_xml_anonymous() {
+  static const std::string xml = R"(
+<View name="ViewMailClient_Anonymous">
+  <Represents name="MailClient"/>
+  <Restricts>
+    <Interface name="AddressI" type="switchboard"/>
+  </Restricts>
+  <Adds_Methods>
+    <MSign>constructor()</MSign>
+    <MBody><![CDATA[return null;]]></MBody>
+  </Adds_Methods>
+</View>)";
+  return xml;
+}
+
+const std::string& view_xml_mail_server_cache() {
+  static const std::string xml = R"(
+<View name="ViewMailServer">
+  <Represents name="MailServer"/>
+  <Restricts>
+    <Interface name="MailI" type="local"/>
+  </Restricts>
+  <Adds_Methods>
+    <MSign>constructor()</MSign>
+    <MBody><![CDATA[accounts = map(); mailboxes = map();]]></MBody>
+  </Adds_Methods>
+</View>)";
+  return xml;
+}
+
+const std::string& view_xml_client_replica() {
+  static const std::string xml = R"(
+<View name="ViewMailClientReplica">
+  <Represents name="MailClient"/>
+  <Restricts>
+    <Interface name="MessageI" type="local"/>
+    <Interface name="AddressI" type="local"/>
+    <Interface name="NotesI" type="local"/>
+  </Restricts>
+  <Adds_Methods>
+    <MSign>constructor()</MSign>
+    <MBody><![CDATA[accounts = map(); inbox = list(); outbox = list(); notes = list(); meetings = list();]]></MBody>
+  </Adds_Methods>
+</View>)";
+  return xml;
+}
+
+Value make_message(const std::string& from, const std::string& to,
+                   const std::string& subject, const std::string& body) {
+  minilang::ValueMap m;
+  m["from"] = Value::string(from);
+  m["to"] = Value::string(to);
+  m["subject"] = Value::string(subject);
+  m["body"] = Value::string(body);
+  return Value::map(std::move(m));
+}
+
+}  // namespace psf::mail

@@ -1,0 +1,60 @@
+// The paper's component-based mail application (§2.2, Tables 3-5):
+// MailClient with MessageI / AddressI / NotesI interfaces, the MailServer it
+// talks to, Encryptor/Decryptor privacy components, and the three
+// role-specific view definitions of Table 4 (Member / Partner / Anonymous).
+// Component method bodies are MiniLang (the repo's Java substitute), so VIG
+// can copy, rebind, and validate them exactly as the paper describes.
+#pragma once
+
+#include <string>
+
+#include "minilang/interp.hpp"
+#include "minilang/object.hpp"
+#include "views/view_def.hpp"
+
+namespace psf::mail {
+
+/// Register MessageI, AddressI, NotesI (Table 3(a)'s interfaces).
+void register_mail_interfaces(minilang::ClassRegistry& registry);
+
+/// Register the MailClient class of Table 3(a): implements all three
+/// interfaces, keeps an account directory, mailboxes, notes and meetings;
+/// findAccount is private.
+void register_mail_client(minilang::ClassRegistry& registry);
+
+/// Register the MailServer component: account store plus message routing.
+/// The `view mail server` cache component of §2.2 is a VIG view of it.
+void register_mail_server(minilang::ClassRegistry& registry);
+
+/// Register Encryptor/Decryptor components (native ChaCha20 bodies).
+void register_privacy_components(minilang::ClassRegistry& registry);
+
+/// Everything above in one call.
+void register_all(minilang::ClassRegistry& registry);
+
+/// The Table 3(b) view: ViewMailClient_Partner — MessageI local, NotesI rmi,
+/// AddressI switchboard, adds accountCopy, customizes addMeeting to a
+/// request-only operation.
+const std::string& view_xml_partner();
+
+/// ViewMailClient_Member — full functionality, all interfaces local.
+const std::string& view_xml_member();
+
+/// ViewMailClient_Anonymous — only AddressI, via switchboard.
+const std::string& view_xml_anonymous();
+
+/// ViewMailServer — the cache component deployed close to clients
+/// (§2.2): MailI bound locally for reads, write-through to the origin.
+const std::string& view_xml_mail_server_cache();
+
+/// ViewMailClientReplica — a full-functionality view of MailClient used as
+/// the provider-side replica when PSF serves clients far from the origin
+/// (the same mechanism as the view mail server, applied to MailClient).
+const std::string& view_xml_client_replica();
+
+/// Build a message map value {from, to, subject, body}.
+minilang::Value make_message(const std::string& from, const std::string& to,
+                             const std::string& subject,
+                             const std::string& body);
+
+}  // namespace psf::mail

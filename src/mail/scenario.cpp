@@ -1,0 +1,205 @@
+#include "mail/scenario.hpp"
+
+namespace psf::mail {
+
+using drbac::Attribute;
+using drbac::Principal;
+using framework::Psf;
+using switchboard::LinkProps;
+using util::kMillisecond;
+
+framework::ClientRequest Scenario::request_for(const drbac::Entity& client,
+                                               const std::string& node,
+                                               framework::QoS qos) const {
+  framework::ClientRequest request;
+  request.identity = client;
+  if (client.name == "Alice") request.credentials = alice_wallet;
+  if (client.name == "Bob") request.credentials = bob_wallet;
+  if (client.name == "Charlie") request.credentials = charlie_wallet;
+  request.client_node = node;
+  request.service = "mail";
+  request.qos = qos;
+  return request;
+}
+
+Scenario build_scenario(ScenarioOptions options) {
+  Scenario s;
+  s.psf = std::make_unique<Psf>(/*seed=*/20030623);  // HPDC'03
+  Psf& psf = *s.psf;
+
+  // ---- Guards and vendor entities ----
+  s.ny = &psf.create_guard("Comp.NY");
+  s.sd = &psf.create_guard("Comp.SD");
+  s.se = &psf.create_guard("Inc.SE");
+  s.mail = &psf.create_guard("Mail");
+  s.dell = drbac::Entity::create("Dell", psf.rng());
+  s.ibm = drbac::Entity::create("IBM", psf.rng());
+
+  // ---- Users ----
+  s.alice = s.ny->create_principal("Alice");
+  s.bob = s.sd->create_principal("Bob");
+  s.charlie = s.se->create_principal("Charlie");
+
+  // ---- Nodes and links ----
+  psf.add_node(Scenario::kNyServer, "Comp.NY", /*cpu=*/200);
+  psf.add_node(Scenario::kNyPc, "Comp.NY");
+  psf.add_node(Scenario::kSdPc, "Comp.SD");
+  psf.add_node(Scenario::kSePc, "Inc.SE");
+  // LANs: fast and reliable; WAN: high-latency and insecure (paper §2.2).
+  psf.connect(Scenario::kNyServer, Scenario::kNyPc,
+              LinkProps{1 * kMillisecond, 100'000, true});
+  psf.connect(Scenario::kNyServer, Scenario::kSdPc,
+              LinkProps{options.wan_latency_ms * kMillisecond,
+                        options.wan_bandwidth_kbps, options.wan_secure});
+  psf.connect(Scenario::kNyServer, Scenario::kSePc,
+              LinkProps{(options.wan_latency_ms + 20) * kMillisecond,
+                        options.wan_bandwidth_kbps, options.wan_secure});
+
+  // ---- Components on every node ----
+  psf.register_components([](minilang::ClassRegistry& r) { register_all(r); });
+
+  // ---- Component code identities used in Table 2 rows (8)-(10) ----
+  drbac::Entity mail_client_code = s.mail->create_principal("Mail.MailClient");
+  drbac::Entity encryptor_code = s.mail->create_principal("Mail.Encryptor");
+  drbac::Entity decryptor_code = s.mail->create_principal("Mail.Decryptor");
+
+  // ---- Table 2, credentials (1)-(17), verbatim ----
+  auto set = [](std::set<std::string> v) { return v; };
+  // New York / user authorization
+  s.table2[0] = s.ny->grant(Principal::of_entity(s.alice), "Member");  // (1)
+  s.table2[1] = s.ny->issue(Principal::of_role(s.sd->entity(), "Member"),
+                            s.ny->role("Member"));  // (2)
+  s.table2[2] = s.ny->issue(Principal::of_entity(s.sd->entity()),
+                            s.ny->role("Partner"), {}, /*assignment=*/true);  // (3)
+  // New York / node authorization (issued by the Mail application entity)
+  s.table2[3] = s.mail->issue(
+      Principal::of_role(s.dell, "Linux"), s.mail->role("Node"),
+      {{"Secure", Attribute::make_set("Secure", set({"true", "false"}))},
+       {"Trust", Attribute::make_range("Trust", 0, 10)}});  // (4)
+  s.table2[4] = s.mail->issue(
+      Principal::of_role(s.dell, "SuSe"), s.mail->role("Node"),
+      {{"Secure", Attribute::make_set("Secure", set({"true", "false"}))},
+       {"Trust", Attribute::make_range("Trust", 0, 7)}});  // (5)
+  s.table2[5] = s.mail->issue(
+      Principal::of_role(s.ibm, "Windows"), s.mail->role("Node"),
+      {{"Secure", Attribute::make_set("Secure", set({"false"}))},
+       {"Trust", Attribute::make_range("Trust", 0, 1)}});  // (6)
+  {  // (7) [Comp.NY.PC -> Dell.Linux] Dell
+    auto credential = drbac::issue(
+        s.dell, Principal::of_role(s.ny->entity(), "PC"),
+        drbac::role_of(s.dell, "Linux"), {}, false, 0, 0,
+        psf.repository().next_serial());
+    psf.repository().add(credential);
+    s.table2[6] = credential;
+  }
+  // New York / component authorization (8)-(10)
+  s.table2[7] = s.ny->grant(Principal::of_entity(mail_client_code),
+                            "Executable",
+                            {{"CPU", Attribute::make_cap("CPU", 100)}});
+  s.table2[8] = s.ny->grant(Principal::of_entity(encryptor_code), "Executable",
+                            {{"CPU", Attribute::make_cap("CPU", 100)}});
+  s.table2[9] = s.ny->grant(Principal::of_entity(decryptor_code), "Executable",
+                            {{"CPU", Attribute::make_cap("CPU", 100)}});
+  // San Diego
+  s.table2[10] = s.sd->grant(Principal::of_entity(s.bob), "Member");  // (11)
+  s.table2[11] = s.sd->issue(Principal::of_role(s.se->entity(), "Member"),
+                             s.ny->role("Partner"));  // (12) third-party
+  {  // (13) [Comp.SD.PC -> Dell.SuSe] Dell
+    auto credential = drbac::issue(
+        s.dell, Principal::of_role(s.sd->entity(), "PC"),
+        drbac::role_of(s.dell, "SuSe"), {}, false, 0, 0,
+        psf.repository().next_serial());
+    psf.repository().add(credential);
+    s.table2[12] = credential;
+  }
+  s.table2[13] = s.sd->issue(Principal::of_role(s.ny->entity(), "Executable"),
+                             s.sd->role("Executable"),
+                             {{"CPU", Attribute::make_cap("CPU", 80)}});  // (14)
+  // Seattle
+  s.table2[14] = s.se->grant(Principal::of_entity(s.charlie), "Member");  // (15)
+  {  // (16) [Inc.SE.PC -> IBM.Windows] IBM
+    auto credential = drbac::issue(
+        s.ibm, Principal::of_role(s.se->entity(), "PC"),
+        drbac::role_of(s.ibm, "Windows"), {}, false, 0, 0,
+        psf.repository().next_serial());
+    psf.repository().add(credential);
+    s.table2[15] = credential;
+  }
+  s.table2[16] = s.se->issue(Principal::of_role(s.ny->entity(), "Executable"),
+                             s.se->role("Executable"),
+                             {{"CPU", Attribute::make_cap("CPU", 40)}});  // (17)
+
+  // ---- Site membership of the nodes (each Guard vouches for its PCs) ----
+  s.ny->grant(psf.node(Scenario::kNyServer)->principal(), "PC");
+  s.ny->grant(psf.node(Scenario::kNyPc)->principal(), "PC");
+  s.sd->grant(psf.node(Scenario::kSdPc)->principal(), "PC");
+  s.se->grant(psf.node(Scenario::kSePc)->principal(), "PC");
+
+  // ---- Client wallets ----
+  s.alice_wallet = {s.cred(1)};
+  s.bob_wallet = {s.cred(11), s.cred(2)};
+  s.charlie_wallet = {s.cred(15), s.cred(12), s.cred(3)};
+
+  // ---- The mail service: origin MailClient at ny-server, Table 4 ACL ----
+  framework::ServiceConfig config;
+  config.name = "mail";
+  config.domain = "Comp.NY";
+  config.origin_node = Scenario::kNyServer;
+  config.origin_class = "MailClient";
+  config.replica_view_xml = view_xml_client_replica();
+  config.access_rules = {{"Member", "ViewMailClient_Member"},
+                         {"Partner", "ViewMailClient_Partner"}};
+  config.default_view = "ViewMailClient_Anonymous";
+  config.view_xml_by_name = {
+      {"ViewMailClient_Member", view_xml_member()},
+      {"ViewMailClient_Partner", view_xml_partner()},
+      {"ViewMailClient_Anonymous", view_xml_anonymous()},
+  };
+  config.node_policy_role = s.mail->role("Node");
+  config.node_policy_attrs = {
+      {"Secure", Attribute::make_set("Secure", {"true"})},
+      {"Trust", Attribute::make_range("Trust", 5, 5)}};
+  auto defined = psf.define_service(config);
+  if (!defined.ok()) {
+    throw std::logic_error("scenario: " + defined.error().message);
+  }
+
+  // ---- The mailbox service: MailServer at ny-server, replicated as the
+  // "view mail server" cache close to clients (§2.2) ----
+  framework::ServiceConfig mailbox;
+  mailbox.name = "mailbox";
+  mailbox.domain = "Comp.NY";
+  mailbox.origin_node = Scenario::kNyServer;
+  mailbox.origin_class = "MailServer";
+  mailbox.replica_view_xml = view_xml_mail_server_cache();
+  // Members get the cache view deployed on their own node; others denied.
+  mailbox.access_rules = {{"Member", "ViewMailServer"}};
+  mailbox.view_xml_by_name = {{"ViewMailServer", view_xml_mail_server_cache()}};
+  mailbox.node_policy_role = s.mail->role("Node");
+  mailbox.node_policy_attrs = config.node_policy_attrs;
+  auto mailbox_defined = psf.define_service(mailbox);
+  if (!mailbox_defined.ok()) {
+    throw std::logic_error("scenario: " + mailbox_defined.error().message);
+  }
+  auto mail_server = psf.origin_instance("mailbox");
+  for (const char* user : {"alice", "bob", "charlie"}) {
+    using minilang::Value;
+    mail_server->call("registerAccount",
+                      {Value::string(user), Value::string("555-01xx"),
+                       Value::string(std::string(user) + "@comp")});
+  }
+
+  // Seed the origin mail client with the company address book.
+  auto origin = psf.origin_instance("mail");
+  using minilang::Value;
+  origin->call("addAccount", {Value::string("alice"), Value::string("555-0100"),
+                              Value::string("alice@comp.ny")});
+  origin->call("addAccount", {Value::string("bob"), Value::string("555-0101"),
+                              Value::string("bob@comp.sd")});
+  origin->call("addAccount",
+               {Value::string("charlie"), Value::string("555-0102"),
+                Value::string("charlie@inc.se")});
+  return s;
+}
+
+}  // namespace psf::mail

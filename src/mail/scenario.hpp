@@ -1,0 +1,64 @@
+// The paper's running scenario (§2.2, §3.3, Table 2): company Comp provides
+// mail across three sites — the New York main office, the San Diego branch,
+// and partner Inc in Seattle — LANs joined by slow, insecure WAN links.
+// Guards: NY-Guard (also responsible for the mail application), SD-Guard,
+// SE-Guard; the Mail entity owns the application's node policy; Dell and
+// IBM vouch for node platforms. build_scenario() reproduces credentials
+// (1)-(17) verbatim and wires the "mail" service with the Table 4 rules.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "mail/components.hpp"
+#include "psf/framework.hpp"
+
+namespace psf::mail {
+
+struct ScenarioOptions {
+  /// WAN bandwidth NY<->SD and NY<->SE (kbps).
+  std::int64_t wan_bandwidth_kbps = 200;
+  /// WAN one-way latency (ms).
+  std::int64_t wan_latency_ms = 40;
+  /// Are the WAN links physically secure? (paper: no)
+  bool wan_secure = false;
+};
+
+struct Scenario {
+  std::unique_ptr<framework::Psf> psf;
+  framework::Guard* ny = nullptr;    // NY-Guard: Comp.NY (+ mail app ACL)
+  framework::Guard* sd = nullptr;    // SD-Guard: Comp.SD
+  framework::Guard* se = nullptr;    // SE-Guard: Inc.SE
+  framework::Guard* mail = nullptr;  // the Mail application policy entity
+
+  drbac::Entity dell;  // platform vendors
+  drbac::Entity ibm;
+  drbac::Entity alice, bob, charlie;
+
+  /// Credentials (1)-(17) of Table 2, 1-indexed through cred().
+  std::array<drbac::DelegationPtr, 17> table2;
+  drbac::DelegationPtr cred(int paper_number) const {
+    return table2.at(static_cast<std::size_t>(paper_number - 1));
+  }
+
+  std::vector<drbac::DelegationPtr> alice_wallet;
+  std::vector<drbac::DelegationPtr> bob_wallet;
+  std::vector<drbac::DelegationPtr> charlie_wallet;
+
+  // Node names (network hosts): the NY mail server, one PC per site.
+  static constexpr const char* kNyServer = "ny-server";
+  static constexpr const char* kNyPc = "ny-pc";
+  static constexpr const char* kSdPc = "sd-pc";
+  static constexpr const char* kSePc = "se-pc";
+
+  framework::ClientRequest request_for(const drbac::Entity& client,
+                                       const std::string& node,
+                                       framework::QoS qos = {}) const;
+};
+
+/// Build the full scenario: guards, vendors, nodes, links, the Table 2
+/// credential set, the mail component classes on every node, and the "mail"
+/// service (origin MailClient at ny-server, Table 4 ACL, replica view).
+Scenario build_scenario(ScenarioOptions options = {});
+
+}  // namespace psf::mail

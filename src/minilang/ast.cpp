@@ -1,0 +1,39 @@
+#include "minilang/ast.hpp"
+
+namespace psf::minilang {
+
+ExprPtr clone_expr(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->line = e.line;
+  out->bool_value = e.bool_value;
+  out->int_value = e.int_value;
+  out->string_value = e.string_value;
+  out->name = e.name;
+  out->children.reserve(e.children.size());
+  for (const auto& child : e.children) out->children.push_back(clone_expr(*child));
+  return out;
+}
+
+StmtPtr clone_stmt(const Stmt& s) {
+  auto out = std::make_unique<Stmt>();
+  out->kind = s.kind;
+  out->line = s.line;
+  out->name = s.name;
+  if (s.target) out->target = clone_expr(*s.target);
+  if (s.expr) out->expr = clone_expr(*s.expr);
+  out->body = clone_block(s.body);
+  out->else_body = clone_block(s.else_body);
+  if (s.init) out->init = clone_stmt(*s.init);
+  if (s.update) out->update = clone_stmt(*s.update);
+  return out;
+}
+
+std::vector<StmtPtr> clone_block(const std::vector<StmtPtr>& block) {
+  std::vector<StmtPtr> out;
+  out.reserve(block.size());
+  for (const auto& stmt : block) out.push_back(clone_stmt(*stmt));
+  return out;
+}
+
+}  // namespace psf::minilang

@@ -1,0 +1,83 @@
+// MiniLang abstract syntax tree. Method bodies are parsed once (by the
+// parser or by VIG when it splices XML-supplied code) and interpreted many
+// times; VIG also walks these nodes to validate that spliced code only
+// references defined fields and methods — the analogue of Javassist's
+// bytecode checks in the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psf::minilang {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class ExprKind {
+  kNull,
+  kBool,
+  kInt,
+  kString,
+  kIdent,        // variable / parameter / field reference
+  kUnary,        // op: "!" or "-"
+  kBinary,       // arithmetic, comparison, logical
+  kCall,         // f(args): method on `this` or builtin
+  kMemberCall,   // obj.m(args)
+  kMemberGet,    // obj.field (maps and instances)
+  kIndex,        // obj[key]
+};
+
+struct Expr {
+  ExprKind kind;
+  std::size_t line = 0;
+
+  // Literals.
+  bool bool_value = false;
+  std::int64_t int_value = 0;
+  std::string string_value;
+
+  // Identifiers / member names / operator spelling / call target name.
+  std::string name;
+
+  // Children: unary → [operand]; binary → [lhs, rhs]; call → args;
+  // member_call → [object, args...]; member_get → [object];
+  // index → [object, key].
+  std::vector<ExprPtr> children;
+};
+
+enum class StmtKind {
+  kVarDecl,   // var name = expr;
+  kAssign,    // target = expr;  (target: ident / member_get / index)
+  kExpr,      // expression statement
+  kIf,        // if (cond) block [else block]
+  kWhile,     // while (cond) block
+  kFor,       // for (init; cond; update) block
+  kBreak,
+  kContinue,
+  kReturn,    // return [expr];
+  kBlock,
+};
+
+struct Stmt {
+  StmtKind kind;
+  std::size_t line = 0;
+
+  std::string name;              // kVarDecl variable name
+  ExprPtr target;                // kAssign lvalue
+  ExprPtr expr;                  // initializer / condition / return value
+  std::vector<StmtPtr> body;     // kBlock, or then-branch / loop body
+  std::vector<StmtPtr> else_body;  // kIf
+  StmtPtr init;                  // kFor
+  StmtPtr update;                // kFor
+};
+
+/// Deep copies (VIG clones method bodies when generating views).
+ExprPtr clone_expr(const Expr& e);
+StmtPtr clone_stmt(const Stmt& s);
+std::vector<StmtPtr> clone_block(const std::vector<StmtPtr>& block);
+
+}  // namespace psf::minilang

@@ -1,0 +1,41 @@
+// Tree-walking interpreter for MiniLang. One Interpreter per call; it is
+// cheap (a couple of pointers). Step and depth limits guard against runaway
+// spliced code — VIG validation should catch bad code first, but the
+// interpreter is the last line of defense.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minilang/object.hpp"
+#include "minilang/value.hpp"
+
+namespace psf::minilang {
+
+struct InterpOptions {
+  std::size_t max_steps = 2'000'000;
+  std::size_t max_depth = 128;
+};
+
+/// Create an instance of `class_name` and run its `constructor` method (if
+/// any) with `args`. Throws EvalError for unknown classes.
+std::shared_ptr<Instance> instantiate(const ClassRegistry& registry,
+                                      const std::string& class_name,
+                                      std::vector<Value> args = {},
+                                      InterpOptions options = {});
+
+/// Invoke `method` on `self`. `external` enforces public visibility (an
+/// in-language `this.m()` or bare `m()` call is internal).
+Value invoke_method(const std::shared_ptr<Instance>& self,
+                    const std::string& method, std::vector<Value> args,
+                    bool external, InterpOptions options = {});
+
+/// Evaluate a standalone expression with no `this` (literals, arithmetic,
+/// builtins). Used by tests.
+Value eval_standalone(const std::string& source, InterpOptions options = {});
+
+/// Names of all interpreter builtins (VIG treats these as always-defined).
+const std::vector<std::string>& builtin_names();
+
+}  // namespace psf::minilang

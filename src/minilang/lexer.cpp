@@ -1,0 +1,133 @@
+#include "minilang/lexer.hpp"
+
+#include <cctype>
+
+namespace psf::minilang {
+
+namespace {
+bool is_keyword(const std::string& word) {
+  static const char* kKeywords[] = {"var",    "if",    "else",  "while",
+                                    "return", "true",  "false", "null",
+                                    "for",    "break", "continue"};
+  for (const char* k : kKeywords) {
+    if (word == k) return true;
+  }
+  return false;
+}
+}  // namespace
+
+util::Result<std::vector<Token>> lex(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const std::size_t n = source.size();
+
+  auto fail = [&](const std::string& message) {
+    return util::Result<std::vector<Token>>::failure(
+        "lex", "line " + std::to_string(line) + ": " + message);
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+
+    Token tok;
+    tok.line = line;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        word.push_back(source[i++]);
+      }
+      tok.kind = is_keyword(word) ? TokenKind::kKeyword : TokenKind::kIdent;
+      tok.text = word;
+      tokens.push_back(tok);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t value = 0;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        value = value * 10 + (source[i++] - '0');
+      }
+      tok.kind = TokenKind::kInt;
+      tok.int_value = value;
+      tokens.push_back(tok);
+      continue;
+    }
+
+    if (c == '"') {
+      ++i;
+      std::string value;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\\' && i + 1 < n) {
+          ++i;
+          switch (source[i]) {
+            case 'n': value.push_back('\n'); break;
+            case 't': value.push_back('\t'); break;
+            case '"': value.push_back('"'); break;
+            case '\\': value.push_back('\\'); break;
+            default: return fail("unknown escape in string literal");
+          }
+          ++i;
+          continue;
+        }
+        if (source[i] == '\n') ++line;
+        value.push_back(source[i++]);
+      }
+      if (i >= n) return fail("unterminated string literal");
+      ++i;  // closing quote
+      tok.kind = TokenKind::kString;
+      tok.text = value;
+      tokens.push_back(tok);
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    static const char* kTwoChar[] = {"==", "!=", "<=", ">=", "&&", "||"};
+    bool matched = false;
+    for (const char* p : kTwoChar) {
+      if (i + 1 < n && source[i] == p[0] && source[i + 1] == p[1]) {
+        tok.kind = TokenKind::kPunct;
+        tok.text = p;
+        tokens.push_back(tok);
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    static const std::string kOneChar = "(){}[],;.=<>+-*/%!";
+    if (kOneChar.find(c) != std::string::npos) {
+      tok.kind = TokenKind::kPunct;
+      tok.text = std::string(1, c);
+      tokens.push_back(tok);
+      ++i;
+      continue;
+    }
+
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace psf::minilang

@@ -1,0 +1,14 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minilang/token.hpp"
+#include "util/result.hpp"
+
+namespace psf::minilang {
+
+/// Tokenize MiniLang source. Comments run from `//` to end of line.
+util::Result<std::vector<Token>> lex(const std::string& source);
+
+}  // namespace psf::minilang

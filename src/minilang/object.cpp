@@ -1,0 +1,133 @@
+#include "minilang/object.hpp"
+
+namespace psf::minilang {
+
+std::string binding_name(Binding b) {
+  switch (b) {
+    case Binding::kLocal: return "local";
+    case Binding::kRmi: return "rmi";
+    case Binding::kSwitchboard: return "switchboard";
+  }
+  return "?";
+}
+
+const MethodSig* InterfaceDef::find(const std::string& method) const {
+  for (const auto& m : methods) {
+    if (m.name == method) return &m;
+  }
+  return nullptr;
+}
+
+MethodDef MethodDef::clone() const {
+  MethodDef out;
+  out.name = name;
+  out.params = params;
+  out.visibility = visibility;
+  out.interface_name = interface_name;
+  out.source = source;
+  out.body = clone_block(body);
+  out.is_native = is_native;
+  out.native = native;
+  out.coherence_wrapped = coherence_wrapped;
+  return out;
+}
+
+const MethodDef* ClassDef::find_method(const std::string& method) const {
+  for (const auto& m : methods) {
+    if (m.name == method) return &m;
+  }
+  return nullptr;
+}
+
+const FieldDef* ClassDef::find_field(const std::string& field) const {
+  for (const auto& f : fields) {
+    if (f.name == field) return &f;
+  }
+  return nullptr;
+}
+
+void ClassRegistry::register_class(std::shared_ptr<ClassDef> cls) {
+  classes_[cls->name] = std::move(cls);
+}
+
+void ClassRegistry::register_interface(InterfaceDef iface) {
+  interfaces_[iface.name] = std::move(iface);
+}
+
+std::shared_ptr<const ClassDef> ClassRegistry::find_class(
+    const std::string& name) const {
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : it->second;
+}
+
+const InterfaceDef* ClassRegistry::find_interface(
+    const std::string& name) const {
+  auto it = interfaces_.find(name);
+  return it == interfaces_.end() ? nullptr : &it->second;
+}
+
+const MethodDef* ClassRegistry::resolve_method(const ClassDef& cls,
+                                               const std::string& method) const {
+  for (const auto& c : chain(cls)) {
+    if (const MethodDef* m = c->find_method(method)) return m;
+  }
+  return nullptr;
+}
+
+std::vector<const FieldDef*> ClassRegistry::all_fields(
+    const ClassDef& cls) const {
+  std::vector<const FieldDef*> out;
+  for (const auto& c : chain(cls)) {
+    for (const auto& f : c->fields) out.push_back(&f);
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<const ClassDef>> ClassRegistry::chain(
+    const ClassDef& cls) const {
+  std::vector<std::shared_ptr<const ClassDef>> out;
+  std::shared_ptr<const ClassDef> current = find_class(cls.name);
+  while (current) {
+    out.push_back(current);
+    if (current->super_name.empty()) break;
+    current = find_class(current->super_name);
+  }
+  return out;
+}
+
+std::vector<std::string> ClassRegistry::class_names() const {
+  std::vector<std::string> out;
+  out.reserve(classes_.size());
+  for (const auto& [name, cls] : classes_) out.push_back(name);
+  return out;
+}
+
+Instance::Instance(std::shared_ptr<const ClassDef> cls,
+                   const ClassRegistry* registry)
+    : cls_(std::move(cls)), registry_(registry) {
+  for (const FieldDef* f : registry_->all_fields(*cls_)) {
+    fields_[f->name] = f->initial;
+  }
+}
+
+Value Instance::get_field(const std::string& name) const {
+  auto it = fields_.find(name);
+  if (it == fields_.end()) {
+    throw EvalError("no field '" + name + "' on " + cls_->name);
+  }
+  return it->second;
+}
+
+void Instance::set_field(const std::string& name, Value value) {
+  auto it = fields_.find(name);
+  if (it == fields_.end()) {
+    throw EvalError("no field '" + name + "' on " + cls_->name);
+  }
+  it->second = std::move(value);
+}
+
+bool Instance::has_field(const std::string& name) const {
+  return fields_.count(name) > 0;
+}
+
+}  // namespace psf::minilang

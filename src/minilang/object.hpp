@@ -1,0 +1,152 @@
+// MiniLang class/object model — the stand-in for Java classes in the paper.
+// VIG (src/views) consumes and produces ClassDefs: it copies methods along
+// inheritance chains, rebinds interface methods to remote stubs, splices
+// XML-supplied method bodies, and injects cache-coherence wrappers, exactly
+// mirroring the paper's Javassist-based bytecode manipulation.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minilang/ast.hpp"
+#include "minilang/value.hpp"
+
+namespace psf::minilang {
+
+class Instance;
+class ClassRegistry;
+
+enum class Visibility { kPublic, kPrivate };
+
+/// How an interface is exposed on a view (paper §4.1: local / rmi / switch).
+enum class Binding { kLocal, kRmi, kSwitchboard };
+
+std::string binding_name(Binding b);
+
+struct MethodSig {
+  std::string name;
+  std::vector<std::string> params;
+};
+
+struct InterfaceDef {
+  std::string name;
+  std::vector<MethodSig> methods;
+  // Marker interfaces added by VIG for remote bindings, mirroring the paper's
+  // `extends java.rmi.Remote` / `implements Serializable` rewrite.
+  std::vector<std::string> extends_markers;
+
+  const MethodSig* find(const std::string& method) const;
+};
+
+using NativeFn = std::function<Value(Instance&, std::vector<Value>)>;
+
+struct MethodDef {
+  std::string name;
+  std::vector<std::string> params;
+  Visibility visibility = Visibility::kPublic;
+  std::string interface_name;  // declaring interface, "" for free methods
+
+  std::string source;          // original body text (codegen + diagnostics)
+  std::vector<StmtPtr> body;   // parsed body (empty for native methods)
+
+  bool is_native = false;
+  NativeFn native;
+
+  // Set by VIG: body is bracketed by acquireImage/releaseImage coherence
+  // hooks at run time (paper §4.3).
+  bool coherence_wrapped = false;
+
+  MethodDef clone() const;
+};
+
+struct FieldDef {
+  std::string name;
+  std::string type;  // informational (codegen); the interpreter is dynamic
+  Value initial;     // default null
+};
+
+struct ClassDef {
+  std::string name;
+  std::string super_name;  // "" for roots
+  std::vector<std::string> interfaces;
+  std::vector<FieldDef> fields;
+  std::vector<MethodDef> methods;
+
+  // View metadata (set by VIG; empty for ordinary classes).
+  std::string represents;                       // original object's class
+  std::map<std::string, Binding> interface_bindings;
+
+  const MethodDef* find_method(const std::string& method) const;
+  const FieldDef* find_field(const std::string& field) const;
+  bool is_view() const { return !represents.empty(); }
+};
+
+/// Shared class/interface namespace for one simulated JVM (one per host in
+/// the deployment substrate).
+class ClassRegistry {
+ public:
+  void register_class(std::shared_ptr<ClassDef> cls);
+  void register_interface(InterfaceDef iface);
+
+  std::shared_ptr<const ClassDef> find_class(const std::string& name) const;
+  const InterfaceDef* find_interface(const std::string& name) const;
+
+  /// Method lookup along the inheritance chain, most-derived first.
+  const MethodDef* resolve_method(const ClassDef& cls,
+                                  const std::string& method) const;
+
+  /// All fields visible on an instance of `cls` (own + inherited).
+  std::vector<const FieldDef*> all_fields(const ClassDef& cls) const;
+
+  /// Inheritance chain [cls, super, super-super, ...].
+  std::vector<std::shared_ptr<const ClassDef>> chain(const ClassDef& cls) const;
+
+  std::vector<std::string> class_names() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<ClassDef>> classes_;
+  std::map<std::string, InterfaceDef> interfaces_;
+};
+
+/// Per-instance hook points used by the cache coherence machinery.
+class MethodHooks {
+ public:
+  virtual ~MethodHooks() = default;
+  virtual void before_method(Instance& self, const MethodDef& method) = 0;
+  virtual void after_method(Instance& self, const MethodDef& method) = 0;
+};
+
+/// A live object: field storage plus a class pointer. Lives behind
+/// shared_ptr and is a CallTarget so Values can hold it.
+class Instance : public CallTarget,
+                 public std::enable_shared_from_this<Instance> {
+ public:
+  Instance(std::shared_ptr<const ClassDef> cls, const ClassRegistry* registry);
+
+  /// External invocation (public methods only); defined in interp.cpp.
+  Value call(const std::string& method, std::vector<Value> args) override;
+
+  std::string type_name() const override { return cls_->name; }
+
+  const ClassDef& cls() const { return *cls_; }
+  const ClassRegistry& registry() const { return *registry_; }
+
+  Value get_field(const std::string& name) const;
+  void set_field(const std::string& name, Value value);
+  bool has_field(const std::string& name) const;
+  const ValueMap& fields() const { return fields_; }
+
+  void set_hooks(std::shared_ptr<MethodHooks> hooks) { hooks_ = std::move(hooks); }
+  MethodHooks* hooks() const { return hooks_.get(); }
+
+ private:
+  std::shared_ptr<const ClassDef> cls_;
+  const ClassRegistry* registry_;
+  ValueMap fields_;
+  std::shared_ptr<MethodHooks> hooks_;
+};
+
+}  // namespace psf::minilang

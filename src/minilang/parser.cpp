@@ -1,0 +1,529 @@
+#include "minilang/parser.hpp"
+
+#include "minilang/lexer.hpp"
+
+namespace psf::minilang {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  util::Result<std::vector<StmtPtr>> parse_block_to_end() {
+    std::vector<StmtPtr> stmts;
+    while (!peek().is_punct("}") && peek().kind != TokenKind::kEnd) {
+      auto stmt = parse_statement();
+      if (!stmt.ok()) return forward<std::vector<StmtPtr>>(stmt.error());
+      stmts.push_back(std::move(stmt).take());
+    }
+    if (peek().kind != TokenKind::kEnd) {
+      return fail<std::vector<StmtPtr>>("unexpected '}' at top level");
+    }
+    return stmts;
+  }
+
+  util::Result<ExprPtr> parse_expression_to_end() {
+    auto expr = parse_expr();
+    if (!expr.ok()) return expr;
+    if (peek().kind != TokenKind::kEnd) {
+      return fail<ExprPtr>("trailing tokens after expression");
+    }
+    return expr;
+  }
+
+ private:
+  template <typename T>
+  util::Result<T> fail(const std::string& message) {
+    return util::Result<T>::failure(
+        "parse", "line " + std::to_string(peek().line) + ": " + message);
+  }
+  template <typename T>
+  util::Result<T> forward(const util::Error& e) {
+    return util::Result<T>::failure(e.code, e.message);
+  }
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  Token consume() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool accept_punct(const char* p) {
+    if (peek().is_punct(p)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool accept_keyword(const char* k) {
+    if (peek().is_keyword(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  util::Result<StmtPtr> parse_statement() {
+    const std::size_t line = peek().line;
+
+    if (accept_keyword("var")) {
+      if (peek().kind != TokenKind::kIdent) {
+        return fail<StmtPtr>("expected variable name after 'var'");
+      }
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kVarDecl;
+      stmt->line = line;
+      stmt->name = consume().text;
+      if (!accept_punct("=")) return fail<StmtPtr>("expected '=' in var decl");
+      auto init = parse_expr();
+      if (!init.ok()) return forward<StmtPtr>(init.error());
+      stmt->expr = std::move(init).take();
+      if (!accept_punct(";")) return fail<StmtPtr>("expected ';' after var decl");
+      return StmtPtr(std::move(stmt));
+    }
+
+    if (accept_keyword("if")) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kIf;
+      stmt->line = line;
+      if (!accept_punct("(")) return fail<StmtPtr>("expected '(' after if");
+      auto cond = parse_expr();
+      if (!cond.ok()) return forward<StmtPtr>(cond.error());
+      stmt->expr = std::move(cond).take();
+      if (!accept_punct(")")) return fail<StmtPtr>("expected ')' after condition");
+      auto body = parse_braced_block();
+      if (!body.ok()) return forward<StmtPtr>(body.error());
+      stmt->body = std::move(body).take();
+      if (accept_keyword("else")) {
+        if (peek().is_keyword("if")) {
+          auto nested = parse_statement();
+          if (!nested.ok()) return nested;
+          stmt->else_body.push_back(std::move(nested).take());
+        } else {
+          auto else_body = parse_braced_block();
+          if (!else_body.ok()) return forward<StmtPtr>(else_body.error());
+          stmt->else_body = std::move(else_body).take();
+        }
+      }
+      return StmtPtr(std::move(stmt));
+    }
+
+    if (accept_keyword("while")) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kWhile;
+      stmt->line = line;
+      if (!accept_punct("(")) return fail<StmtPtr>("expected '(' after while");
+      auto cond = parse_expr();
+      if (!cond.ok()) return forward<StmtPtr>(cond.error());
+      stmt->expr = std::move(cond).take();
+      if (!accept_punct(")")) return fail<StmtPtr>("expected ')' after condition");
+      auto body = parse_braced_block();
+      if (!body.ok()) return forward<StmtPtr>(body.error());
+      stmt->body = std::move(body).take();
+      return StmtPtr(std::move(stmt));
+    }
+
+    if (accept_keyword("for")) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kFor;
+      stmt->line = line;
+      if (!accept_punct("(")) return fail<StmtPtr>("expected '(' after for");
+
+      // init: empty, `var x = e`, or assignment/expression.
+      if (!accept_punct(";")) {
+        auto init = parse_simple_statement();
+        if (!init.ok()) return init;
+        stmt->init = std::move(init).take();
+        if (!accept_punct(";")) {
+          return fail<StmtPtr>("expected ';' after for-init");
+        }
+      }
+      // condition: empty means true.
+      if (!peek().is_punct(";")) {
+        auto cond = parse_expr();
+        if (!cond.ok()) return forward<StmtPtr>(cond.error());
+        stmt->expr = std::move(cond).take();
+      }
+      if (!accept_punct(";")) {
+        return fail<StmtPtr>("expected ';' after for-condition");
+      }
+      // update: empty or assignment/expression.
+      if (!peek().is_punct(")")) {
+        auto update = parse_simple_statement();
+        if (!update.ok()) return update;
+        stmt->update = std::move(update).take();
+      }
+      if (!accept_punct(")")) {
+        return fail<StmtPtr>("expected ')' after for-update");
+      }
+      auto body = parse_braced_block();
+      if (!body.ok()) return forward<StmtPtr>(body.error());
+      stmt->body = std::move(body).take();
+      return StmtPtr(std::move(stmt));
+    }
+
+    if (accept_keyword("break")) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kBreak;
+      stmt->line = line;
+      if (!accept_punct(";")) return fail<StmtPtr>("expected ';' after break");
+      return StmtPtr(std::move(stmt));
+    }
+    if (accept_keyword("continue")) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kContinue;
+      stmt->line = line;
+      if (!accept_punct(";")) {
+        return fail<StmtPtr>("expected ';' after continue");
+      }
+      return StmtPtr(std::move(stmt));
+    }
+
+    if (accept_keyword("return")) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kReturn;
+      stmt->line = line;
+      if (!peek().is_punct(";")) {
+        auto value = parse_expr();
+        if (!value.ok()) return forward<StmtPtr>(value.error());
+        stmt->expr = std::move(value).take();
+      }
+      if (!accept_punct(";")) return fail<StmtPtr>("expected ';' after return");
+      return StmtPtr(std::move(stmt));
+    }
+
+    if (peek().is_punct("{")) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kBlock;
+      stmt->line = line;
+      auto body = parse_braced_block();
+      if (!body.ok()) return forward<StmtPtr>(body.error());
+      stmt->body = std::move(body).take();
+      return StmtPtr(std::move(stmt));
+    }
+
+    // Expression or assignment.
+    auto lhs = parse_expr();
+    if (!lhs.ok()) return forward<StmtPtr>(lhs.error());
+    if (accept_punct("=")) {
+      ExprPtr target = std::move(lhs).take();
+      if (target->kind != ExprKind::kIdent &&
+          target->kind != ExprKind::kMemberGet &&
+          target->kind != ExprKind::kIndex) {
+        return fail<StmtPtr>("invalid assignment target");
+      }
+      auto value = parse_expr();
+      if (!value.ok()) return forward<StmtPtr>(value.error());
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kAssign;
+      stmt->line = line;
+      stmt->target = std::move(target);
+      stmt->expr = std::move(value).take();
+      if (!accept_punct(";")) return fail<StmtPtr>("expected ';' after assignment");
+      return StmtPtr(std::move(stmt));
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kExpr;
+    stmt->line = line;
+    stmt->expr = std::move(lhs).take();
+    if (!accept_punct(";")) return fail<StmtPtr>("expected ';' after expression");
+    return StmtPtr(std::move(stmt));
+  }
+
+  // A statement without its trailing ';': `var x = e`, an assignment, or a
+  // bare expression. Used by for-headers.
+  util::Result<StmtPtr> parse_simple_statement() {
+    const std::size_t line = peek().line;
+    if (accept_keyword("var")) {
+      if (peek().kind != TokenKind::kIdent) {
+        return fail<StmtPtr>("expected variable name after 'var'");
+      }
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kVarDecl;
+      stmt->line = line;
+      stmt->name = consume().text;
+      if (!accept_punct("=")) return fail<StmtPtr>("expected '=' in var decl");
+      auto init = parse_expr();
+      if (!init.ok()) return forward<StmtPtr>(init.error());
+      stmt->expr = std::move(init).take();
+      return StmtPtr(std::move(stmt));
+    }
+    auto lhs = parse_expr();
+    if (!lhs.ok()) return forward<StmtPtr>(lhs.error());
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = line;
+    if (accept_punct("=")) {
+      ExprPtr target = std::move(lhs).take();
+      if (target->kind != ExprKind::kIdent &&
+          target->kind != ExprKind::kMemberGet &&
+          target->kind != ExprKind::kIndex) {
+        return fail<StmtPtr>("invalid assignment target");
+      }
+      auto value = parse_expr();
+      if (!value.ok()) return forward<StmtPtr>(value.error());
+      stmt->kind = StmtKind::kAssign;
+      stmt->target = std::move(target);
+      stmt->expr = std::move(value).take();
+      return StmtPtr(std::move(stmt));
+    }
+    stmt->kind = StmtKind::kExpr;
+    stmt->expr = std::move(lhs).take();
+    return StmtPtr(std::move(stmt));
+  }
+
+  util::Result<std::vector<StmtPtr>> parse_braced_block() {
+    if (!accept_punct("{")) {
+      return fail<std::vector<StmtPtr>>("expected '{'");
+    }
+    std::vector<StmtPtr> stmts;
+    while (!peek().is_punct("}")) {
+      if (peek().kind == TokenKind::kEnd) {
+        return fail<std::vector<StmtPtr>>("unterminated block");
+      }
+      auto stmt = parse_statement();
+      if (!stmt.ok()) return forward<std::vector<StmtPtr>>(stmt.error());
+      stmts.push_back(std::move(stmt).take());
+    }
+    consume();  // '}'
+    return stmts;
+  }
+
+  // Precedence climbing: || < && < comparison < additive < multiplicative
+  // < unary < postfix < primary.
+  util::Result<ExprPtr> parse_expr() { return parse_or(); }
+
+  util::Result<ExprPtr> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs.ok()) return lhs;
+    while (peek().is_punct("||")) {
+      const std::size_t line = consume().line;
+      auto rhs = parse_and();
+      if (!rhs.ok()) return rhs;
+      lhs = make_binary("||", std::move(lhs).take(), std::move(rhs).take(), line);
+    }
+    return lhs;
+  }
+
+  util::Result<ExprPtr> parse_and() {
+    auto lhs = parse_comparison();
+    if (!lhs.ok()) return lhs;
+    while (peek().is_punct("&&")) {
+      const std::size_t line = consume().line;
+      auto rhs = parse_comparison();
+      if (!rhs.ok()) return rhs;
+      lhs = make_binary("&&", std::move(lhs).take(), std::move(rhs).take(), line);
+    }
+    return lhs;
+  }
+
+  util::Result<ExprPtr> parse_comparison() {
+    auto lhs = parse_additive();
+    if (!lhs.ok()) return lhs;
+    static const char* kOps[] = {"==", "!=", "<=", ">=", "<", ">"};
+    for (;;) {
+      bool matched = false;
+      for (const char* op : kOps) {
+        if (peek().is_punct(op)) {
+          const std::size_t line = consume().line;
+          auto rhs = parse_additive();
+          if (!rhs.ok()) return rhs;
+          lhs = make_binary(op, std::move(lhs).take(), std::move(rhs).take(), line);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  util::Result<ExprPtr> parse_additive() {
+    auto lhs = parse_multiplicative();
+    if (!lhs.ok()) return lhs;
+    while (peek().is_punct("+") || peek().is_punct("-")) {
+      const std::string op = peek().text;
+      const std::size_t line = consume().line;
+      auto rhs = parse_multiplicative();
+      if (!rhs.ok()) return rhs;
+      lhs = make_binary(op, std::move(lhs).take(), std::move(rhs).take(), line);
+    }
+    return lhs;
+  }
+
+  util::Result<ExprPtr> parse_multiplicative() {
+    auto lhs = parse_unary();
+    if (!lhs.ok()) return lhs;
+    while (peek().is_punct("*") || peek().is_punct("/") || peek().is_punct("%")) {
+      const std::string op = peek().text;
+      const std::size_t line = consume().line;
+      auto rhs = parse_unary();
+      if (!rhs.ok()) return rhs;
+      lhs = make_binary(op, std::move(lhs).take(), std::move(rhs).take(), line);
+    }
+    return lhs;
+  }
+
+  util::Result<ExprPtr> parse_unary() {
+    if (peek().is_punct("!") || peek().is_punct("-")) {
+      const std::string op = peek().text;
+      const std::size_t line = consume().line;
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->line = line;
+      e->name = op;
+      e->children.push_back(std::move(operand).take());
+      return ExprPtr(std::move(e));
+    }
+    return parse_postfix();
+  }
+
+  util::Result<ExprPtr> parse_postfix() {
+    auto base = parse_primary();
+    if (!base.ok()) return base;
+    ExprPtr expr = std::move(base).take();
+    for (;;) {
+      if (accept_punct(".")) {
+        if (peek().kind != TokenKind::kIdent) {
+          return fail<ExprPtr>("expected member name after '.'");
+        }
+        const Token member = consume();
+        if (peek().is_punct("(")) {
+          auto args = parse_call_args();
+          if (!args.ok()) return forward<ExprPtr>(args.error());
+          auto call = std::make_unique<Expr>();
+          call->kind = ExprKind::kMemberCall;
+          call->line = member.line;
+          call->name = member.text;
+          call->children.push_back(std::move(expr));
+          for (auto& a : args.value()) call->children.push_back(std::move(a));
+          expr = std::move(call);
+        } else {
+          auto get = std::make_unique<Expr>();
+          get->kind = ExprKind::kMemberGet;
+          get->line = member.line;
+          get->name = member.text;
+          get->children.push_back(std::move(expr));
+          expr = std::move(get);
+        }
+        continue;
+      }
+      if (peek().is_punct("[")) {
+        const std::size_t line = consume().line;
+        auto key = parse_expr();
+        if (!key.ok()) return key;
+        if (!accept_punct("]")) return fail<ExprPtr>("expected ']'");
+        auto index = std::make_unique<Expr>();
+        index->kind = ExprKind::kIndex;
+        index->line = line;
+        index->children.push_back(std::move(expr));
+        index->children.push_back(std::move(key).take());
+        expr = std::move(index);
+        continue;
+      }
+      return ExprPtr(std::move(expr));
+    }
+  }
+
+  util::Result<std::vector<ExprPtr>> parse_call_args() {
+    consume();  // '('
+    std::vector<ExprPtr> args;
+    if (!peek().is_punct(")")) {
+      for (;;) {
+        auto arg = parse_expr();
+        if (!arg.ok()) return forward<std::vector<ExprPtr>>(arg.error());
+        args.push_back(std::move(arg).take());
+        if (!accept_punct(",")) break;
+      }
+    }
+    if (!accept_punct(")")) {
+      return fail<std::vector<ExprPtr>>("expected ')' in call");
+    }
+    return args;
+  }
+
+  util::Result<ExprPtr> parse_primary() {
+    const Token& tok = peek();
+    auto e = std::make_unique<Expr>();
+    e->line = tok.line;
+
+    if (tok.kind == TokenKind::kInt) {
+      e->kind = ExprKind::kInt;
+      e->int_value = consume().int_value;
+      return ExprPtr(std::move(e));
+    }
+    if (tok.kind == TokenKind::kString) {
+      e->kind = ExprKind::kString;
+      e->string_value = consume().text;
+      return ExprPtr(std::move(e));
+    }
+    if (tok.is_keyword("true") || tok.is_keyword("false")) {
+      e->kind = ExprKind::kBool;
+      e->bool_value = consume().text == "true";
+      return ExprPtr(std::move(e));
+    }
+    if (tok.is_keyword("null")) {
+      consume();
+      e->kind = ExprKind::kNull;
+      return ExprPtr(std::move(e));
+    }
+    if (tok.kind == TokenKind::kIdent) {
+      const Token ident = consume();
+      if (peek().is_punct("(")) {
+        auto args = parse_call_args();
+        if (!args.ok()) return forward<ExprPtr>(args.error());
+        e->kind = ExprKind::kCall;
+        e->name = ident.text;
+        for (auto& a : args.value()) e->children.push_back(std::move(a));
+        return ExprPtr(std::move(e));
+      }
+      e->kind = ExprKind::kIdent;
+      e->name = ident.text;
+      return ExprPtr(std::move(e));
+    }
+    if (accept_punct("(")) {
+      auto inner = parse_expr();
+      if (!inner.ok()) return inner;
+      if (!accept_punct(")")) return fail<ExprPtr>("expected ')'");
+      return inner;
+    }
+    return fail<ExprPtr>("unexpected token '" + tok.text + "'");
+  }
+
+  static ExprPtr make_binary(const std::string& op, ExprPtr lhs, ExprPtr rhs,
+                             std::size_t line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->line = line;
+    e->name = op;
+    e->children.push_back(std::move(lhs));
+    e->children.push_back(std::move(rhs));
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<std::vector<StmtPtr>> parse_block_source(const std::string& source) {
+  auto tokens = lex(source);
+  if (!tokens.ok()) {
+    return util::Result<std::vector<StmtPtr>>::failure(tokens.error().code,
+                                                       tokens.error().message);
+  }
+  return Parser(std::move(tokens).take()).parse_block_to_end();
+}
+
+util::Result<ExprPtr> parse_expression_source(const std::string& source) {
+  auto tokens = lex(source);
+  if (!tokens.ok()) {
+    return util::Result<ExprPtr>::failure(tokens.error().code,
+                                          tokens.error().message);
+  }
+  return Parser(std::move(tokens).take()).parse_expression_to_end();
+}
+
+}  // namespace psf::minilang

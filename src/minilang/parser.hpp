@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minilang/ast.hpp"
+#include "util/result.hpp"
+
+namespace psf::minilang {
+
+/// Parse a statement block, e.g. a method body: a sequence of statements
+/// without surrounding braces.
+util::Result<std::vector<StmtPtr>> parse_block_source(const std::string& source);
+
+/// Parse a single expression (used by tests and the REPL-style helpers).
+util::Result<ExprPtr> parse_expression_source(const std::string& source);
+
+}  // namespace psf::minilang

@@ -1,0 +1,35 @@
+// Token stream for MiniLang, the small interpreted language whose classes
+// play the role of Java components in the paper (see DESIGN.md §2:
+// C++ lacks reflection, so VIG rewrites MiniLang class definitions instead
+// of Java bytecode).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace psf::minilang {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,
+  kInt,
+  kString,
+  kKeyword,   // var if else while return true false null
+  kPunct,     // ( ) { } [ ] , ; . = == != < <= > >= + - * / % ! && ||
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier/keyword/punct spelling or string value
+  std::int64_t int_value = 0;
+  std::size_t line = 1;
+
+  bool is_punct(const char* p) const {
+    return kind == TokenKind::kPunct && text == p;
+  }
+  bool is_keyword(const char* k) const {
+    return kind == TokenKind::kKeyword && text == k;
+  }
+};
+
+}  // namespace psf::minilang

@@ -1,0 +1,24 @@
+// Binary serialization for MiniLang values. Two consumers: cache-coherence
+// images (extractImage*/mergeImage* in the paper carry the view state as
+// byte[]) and Switchboard RPC argument/result marshalling. Object references
+// are not serializable — exactly like Java RMI, which is why views must
+// rebind non-serializable interfaces as `rmi`/`switchboard` stubs.
+#pragma once
+
+#include "minilang/value.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace psf::minilang {
+
+/// Serialize; throws EvalError on object values.
+util::Bytes encode_value(const Value& value);
+
+/// Deserialize; error on malformed input.
+util::Result<Value> decode_value(const util::Bytes& data);
+
+/// Convenience: encode several values (an argument list).
+util::Bytes encode_values(const std::vector<Value>& values);
+util::Result<std::vector<Value>> decode_values(const util::Bytes& data);
+
+}  // namespace psf::minilang

@@ -1,0 +1,52 @@
+#include "psf/cipher_wiring.hpp"
+
+#include "minilang/interp.hpp"
+
+namespace psf::framework {
+
+using minilang::Value;
+
+namespace {
+Value run_transform(const std::shared_ptr<minilang::Instance>& cipher,
+                    Value value) {
+  if (!value.is_bytes()) return value;  // only byte payloads are protected
+  return cipher->call("transform", {std::move(value)});
+}
+}  // namespace
+
+CipherStub::CipherStub(std::shared_ptr<minilang::CallTarget> inner,
+                       std::shared_ptr<minilang::Instance> cipher)
+    : inner_(std::move(inner)), cipher_(std::move(cipher)) {}
+
+Value CipherStub::transform(Value value) {
+  return run_transform(cipher_, std::move(value));
+}
+
+Value CipherStub::call(const std::string& method, std::vector<Value> args) {
+  for (auto& arg : args) arg = transform(std::move(arg));
+  return transform(inner_->call(method, std::move(args)));
+}
+
+std::string CipherStub::type_name() const {
+  return "encrypted:" + inner_->type_name();
+}
+
+CipherEndpoint::CipherEndpoint(std::shared_ptr<minilang::CallTarget> inner,
+                               std::shared_ptr<minilang::Instance> cipher)
+    : inner_(std::move(inner)), cipher_(std::move(cipher)) {}
+
+Value CipherEndpoint::transform(Value value) {
+  return run_transform(cipher_, std::move(value));
+}
+
+Value CipherEndpoint::call(const std::string& method,
+                           std::vector<Value> args) {
+  for (auto& arg : args) arg = transform(std::move(arg));
+  return transform(inner_->call(method, std::move(args)));
+}
+
+std::string CipherEndpoint::type_name() const {
+  return "decrypted:" + inner_->type_name();
+}
+
+}  // namespace psf::framework

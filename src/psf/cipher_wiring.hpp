@@ -1,0 +1,55 @@
+// Encryptor/Decryptor wiring (paper §2.2): PSF adapts to insecure links by
+// placing an <encryptor/decryptor> pair around them. In this repo the
+// sensitive payloads crossing backend rmi links are coherence images
+// (byte[]), so the pair is spliced into the image-sync path:
+//
+//   replica --CipherStub(Encryptor)--> rmi link --CipherEndpoint(Decryptor)--> origin
+//
+// Both components run the mail application's ChaCha20 `transform` (a
+// keystream XOR, so one pair protects both directions); plaintext exists
+// only inside the endpoints.
+#pragma once
+
+#include <memory>
+
+#include "minilang/object.hpp"
+
+namespace psf::framework {
+
+/// Client-side half: transforms every bytes argument before forwarding to
+/// `inner`, and transforms bytes results on the way back.
+class CipherStub : public minilang::CallTarget {
+ public:
+  CipherStub(std::shared_ptr<minilang::CallTarget> inner,
+             std::shared_ptr<minilang::Instance> cipher);
+
+  minilang::Value call(const std::string& method,
+                       std::vector<minilang::Value> args) override;
+  std::string type_name() const override;
+
+ private:
+  minilang::Value transform(minilang::Value value);
+
+  std::shared_ptr<minilang::CallTarget> inner_;
+  std::shared_ptr<minilang::Instance> cipher_;
+};
+
+/// Server-side half: same transformation applied before dispatching into
+/// the wrapped target and to bytes results.
+class CipherEndpoint : public minilang::CallTarget {
+ public:
+  CipherEndpoint(std::shared_ptr<minilang::CallTarget> inner,
+                 std::shared_ptr<minilang::Instance> cipher);
+
+  minilang::Value call(const std::string& method,
+                       std::vector<minilang::Value> args) override;
+  std::string type_name() const override;
+
+ private:
+  minilang::Value transform(minilang::Value value);
+
+  std::shared_ptr<minilang::CallTarget> inner_;
+  std::shared_ptr<minilang::Instance> cipher_;
+};
+
+}  // namespace psf::framework

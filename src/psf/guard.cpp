@@ -1,0 +1,121 @@
+#include "psf/guard.hpp"
+
+namespace psf::framework {
+
+Guard::Guard(std::string domain, drbac::Repository* repository, util::Rng& rng)
+    : entity_(drbac::Entity::create(std::move(domain), rng)),
+      repository_(repository),
+      rng_(&rng) {}
+
+drbac::RoleRef Guard::role(const std::string& role_name) const {
+  return drbac::role_of(entity_, role_name);
+}
+
+drbac::DelegationPtr Guard::issue(const drbac::Principal& subject,
+                                  const drbac::RoleRef& target,
+                                  drbac::AttributeMap attributes,
+                                  bool assignment, util::SimTime issued_at,
+                                  util::SimTime expires_at) {
+  auto credential = drbac::issue(entity_, subject, target,
+                                 std::move(attributes), assignment, issued_at,
+                                 expires_at, repository_->next_serial());
+  repository_->add(credential);
+  return credential;
+}
+
+drbac::DelegationPtr Guard::grant(const drbac::Principal& subject,
+                                  const std::string& role_name,
+                                  drbac::AttributeMap attributes,
+                                  util::SimTime issued_at,
+                                  util::SimTime expires_at) {
+  return issue(subject, role(role_name), std::move(attributes), false,
+               issued_at, expires_at);
+}
+
+drbac::Entity Guard::create_principal(const std::string& name) {
+  return drbac::Entity::create(name, *rng_);
+}
+
+util::Result<drbac::Proof> Guard::authorize(const drbac::Principal& subject,
+                                            const drbac::RoleRef& target,
+                                            util::SimTime now,
+                                            drbac::AttributeMap required) const {
+  drbac::Engine engine(repository_);
+  drbac::ProveOptions options;
+  options.required = std::move(required);
+  return engine.prove(subject, target, now, options);
+}
+
+void Guard::add_access_rule(const std::string& role_name,
+                            const std::string& view_name) {
+  access_rules_.emplace_back(role_name, view_name);
+}
+
+void Guard::set_default_view(const std::string& view_name) {
+  default_view_ = view_name;
+}
+
+util::Result<Guard::AccessDecision> Guard::select_view(
+    const drbac::Principal& client, util::SimTime now) const {
+  if (cache_enabled_) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = decision_cache_.find(client.entity_fp);
+    if (it != decision_cache_.end()) {
+      ++cache_stats_.hits;
+      return it->second;
+    }
+    ++cache_stats_.misses;
+  }
+
+  auto remember = [&](AccessDecision decision) {
+    if (cache_enabled_) {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      decision_cache_[client.entity_fp] = decision;
+    }
+    return decision;
+  };
+  auto decision = select_view(access_rules_, default_view_, client, now);
+  if (!decision.ok()) return decision;
+  return remember(std::move(decision).take());
+}
+
+util::Result<Guard::AccessDecision> Guard::select_view(
+    const std::vector<std::pair<std::string, std::string>>& rules,
+    const std::string& default_view, const drbac::Principal& client,
+    util::SimTime now) const {
+  drbac::Engine engine(repository_);
+  for (const auto& [role_name, view_name] : rules) {
+    auto proof = engine.prove(client, role(role_name), now);
+    if (proof.ok()) {
+      return AccessDecision{view_name, std::move(proof).take(), role_name};
+    }
+  }
+  if (!default_view.empty()) {
+    return AccessDecision{default_view, std::nullopt, ""};
+  }
+  return util::Result<AccessDecision>::failure(
+      "access-denied", "client " + client.display() +
+                           " matches no access rule and no default view is "
+                           "configured");
+}
+
+void Guard::enable_decision_cache() {
+  if (cache_enabled_) return;
+  cache_enabled_ = true;
+  cache_subscription_ = repository_->subscribe([this](std::uint64_t) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    decision_cache_.clear();
+    ++cache_stats_.invalidations;
+  });
+}
+
+Guard::CacheStats Guard::cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_stats_;
+}
+
+Guard::~Guard() {
+  if (cache_enabled_) repository_->unsubscribe(cache_subscription_);
+}
+
+}  // namespace psf::framework

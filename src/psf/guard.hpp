@@ -1,0 +1,123 @@
+// The Guard: PSF's per-domain security module (paper §3.3). Each site runs
+// one; it generates certificates, defines roles, creates access control
+// lists, and performs authentication/authorization for its domain — NY-Guard
+// for New York (and the mail application's policy), SD-Guard for San Diego,
+// SE-Guard for Seattle.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "drbac/engine.hpp"
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+
+namespace psf::framework {
+
+class Guard {
+ public:
+  /// `domain` is the entity name (e.g. "Comp.NY"); credentials are stored
+  /// in (and revocations flow through) the shared distributed repository.
+  Guard(std::string domain, drbac::Repository* repository, util::Rng& rng);
+
+  const drbac::Entity& entity() const { return entity_; }
+  const std::string& domain() const { return entity_.name; }
+  drbac::Repository& repository() { return *repository_; }
+
+  /// A role in this Guard's namespace, e.g. role("Member") = Comp.NY.Member.
+  drbac::RoleRef role(const std::string& role_name) const;
+
+  /// Issue (and store) a delegation granting `target_role` to `subject`.
+  /// When `target` belongs to another domain this is a third-party
+  /// delegation; assignment=true issues the right of assignment (').
+  drbac::DelegationPtr issue(const drbac::Principal& subject,
+                             const drbac::RoleRef& target,
+                             drbac::AttributeMap attributes = {},
+                             bool assignment = false,
+                             util::SimTime issued_at = 0,
+                             util::SimTime expires_at = 0);
+
+  /// Convenience: grant one of this Guard's own roles.
+  drbac::DelegationPtr grant(const drbac::Principal& subject,
+                             const std::string& role_name,
+                             drbac::AttributeMap attributes = {},
+                             util::SimTime issued_at = 0,
+                             util::SimTime expires_at = 0);
+
+  /// Create a principal (client, component, node) in this domain.
+  drbac::Entity create_principal(const std::string& name);
+
+  /// Authorize: does `subject` hold `target` (with `required` attributes)?
+  util::Result<drbac::Proof> authorize(const drbac::Principal& subject,
+                                       const drbac::RoleRef& target,
+                                       util::SimTime now,
+                                       drbac::AttributeMap required = {}) const;
+
+  // ---- Access control rules (paper Table 4): role -> view name ----
+
+  /// Rules are evaluated in insertion order; the first role the client can
+  /// prove selects the view.
+  void add_access_rule(const std::string& role_name,
+                       const std::string& view_name);
+  /// View for clients that match no rule ("others"); empty = deny.
+  void set_default_view(const std::string& view_name);
+
+  struct AccessDecision {
+    std::string view_name;
+    std::optional<drbac::Proof> proof;  // empty for the default ("others") row
+    std::string matched_role;           // "" for the default row
+  };
+
+  /// Select the view for `client` per the ACL (single sign-on: the returned
+  /// proof is established once, at view instantiation).
+  util::Result<AccessDecision> select_view(const drbac::Principal& client,
+                                           util::SimTime now) const;
+
+  /// Same, but against an explicit rule table (per-service ACLs — each
+  /// service registered with PSF carries its own Table 4). Not routed
+  /// through the decision cache.
+  util::Result<AccessDecision> select_view(
+      const std::vector<std::pair<std::string, std::string>>& rules,
+      const std::string& default_view, const drbac::Principal& client,
+      util::SimTime now) const;
+
+  const std::vector<std::pair<std::string, std::string>>& access_rules() const {
+    return access_rules_;
+  }
+
+  /// Cache select_view decisions per client fingerprint. Conservatively
+  /// invalidated wholesale whenever *any* credential is revoked in the
+  /// repository, so cached single-sign-on decisions can never outlive the
+  /// credentials they rest on.
+  void enable_decision_cache();
+
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;
+  };
+  CacheStats cache_stats() const;
+
+  ~Guard();
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  drbac::Entity entity_;
+  drbac::Repository* repository_;
+  util::Rng* rng_;
+  std::vector<std::pair<std::string, std::string>> access_rules_;
+  std::string default_view_;
+
+  mutable std::mutex cache_mutex_;
+  bool cache_enabled_ = false;
+  std::uint64_t cache_subscription_ = 0;
+  mutable std::map<std::string, AccessDecision> decision_cache_;
+  mutable CacheStats cache_stats_;
+};
+
+}  // namespace psf::framework

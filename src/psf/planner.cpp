@@ -1,0 +1,246 @@
+#include "psf/planner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace psf::framework {
+
+namespace {
+
+const NodeInfo* find_node(const std::vector<NodeInfo>& nodes,
+                          const std::string& name) {
+  for (const auto& n : nodes) {
+    if (n.name == name) return &n;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string PlanStep::display() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kUseOrigin: os << "use origin at " << node; break;
+    case Kind::kDeployReplica:
+      os << "deploy replica " << component << " at " << node;
+      break;
+    case Kind::kDeployClientView:
+      os << "deploy client view " << component << " at " << node;
+      break;
+    case Kind::kConnectSwitchboard:
+      os << "switchboard channel " << node << " <-> " << peer;
+      break;
+    case Kind::kConnectRmi:
+      os << "rmi link " << node << " -> " << peer;
+      break;
+    case Kind::kDeployEncryptor:
+      os << "deploy Encryptor at " << node << " (toward " << peer << ")";
+      break;
+    case Kind::kDeployDecryptor:
+      os << "deploy Decryptor at " << node << " (from " << peer << ")";
+      break;
+  }
+  if (!detail.empty()) os << "  [" << detail << "]";
+  return os.str();
+}
+
+std::string Plan::display() const {
+  std::ostringstream os;
+  os << "plan (provider=" << provider_node << ", cost=" << cost << "):\n";
+  for (const auto& step : steps) os << "  - " << step.display() << "\n";
+  return os.str();
+}
+
+util::Result<Plan> Planner::plan(const PlanProblem& problem,
+                                 const std::vector<NodeInfo>& nodes,
+                                 util::SimTime now, PlannerOptions options) {
+  drbac::Engine engine(repository_);
+  std::vector<std::string> rejections;
+
+  auto node_authorized = [&](const NodeInfo& node) {
+    ++stats_.proofs_attempted;
+    drbac::ProveOptions prove_options;
+    prove_options.required = problem.node_policy_attrs;
+    return engine
+        .prove(node.principal, problem.node_policy_role, now, prove_options)
+        .ok();
+  };
+  auto component_authorized = [&](const drbac::Principal& component,
+                                  const NodeInfo& node, std::int64_t cpu) {
+    ++stats_.proofs_attempted;
+    drbac::ProveOptions prove_options;
+    prove_options.required = {
+        {"CPU", drbac::Attribute::make_range("CPU", 0, cpu)}};
+    return engine.prove(component, node.executable_role, now, prove_options)
+        .ok();
+  };
+
+  const NodeInfo* client = find_node(nodes, problem.client_node);
+  if (client == nullptr) {
+    return util::Result<Plan>::failure(
+        "no-plan", "unknown client node " + problem.client_node);
+  }
+
+  std::optional<Plan> best;
+
+  // Regression from the goal: the client view must be served by some
+  // provider P holding (a replica view of) the origin. Candidates: the
+  // origin itself, plus — when views are enabled and a replica view
+  // exists — every other node.
+  for (const auto& candidate : nodes) {
+    const bool is_origin = candidate.name == problem.origin_node;
+    if (!is_origin &&
+        (!options.use_views || problem.replica_view.empty())) {
+      continue;
+    }
+    ++stats_.candidates_considered;
+
+    // Progression feasibility: network QoS on the client<->provider path.
+    auto client_path = network_->path(problem.client_node, candidate.name);
+    if (!client_path.has_value()) {
+      rejections.push_back(candidate.name + ": unreachable from client");
+      continue;
+    }
+    if (problem.qos.min_bandwidth_kbps > 0 &&
+        client_path->bandwidth_kbps != 0 &&
+        client_path->bandwidth_kbps < problem.qos.min_bandwidth_kbps) {
+      rejections.push_back(candidate.name + ": bandwidth " +
+                           std::to_string(client_path->bandwidth_kbps) +
+                           " kbps below required " +
+                           std::to_string(problem.qos.min_bandwidth_kbps));
+      continue;
+    }
+    const std::int64_t latency_ms =
+        client_path->latency / util::kMillisecond;
+    if (problem.qos.max_latency_ms > 0 &&
+        latency_ms > problem.qos.max_latency_ms) {
+      rejections.push_back(candidate.name + ": latency " +
+                           std::to_string(latency_ms) + " ms above bound");
+      continue;
+    }
+
+    Plan plan;
+    plan.provider_node = candidate.name;
+    std::int64_t provider_cpu_needed = 0;
+
+    if (is_origin) {
+      plan.steps.push_back(
+          {PlanStep::Kind::kUseOrigin, candidate.name, "", "", ""});
+    } else {
+      // Replica path: the provider must reach the origin for sync.
+      auto backend_path = network_->path(candidate.name, problem.origin_node);
+      if (!backend_path.has_value()) {
+        rejections.push_back(candidate.name + ": origin unreachable");
+        continue;
+      }
+      if (!node_authorized(candidate)) {
+        rejections.push_back(candidate.name +
+                             ": node fails application policy (" +
+                             problem.node_policy_role.display() + ")");
+        continue;
+      }
+      if (!component_authorized(problem.replica_component, candidate,
+                                problem.replica_cpu)) {
+        rejections.push_back(candidate.name + ": replica component " +
+                             problem.replica_component.display() +
+                             " not authorized");
+        continue;
+      }
+      provider_cpu_needed += problem.replica_cpu;
+      plan.uses_replica = true;
+      plan.steps.push_back({PlanStep::Kind::kDeployReplica, candidate.name,
+                            problem.origin_node, problem.replica_view, ""});
+      plan.steps.push_back({PlanStep::Kind::kConnectRmi, candidate.name,
+                            problem.origin_node, "", "image sync"});
+
+      // Privacy: plaintext sync over an insecure backend path needs the
+      // encryptor/decryptor pair at the endpoints.
+      if (problem.qos.privacy && !backend_path->secure) {
+        const NodeInfo* origin = find_node(nodes, problem.origin_node);
+        if (origin == nullptr) {
+          rejections.push_back(candidate.name + ": origin node unknown");
+          continue;
+        }
+        if (!component_authorized(problem.cipher_component, candidate,
+                                  problem.cipher_cpu) ||
+            !component_authorized(problem.cipher_component, *origin,
+                                  problem.cipher_cpu)) {
+          rejections.push_back(candidate.name +
+                               ": cipher components not authorized for "
+                               "insecure backend link");
+          continue;
+        }
+        if (origin->cpu_used + problem.cipher_cpu > origin->cpu_capacity) {
+          rejections.push_back(problem.origin_node +
+                               ": no CPU headroom for Decryptor");
+          continue;
+        }
+        provider_cpu_needed += problem.cipher_cpu;
+        plan.uses_ciphers = true;
+        plan.steps.push_back({PlanStep::Kind::kDeployEncryptor,
+                              candidate.name, problem.origin_node,
+                              "Encryptor", "protect image sync"});
+        plan.steps.push_back({PlanStep::Kind::kDeployDecryptor,
+                              problem.origin_node, candidate.name,
+                              "Decryptor", "protect image sync"});
+      }
+    }
+
+    if (candidate.cpu_used + provider_cpu_needed > candidate.cpu_capacity) {
+      rejections.push_back(candidate.name + ": insufficient CPU headroom");
+      continue;
+    }
+
+    // Client view placement (the client node runs only the restricted
+    // view, so it needs no application-policy trust — that is the point of
+    // views on untrusted terminals — but the node must accept the view
+    // component's code).
+    if (!problem.client_view.empty()) {
+      if (!component_authorized(problem.view_component, *client,
+                                problem.view_cpu)) {
+        rejections.push_back(problem.client_node + ": view component " +
+                             problem.view_component.display() +
+                             " not authorized on client node");
+        continue;
+      }
+      if (client->cpu_used + problem.view_cpu > client->cpu_capacity) {
+        rejections.push_back(problem.client_node +
+                             ": insufficient CPU for the client view");
+        continue;
+      }
+      plan.steps.push_back({PlanStep::Kind::kDeployClientView,
+                            problem.client_node, candidate.name,
+                            problem.client_view, ""});
+    }
+    plan.steps.push_back({PlanStep::Kind::kConnectSwitchboard,
+                          problem.client_node, candidate.name, "",
+                          client_path->secure ? "secure path"
+                                              : "insecure path (encrypted)"});
+
+    // Cost: client-path latency dominates; deployments add management cost.
+    std::size_t deployments = 0;
+    for (const auto& step : plan.steps) {
+      if (step.kind == PlanStep::Kind::kDeployReplica ||
+          step.kind == PlanStep::Kind::kDeployEncryptor ||
+          step.kind == PlanStep::Kind::kDeployDecryptor) {
+        ++deployments;
+      }
+    }
+    plan.cost = static_cast<double>(latency_ms) +
+                5.0 * static_cast<double>(deployments);
+
+    if (!best.has_value() || plan.cost < best->cost) best = std::move(plan);
+  }
+
+  if (!best.has_value()) {
+    std::ostringstream os;
+    os << "no feasible deployment for " << problem.client_view << " at "
+       << problem.client_node;
+    for (const auto& r : rejections) os << "\n  rejected " << r;
+    return util::Result<Plan>::failure("no-plan", os.str());
+  }
+  ++stats_.plans_found;
+  return *best;
+}
+
+}  // namespace psf::framework

@@ -1,0 +1,129 @@
+// Deployment planning (paper §2.1): select among valid configurations one
+// that satisfies the client's QoS while honoring application and network
+// constraints expressed as dRBAC queries. This is a compact stand-in for
+// Sekitei (regression from the goal interface over candidate provider
+// placements, progression-style feasibility checks on resources and
+// authorization), reproducing the behaviours this paper relies on:
+//   - low bandwidth to the origin -> deploy a replica view close to the
+//     client (the "view mail server" of §2.2);
+//   - privacy over insecure backend links -> deploy an encryptor/decryptor
+//     pair at the link endpoints;
+//   - every placement gated by node authorization (node -> app node role,
+//     e.g. Mail.Node with Secure/Trust) and component authorization
+//     (component code -> hosting domain's Executable role with CPU caps).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "drbac/engine.hpp"
+#include "switchboard/network.hpp"
+#include "util/result.hpp"
+
+namespace psf::framework {
+
+struct QoS {
+  /// Minimum bandwidth on the client<->provider path (0 = don't care).
+  std::int64_t min_bandwidth_kbps = 0;
+  /// Maximum one-way latency client<->provider in milliseconds (0 = any).
+  std::int64_t max_latency_ms = 0;
+  /// Message privacy: backend sync crossing insecure links must be
+  /// protected by an encryptor/decryptor pair. (Client<->provider traffic
+  /// is always protected: it flows over a Switchboard channel.)
+  bool privacy = false;
+};
+
+/// Planner-facing node facts.
+struct NodeInfo {
+  std::string name;
+  std::string domain;
+  drbac::Principal principal;       // for node-policy proofs
+  drbac::RoleRef executable_role;   // domain's Executable role
+  std::int64_t cpu_capacity = 100;
+  std::int64_t cpu_used = 0;
+};
+
+struct PlanStep {
+  enum class Kind {
+    kUseOrigin,          // serve from the origin instance on `node`
+    kDeployReplica,      // VIG-generate + instantiate the replica view
+    kDeployClientView,   // VIG-generate + instantiate the client's view
+    kConnectSwitchboard, // secure channel node<->peer
+    kConnectRmi,         // plaintext RPC node->peer (backend sync)
+    kDeployEncryptor,    // at `node`, protecting sync toward `peer`
+    kDeployDecryptor,    // at `node`, receiving from `peer`
+  };
+  Kind kind;
+  std::string node;
+  std::string peer;
+  std::string component;
+  std::string detail;
+
+  std::string display() const;
+};
+
+struct Plan {
+  std::vector<PlanStep> steps;
+  std::string provider_node;
+  bool uses_replica = false;
+  bool uses_ciphers = false;
+  double cost = 0;
+
+  std::string display() const;
+};
+
+struct PlanProblem {
+  std::string client_node;
+  std::string origin_node;
+  std::string client_view;           // selected by the ACL (Table 4)
+  std::string replica_view;          // "" = no replica component available
+  QoS qos;
+
+  // Application node policy (paper Table 2 rows 4-6): nodes hosting
+  // components must prove this role with these attributes.
+  drbac::RoleRef node_policy_role;
+  drbac::AttributeMap node_policy_attrs;
+
+  // Component code identities (for component authorization on nodes).
+  drbac::Principal replica_component;
+  drbac::Principal view_component;
+  drbac::Principal cipher_component;
+
+  std::int64_t replica_cpu = 20;
+  std::int64_t view_cpu = 10;
+  std::int64_t cipher_cpu = 5;
+};
+
+struct PlannerOptions {
+  /// Ablation switch (paper §4.2 claim: views increase the likelihood of a
+  /// successful deployment): when false, the planner may only serve from
+  /// the origin node and may not deploy replica views.
+  bool use_views = true;
+};
+
+struct PlannerStats {
+  std::size_t candidates_considered = 0;
+  std::size_t proofs_attempted = 0;
+  std::size_t plans_found = 0;
+};
+
+class Planner {
+ public:
+  Planner(const switchboard::Network* network,
+          const drbac::Repository* repository)
+      : network_(network), repository_(repository) {}
+
+  util::Result<Plan> plan(const PlanProblem& problem,
+                          const std::vector<NodeInfo>& nodes,
+                          util::SimTime now, PlannerOptions options = {});
+
+  const PlannerStats& stats() const { return stats_; }
+
+ private:
+  const switchboard::Network* network_;
+  const drbac::Repository* repository_;
+  PlannerStats stats_;
+};
+
+}  // namespace psf::framework

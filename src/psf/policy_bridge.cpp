@@ -1,0 +1,55 @@
+#include "psf/policy_bridge.hpp"
+
+namespace psf::framework {
+
+PolicyBridge::PolicyBridge(std::string name, drbac::Repository* repository,
+                           util::Rng& rng)
+    : entity_(drbac::Entity::create(std::move(name), rng)),
+      repository_(repository) {}
+
+drbac::RoleRef PolicyBridge::role_for(const std::string& capability) const {
+  return drbac::role_of(entity_, capability);
+}
+
+void PolicyBridge::register_principal(const drbac::Principal& principal) {
+  principals_[principal.entity_fp] = principal;
+}
+
+PolicyBridge::SyncResult PolicyBridge::sync(const CapabilityPolicy& policy,
+                                            util::SimTime now) {
+  SyncResult result;
+
+  // Issue credentials for pairs present in the policy but not yet live.
+  for (const auto& [fp, capabilities] : policy.grants) {
+    auto principal_it = principals_.find(fp);
+    if (principal_it == principals_.end()) continue;  // unknown principal
+    for (const auto& capability : capabilities) {
+      const auto key = std::make_pair(fp, capability);
+      if (issued_.count(key) > 0) continue;
+      auto credential = drbac::issue(
+          entity_, principal_it->second, role_for(capability), {}, false, now,
+          0, repository_->next_serial());
+      repository_->add(credential);
+      issued_[key] = credential->serial;
+      ++result.issued;
+    }
+  }
+
+  // Revoke credentials whose policy entry disappeared.
+  for (auto it = issued_.begin(); it != issued_.end();) {
+    const auto& [fp, capability] = it->first;
+    auto grant_it = policy.grants.find(fp);
+    const bool still_granted = grant_it != policy.grants.end() &&
+                               grant_it->second.count(capability) > 0;
+    if (still_granted) {
+      ++it;
+      continue;
+    }
+    repository_->revoke(it->second);
+    it = issued_.erase(it);
+    ++result.revoked;
+  }
+  return result;
+}
+
+}  // namespace psf::framework

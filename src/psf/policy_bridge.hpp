@@ -1,0 +1,62 @@
+// Policy translation service — the paper's future-work item (§6): "In order
+// to allow each domain to freely choose the policy implementation (e.g.
+// roles, capabilities), the framework should provide a service able to
+// translate between that implementation and dRBAC."
+//
+// PolicyBridge adapts a capability-list policy (principal -> set of
+// capability strings, the shape of classic ACL/capability systems) into
+// dRBAC: each capability becomes a role in the bridge's namespace, each
+// policy entry becomes a signed delegation, and *removing* an entry revokes
+// the corresponding credential — so dRBAC's continuous-authorization
+// machinery (proof monitors, Switchboard suspension) extends to domains
+// that never speak dRBAC natively.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "drbac/engine.hpp"
+#include "util/rng.hpp"
+
+namespace psf::framework {
+
+/// Foreign policy snapshot: principal (entity fingerprint) -> capabilities.
+struct CapabilityPolicy {
+  std::map<std::string, std::set<std::string>> grants;
+};
+
+class PolicyBridge {
+ public:
+  PolicyBridge(std::string name, drbac::Repository* repository,
+               util::Rng& rng);
+
+  const drbac::Entity& entity() const { return entity_; }
+
+  /// The dRBAC role a capability translates to (in the bridge namespace);
+  /// other domains map it onwards with ordinary role-mapping delegations.
+  drbac::RoleRef role_for(const std::string& capability) const;
+
+  /// Register a principal so the bridge can name it in delegations.
+  void register_principal(const drbac::Principal& principal);
+
+  /// Reconcile the repository against a new policy snapshot: issue
+  /// delegations for new (principal, capability) pairs and revoke dropped
+  /// ones. Returns {issued, revoked} counts.
+  struct SyncResult {
+    std::size_t issued = 0;
+    std::size_t revoked = 0;
+  };
+  SyncResult sync(const CapabilityPolicy& policy, util::SimTime now = 0);
+
+  std::size_t live_translations() const { return issued_.size(); }
+
+ private:
+  drbac::Entity entity_;
+  drbac::Repository* repository_;
+  std::map<std::string, drbac::Principal> principals_;  // fp -> principal
+  // (principal fp, capability) -> credential serial currently live.
+  std::map<std::pair<std::string, std::string>, std::uint64_t> issued_;
+};
+
+}  // namespace psf::framework

@@ -1,0 +1,44 @@
+#include "switchboard/authorizer.hpp"
+
+namespace psf::switchboard {
+
+RoleAuthorizer::RoleAuthorizer(drbac::Repository* repository,
+                               drbac::RoleRef required_role,
+                               drbac::AttributeMap required_attributes)
+    : repository_(repository),
+      required_role_(std::move(required_role)),
+      required_attributes_(std::move(required_attributes)) {}
+
+util::Result<drbac::Proof> RoleAuthorizer::authorize(
+    const drbac::Principal& peer,
+    const std::vector<drbac::DelegationPtr>& credentials, util::SimTime now) {
+  // Collect the presented credentials (verified) into the repository.
+  for (const auto& credential : credentials) {
+    if (!credential->verify_signature()) {
+      return util::Result<drbac::Proof>::failure(
+          "bad-credential",
+          "presented credential has an invalid signature: " +
+              credential->display());
+    }
+    if (merged_serials_.insert(credential->serial).second) {
+      repository_->add(credential);
+    }
+  }
+  drbac::Engine engine(repository_);
+  drbac::ProveOptions options;
+  options.required = required_attributes_;
+  return engine.prove(peer, required_role_, now, options);
+}
+
+util::Result<drbac::Proof> AcceptAllAuthorizer::authorize(
+    const drbac::Principal& peer,
+    const std::vector<drbac::DelegationPtr>& credentials, util::SimTime now) {
+  (void)credentials;
+  drbac::Proof proof;
+  proof.subject = peer;
+  proof.target = drbac::RoleRef{"*", "*", "anonymous"};
+  proof.proved_at = now;
+  return proof;
+}
+
+}  // namespace psf::switchboard

@@ -1,0 +1,492 @@
+#include "switchboard/channel.hpp"
+
+#include "crypto/chacha20.hpp"
+#include "crypto/dh.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "util/log.hpp"
+
+namespace psf::switchboard {
+
+using minilang::EvalError;
+using minilang::Value;
+
+// ------------------------------------------------------------- Switchboard
+
+Switchboard::Switchboard(std::string host, Network* network,
+                         std::shared_ptr<util::Clock> clock)
+    : host_(std::move(host)), network_(network), clock_(std::move(clock)) {
+  network_->add_host(host_);
+}
+
+void Switchboard::register_service(
+    const std::string& name, std::shared_ptr<minilang::CallTarget> target) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  services_[name] = std::move(target);
+}
+
+std::shared_ptr<minilang::CallTarget> Switchboard::lookup(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = services_.find(name);
+  return it == services_.end() ? nullptr : it->second;
+}
+
+void Switchboard::set_suite(AuthorizationSuite suite) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  suite_ = std::make_unique<AuthorizationSuite>(std::move(suite));
+}
+
+const AuthorizationSuite* Switchboard::suite() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return suite_.get();
+}
+
+util::Result<std::shared_ptr<Connection>> Switchboard::connect(
+    Switchboard& remote, const AuthorizationSuite& local_suite,
+    util::Rng& rng) {
+  const AuthorizationSuite* remote_suite = remote.suite();
+  if (remote_suite == nullptr) {
+    return util::Result<std::shared_ptr<Connection>>::failure(
+        "no-suite", "remote switchboard on " + remote.host() +
+                        " has no authorization suite configured");
+  }
+  return Connection::establish(*this, remote, local_suite, *remote_suite, rng);
+}
+
+// -------------------------------------------------------------- Connection
+
+namespace {
+
+constexpr std::size_t kFrameOverhead = 8 /*seq*/ + 32 /*hmac*/;
+
+crypto::ChaChaNonce nonce_for(int direction, std::uint64_t seq) {
+  crypto::ChaChaNonce nonce{};
+  nonce[0] = static_cast<std::uint8_t>(direction);
+  for (int i = 0; i < 8; ++i) {
+    nonce[4 + i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+  return nonce;
+}
+
+util::Bytes handshake_transcript(const util::Bytes& dh_a,
+                                 const util::Bytes& dh_b) {
+  util::Bytes transcript;
+  util::append(transcript, "switchboard-handshake-v1|");
+  util::append(transcript, dh_a);
+  util::append(transcript, dh_b);
+  return transcript;
+}
+
+}  // namespace
+
+util::Result<std::shared_ptr<Connection>> Connection::establish(
+    Switchboard& a, Switchboard& b, const AuthorizationSuite& suite_a,
+    const AuthorizationSuite& suite_b, util::Rng& rng) {
+  using Fail = util::Result<std::shared_ptr<Connection>>;
+
+  // Route check: connections span the network, so there must be a path.
+  auto route = a.network().path(a.host(), b.host());
+  if (!route.has_value()) {
+    return Fail::failure("no-route", "no network path between " + a.host() +
+                                         " and " + b.host());
+  }
+
+  // Ephemeral DH + identity signatures over the shared transcript.
+  const crypto::DhKeyPair dh_a = crypto::dh_generate(rng);
+  const crypto::DhKeyPair dh_b = crypto::dh_generate(rng);
+  const util::Bytes transcript =
+      handshake_transcript(dh_a.public_point, dh_b.public_point);
+  const crypto::Signature sig_a = crypto::sign(suite_a.identity.keys, transcript);
+  const crypto::Signature sig_b = crypto::sign(suite_b.identity.keys, transcript);
+  if (!crypto::verify(suite_a.identity.keys.public_key, transcript, sig_a) ||
+      !crypto::verify(suite_b.identity.keys.public_key, transcript, sig_b)) {
+    return Fail::failure("auth-failed", "identity signature did not verify");
+  }
+  util::Bytes secret;
+  if (!crypto::dh_shared_secret(dh_a, dh_b.public_point, secret)) {
+    return Fail::failure("key-exchange", "DH key agreement failed");
+  }
+
+  // Mutual authorization: each side evaluates the partner's credentials.
+  const util::SimTime now = a.clock().now();
+  auto proof_of_a = suite_b.authorizer->authorize(
+      drbac::Principal::of_entity(suite_a.identity), suite_a.credentials, now);
+  if (!proof_of_a.ok()) {
+    return Fail::failure("authorization-denied",
+                         b.host() + " rejected " + suite_a.identity.name +
+                             ": " + proof_of_a.error().message);
+  }
+  auto proof_of_b = suite_a.authorizer->authorize(
+      drbac::Principal::of_entity(suite_b.identity), suite_b.credentials, now);
+  if (!proof_of_b.ok()) {
+    return Fail::failure("authorization-denied",
+                         a.host() + " rejected " + suite_b.identity.name +
+                             ": " + proof_of_b.error().message);
+  }
+
+  auto connection = std::shared_ptr<Connection>(new Connection());
+  connection->boards_[0] = &a;
+  connection->boards_[1] = &b;
+  connection->suites_[0] = suite_a;
+  connection->suites_[1] = suite_b;
+  connection->proofs_[0] = std::move(proof_of_a).take();
+  connection->proofs_[1] = std::move(proof_of_b).take();
+  connection->cipher_keys_[0] = crypto::derive_channel_key(secret, "a2b");
+  connection->cipher_keys_[1] = crypto::derive_channel_key(secret, "b2a");
+  connection->mac_keys_[0] =
+      crypto::hmac_sha256_bytes(secret, util::to_bytes("mac-a2b"));
+  connection->mac_keys_[1] =
+      crypto::hmac_sha256_bytes(secret, util::to_bytes("mac-b2a"));
+  connection->open_.store(true);
+
+  // Continuous authorization: watch every credential both proofs rest on.
+  connection->install_monitor(End::kA);
+  connection->install_monitor(End::kB);
+
+  // Charge the three handshake flights against the network.
+  std::size_t handshake_bytes = 32 + 64 + 32 + 64;  // keys + signatures
+  for (const auto& c : suite_a.credentials) handshake_bytes += c->payload().size();
+  for (const auto& c : suite_b.credentials) handshake_bytes += c->payload().size();
+  util::SimTime elapsed = 0;
+  for (int flight = 0; flight < 3; ++flight) {
+    auto t = a.network().transfer(flight % 2 == 0 ? a.host() : b.host(),
+                                  flight % 2 == 0 ? b.host() : a.host(),
+                                  handshake_bytes / 3);
+    if (!t.has_value()) {
+      return Fail::failure("no-route", "network lost during handshake");
+    }
+    elapsed += *t;
+  }
+  connection->stats_.handshake_time = elapsed;
+  return util::Result<std::shared_ptr<Connection>>(std::move(connection));
+}
+
+Connection::~Connection() = default;
+
+void Connection::install_monitor(End end) {
+  const int i = index(end);
+  // The *other* side's authorizer produced this proof; its repository is the
+  // revocation home to watch.
+  drbac::Repository* repo = suites_[index(other(end))].authorizer->repository();
+  if (repo == nullptr || proofs_[i].credentials.empty()) {
+    monitors_[i].reset();
+    return;
+  }
+  monitors_[i] = std::make_unique<drbac::ProofMonitor>(
+      repo, proofs_[i],
+      [this, end](const drbac::Proof&, std::uint64_t serial) {
+        suspended_[index(end)].store(true);
+        std::function<void(End, const std::string&)> listener;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          listener = listener_;
+        }
+        if (listener) {
+          listener(end, "credential " + std::to_string(serial) +
+                            " revoked; revalidation required");
+        }
+      });
+}
+
+util::Bytes Connection::seal(End sender, const util::Bytes& plaintext) {
+  const int dir = index(sender);
+  const std::uint64_t seq = ++send_seq_[dir];
+  const util::Bytes ciphertext = crypto::chacha20_xor(
+      cipher_keys_[dir], nonce_for(dir, seq), 1, plaintext);
+  util::Bytes frame;
+  util::put_u64_be(frame, seq);
+  util::append(frame, ciphertext);
+  util::Bytes mac_input = frame;
+  const util::Bytes mac = crypto::hmac_sha256_bytes(mac_keys_[dir], mac_input);
+  util::append(frame, mac);
+  return frame;
+}
+
+util::Result<util::Bytes> Connection::unseal(End receiver,
+                                             const util::Bytes& frame) {
+  using Fail = util::Result<util::Bytes>;
+  // Receiver decodes the *other* end's direction.
+  const int dir = index(other(receiver));
+  if (frame.size() < kFrameOverhead) return Fail::failure("frame", "short frame");
+  const std::uint64_t seq = util::get_u64_be(frame, 0);
+  const util::Bytes body(frame.begin(), frame.end() - 32);
+  const util::Bytes mac(frame.end() - 32, frame.end());
+  const util::Bytes expected = crypto::hmac_sha256_bytes(mac_keys_[dir], body);
+  if (!util::equal_ct(mac, expected)) {
+    return Fail::failure("frame", "MAC verification failed");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t low = recv_max_[dir] > kReplayWindow
+                                  ? recv_max_[dir] - kReplayWindow
+                                  : 0;
+    if (seq <= low || recv_seen_[dir].count(seq) > 0) {
+      return Fail::failure("replay", "replayed or stale frame (seq " +
+                                         std::to_string(seq) + ")");
+    }
+    recv_seen_[dir].insert(seq);
+    if (seq > recv_max_[dir]) recv_max_[dir] = seq;
+    // Prune entries that fell out of the window.
+    const std::uint64_t new_low = recv_max_[dir] > kReplayWindow
+                                      ? recv_max_[dir] - kReplayWindow
+                                      : 0;
+    while (!recv_seen_[dir].empty() && *recv_seen_[dir].begin() <= new_low) {
+      recv_seen_[dir].erase(recv_seen_[dir].begin());
+    }
+  }
+  const util::Bytes ciphertext(frame.begin() + 8, frame.end() - 32);
+  return crypto::chacha20_xor(cipher_keys_[dir], nonce_for(dir, seq), 1,
+                              ciphertext);
+}
+
+Value Connection::dispatch(End at, const util::Bytes& plaintext_request) {
+  auto decoded = minilang::decode_values(plaintext_request);
+  if (!decoded.ok() || decoded.value().size() < 2) {
+    throw EvalError("switchboard: malformed request");
+  }
+  const std::string service = decoded.value()[0].as_string();
+  const std::string method = decoded.value()[1].as_string();
+  std::vector<Value> args(decoded.value().begin() + 2, decoded.value().end());
+
+  auto target = boards_[index(at)]->lookup(service);
+  if (target == nullptr) {
+    throw EvalError("switchboard: no service '" + service + "' on " +
+                    boards_[index(at)]->host());
+  }
+  return target->call(method, std::move(args));
+}
+
+Value Connection::call(End from, const std::string& service,
+                       const std::string& method, std::vector<Value> args) {
+  if (!open_.load()) {
+    throw EvalError("switchboard: connection closed (" + close_reason() + ")");
+  }
+  if (suspended_[index(from)].load()) {
+    throw EvalError(
+        "switchboard: authorization revoked; revalidation required before "
+        "further requests");
+  }
+  const End to = other(from);
+
+  // Request: encode, seal, transfer, unseal, dispatch.
+  std::vector<Value> request;
+  request.reserve(args.size() + 2);
+  request.push_back(Value::string(service));
+  request.push_back(Value::string(method));
+  for (auto& a : args) request.push_back(std::move(a));
+  const util::Bytes plaintext = minilang::encode_values(request);
+  const util::Bytes frame = seal(from, plaintext);
+
+  auto forward_time = boards_[index(from)]->network().transfer(
+      boards_[index(from)]->host(), boards_[index(to)]->host(), frame.size());
+  if (!forward_time.has_value()) {
+    close("network partition");
+    throw EvalError("switchboard: network partition");
+  }
+  auto unsealed = unseal(to, frame);
+  if (!unsealed.ok()) {
+    close("frame corruption: " + unsealed.error().message);
+    throw EvalError("switchboard: " + unsealed.error().message);
+  }
+
+  Value result;
+  std::string app_error;
+  try {
+    result = dispatch(to, unsealed.value());
+  } catch (const EvalError& e) {
+    app_error = e.what();
+  }
+
+  // Response: ok flag + payload (or error text), sealed in the reverse
+  // direction.
+  std::vector<Value> response;
+  response.push_back(Value::boolean(app_error.empty()));
+  if (app_error.empty()) {
+    response.push_back(result);
+  } else {
+    response.push_back(Value::string(app_error));
+  }
+  const util::Bytes response_frame = seal(to, minilang::encode_values(response));
+  auto back_time = boards_[index(to)]->network().transfer(
+      boards_[index(to)]->host(), boards_[index(from)]->host(),
+      response_frame.size());
+  if (!back_time.has_value()) {
+    close("network partition");
+    throw EvalError("switchboard: network partition");
+  }
+  auto response_plain = unseal(from, response_frame);
+  if (!response_plain.ok()) {
+    close("frame corruption: " + response_plain.error().message);
+    throw EvalError("switchboard: " + response_plain.error().message);
+  }
+  auto decoded = minilang::decode_values(response_plain.value());
+  if (!decoded.ok() || decoded.value().size() != 2) {
+    throw EvalError("switchboard: malformed response");
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.calls;
+    stats_.frames += 2;
+    stats_.bytes += frame.size() + response_frame.size();
+    stats_.last_rtt = *forward_time + *back_time;
+  }
+
+  if (!decoded.value()[0].as_bool()) {
+    throw EvalError(decoded.value()[1].as_string());
+  }
+  return decoded.value()[1];
+}
+
+void Connection::heartbeat() {
+  if (!open_.load()) return;
+  const util::SimTime now = boards_[0]->clock().now();
+
+  // Liveness + RTT probe in both directions (sealed, so replay-resistant:
+  // each heartbeat consumes a fresh sequence number).
+  for (const End end : {End::kA, End::kB}) {
+    util::Bytes payload;
+    util::append(payload, "heartbeat|");
+    util::put_u64_be(payload, static_cast<std::uint64_t>(now));
+    const util::Bytes frame = seal(end, payload);
+    auto t = boards_[index(end)]->network().transfer(
+        boards_[index(end)]->host(), boards_[index(other(end))]->host(),
+        frame.size());
+    if (!t.has_value()) {
+      close("liveness lost: no route");
+      return;
+    }
+    auto unsealed = unseal(other(end), frame);
+    if (!unsealed.ok()) {
+      close("heartbeat corruption: " + unsealed.error().message);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.heartbeats;
+    stats_.last_rtt = 2 * *t;
+  }
+
+  // Continuous authorization: re-validate both proofs at the current time
+  // (catches expiry as well as revocations the monitors already flagged).
+  for (const End end : {End::kA, End::kB}) {
+    const int i = index(end);
+    drbac::Repository* repo =
+        suites_[index(other(end))].authorizer->repository();
+    if (repo == nullptr || proofs_[i].credentials.empty()) continue;
+    drbac::Engine engine(repo);
+    if (!engine.validate(proofs_[i], now) && !suspended_[i].load()) {
+      suspended_[i].store(true);
+      std::function<void(End, const std::string&)> listener;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        listener = listener_;
+      }
+      if (listener) listener(end, "proof no longer validates");
+    }
+  }
+}
+
+bool Connection::revalidate(End end) {
+  const int i = index(end);
+  const AuthorizationSuite& evaluator = suites_[index(other(end))];
+  auto proof = evaluator.authorizer->authorize(
+      drbac::Principal::of_entity(suites_[i].identity),
+      suites_[i].credentials, boards_[0]->clock().now());
+  if (!proof.ok()) return false;
+  proofs_[i] = std::move(proof).take();
+  suspended_[i].store(false);
+  install_monitor(end);
+  std::function<void(End, const std::string&)> listener;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    listener = listener_;
+  }
+  if (listener) listener(end, "revalidated");
+  return true;
+}
+
+void Connection::close(const std::string& reason) {
+  bool was_open = open_.exchange(false);
+  if (!was_open) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  close_reason_ = reason;
+}
+
+std::string Connection::close_reason() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return close_reason_;
+}
+
+const drbac::Proof& Connection::proof_of(End end) const {
+  return proofs_[end == End::kA ? 0 : 1];
+}
+
+bool Connection::suspended(End end) const {
+  return suspended_[end == End::kA ? 0 : 1].load();
+}
+
+void Connection::set_authorization_listener(
+    std::function<void(End, const std::string&)> listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  listener_ = std::move(listener);
+}
+
+ConnectionStats Connection::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+// ------------------------------------------------------------------- stubs
+
+ChannelStub::ChannelStub(std::shared_ptr<Connection> connection,
+                         Connection::End local, std::string service)
+    : connection_(std::move(connection)),
+      local_(local),
+      service_(std::move(service)) {}
+
+Value ChannelStub::call(const std::string& method, std::vector<Value> args) {
+  return connection_->call(local_, service_, method, std::move(args));
+}
+
+std::string ChannelStub::type_name() const {
+  return "switchboard:" + service_;
+}
+
+RmiStub::RmiStub(Network* network, std::string from_host, Switchboard* remote,
+                 std::string service)
+    : network_(network),
+      from_host_(std::move(from_host)),
+      remote_(remote),
+      service_(std::move(service)) {}
+
+Value RmiStub::call(const std::string& method, std::vector<Value> args) {
+  // Marshal a copy for wire accounting; the dispatch below still needs the
+  // live arguments.
+  std::vector<Value> request;
+  request.push_back(Value::string(method));
+  for (const auto& a : args) request.push_back(a);
+  const util::Bytes payload = minilang::encode_values(request);
+  if (!network_->transfer(from_host_, remote_->host(), payload.size())
+           .has_value()) {
+    throw EvalError("rmi: no route to " + remote_->host());
+  }
+  auto target = remote_->lookup(service_);
+  if (target == nullptr) {
+    throw EvalError("rmi: no service '" + service_ + "' on " +
+                    remote_->host());
+  }
+  Value result = target->call(method, std::move(args));
+  // Response transfer: marshal the result for accounting purposes; objects
+  // cannot cross (RMI-style serialization failure).
+  const util::Bytes response = minilang::encode_value(result);
+  if (!network_->transfer(remote_->host(), from_host_, response.size())
+           .has_value()) {
+    throw EvalError("rmi: no route back from " + remote_->host());
+  }
+  return result;
+}
+
+std::string RmiStub::type_name() const { return "rmi:" + service_; }
+
+}  // namespace psf::switchboard

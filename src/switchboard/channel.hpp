@@ -1,0 +1,200 @@
+// Switchboard (paper §4.3): host-level communication resource establishing
+// secure, authenticated, and *continuously* authorized connections between
+// component pairs.
+//
+//  - Key exchange: ephemeral Diffie-Hellman on the Ed25519 group; transcript
+//    signed by each side's PKI identity.
+//  - Cipher: per-direction ChaCha20 keys; frames are MACed (HMAC-SHA-256)
+//    and carry strictly increasing sequence numbers (replay resistance).
+//  - Authorization: each side's Authorizer evaluates the partner's dRBAC
+//    credentials into a proof; AuthorizationMonitors (dRBAC ProofMonitors)
+//    fire when a credential is revoked mid-connection, suspending the
+//    offending end until it revalidates — the property that distinguishes
+//    Switchboard from SSL/TLS.
+//  - Heartbeats: replay-resistant, measure RTT, detect liveness loss, and
+//    re-validate both proofs.
+//  - RPC: a two-way procedure-call interface on top, used by views' stub
+//    fields (ChannelStub) — the `switchboard` interface binding. RmiStub is
+//    the plaintext, connectionless baseline (the `rmi` binding).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "crypto/chacha20.hpp"
+#include "drbac/engine.hpp"
+#include "minilang/value.hpp"
+#include "minilang/value_codec.hpp"
+#include "switchboard/authorizer.hpp"
+#include "switchboard/network.hpp"
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+
+namespace psf::switchboard {
+
+class Connection;
+
+/// One per host: the service registry plus the connection factory.
+class Switchboard {
+ public:
+  Switchboard(std::string host, Network* network,
+              std::shared_ptr<util::Clock> clock);
+
+  const std::string& host() const { return host_; }
+  Network& network() { return *network_; }
+  util::Clock& clock() { return *clock_; }
+
+  void register_service(const std::string& name,
+                        std::shared_ptr<minilang::CallTarget> target);
+  std::shared_ptr<minilang::CallTarget> lookup(const std::string& name) const;
+
+  /// Suite used when remote parties connect to this switchboard.
+  void set_suite(AuthorizationSuite suite);
+  const AuthorizationSuite* suite() const;
+
+  /// Establish a secure connection from this host to `remote`, using
+  /// `local_suite` on our side and the remote's configured suite.
+  util::Result<std::shared_ptr<Connection>> connect(
+      Switchboard& remote, const AuthorizationSuite& local_suite,
+      util::Rng& rng);
+
+ private:
+  std::string host_;
+  Network* network_;
+  std::shared_ptr<util::Clock> clock_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<minilang::CallTarget>> services_;
+  std::unique_ptr<AuthorizationSuite> suite_;
+};
+
+struct ConnectionStats {
+  std::uint64_t calls = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t heartbeats = 0;
+  util::SimTime last_rtt = 0;       // simulated
+  util::SimTime handshake_time = 0; // simulated
+};
+
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  enum class End { kA, kB };  // A initiated the connection
+
+  /// Full handshake: route check, DH, identity signatures, mutual
+  /// authorization, monitor installation.
+  static util::Result<std::shared_ptr<Connection>> establish(
+      Switchboard& a, Switchboard& b, const AuthorizationSuite& suite_a,
+      const AuthorizationSuite& suite_b, util::Rng& rng);
+
+  ~Connection();
+
+  /// Two-way RPC: invoke `service.method(args)` on the opposite end.
+  /// Throws minilang::EvalError on transport, authorization, or application
+  /// errors.
+  minilang::Value call(End from, const std::string& service,
+                       const std::string& method,
+                       std::vector<minilang::Value> args);
+
+  /// Replay-resistant liveness + RTT probe; also re-validates both proofs.
+  /// Safe to call from a timer thread.
+  void heartbeat();
+
+  void close(const std::string& reason);
+  bool open() const { return open_.load(); }
+  std::string close_reason() const;
+
+  /// The proof authorizing `end`'s identity (produced by the other side's
+  /// Authorizer at establishment or the latest revalidation).
+  const drbac::Proof& proof_of(End end) const;
+
+  /// Is `end` currently suspended pending revalidation?
+  bool suspended(End end) const;
+
+  /// Try to re-authorize `end` (fresh credentials may have been issued).
+  bool revalidate(End end);
+
+  /// Listener fired when an end's authorization changes (revocation or
+  /// successful revalidation). Args: which end, human-readable reason.
+  void set_authorization_listener(
+      std::function<void(End, const std::string&)> listener);
+
+  ConnectionStats stats() const;
+
+  /// The switchboard (host) behind one end, e.g. for network accounting by
+  /// layered transports (SwitchboardStream).
+  Switchboard& board(End end) const { return *boards_[end == End::kA ? 0 : 1]; }
+
+  // --- exposed for tests: raw frame sealing with replay protection ---
+  util::Bytes seal(End sender, const util::Bytes& plaintext);
+  util::Result<util::Bytes> unseal(End receiver, const util::Bytes& frame);
+
+ private:
+  Connection() = default;
+
+  static End other(End end) { return end == End::kA ? End::kB : End::kA; }
+  int index(End end) const { return end == End::kA ? 0 : 1; }
+
+  Switchboard* boards_[2] = {nullptr, nullptr};
+  AuthorizationSuite suites_[2];
+  drbac::Proof proofs_[2];
+  std::unique_ptr<drbac::ProofMonitor> monitors_[2];
+  std::atomic<bool> suspended_[2] = {false, false};
+
+  crypto::ChaChaKey cipher_keys_[2];  // [0]=A->B, [1]=B->A
+  util::Bytes mac_keys_[2];
+  std::atomic<std::uint64_t> send_seq_[2] = {0, 0};
+  // Replay protection per direction: sliding window of recently seen
+  // sequence numbers (concurrent calls may deliver frames out of order).
+  static constexpr std::uint64_t kReplayWindow = 4096;
+  std::uint64_t recv_max_[2] = {0, 0};
+  std::set<std::uint64_t> recv_seen_[2];
+
+  std::atomic<bool> open_{false};
+  mutable std::mutex mutex_;
+  std::string close_reason_;
+  std::function<void(End, const std::string&)> listener_;
+  ConnectionStats stats_;
+
+  void install_monitor(End end);
+  minilang::Value dispatch(End at, const util::Bytes& plaintext_request);
+};
+
+/// View stub for `switchboard`-bound interfaces: routes calls through a
+/// secure connection.
+class ChannelStub : public minilang::CallTarget {
+ public:
+  ChannelStub(std::shared_ptr<Connection> connection, Connection::End local,
+              std::string service);
+  minilang::Value call(const std::string& method,
+                       std::vector<minilang::Value> args) override;
+  std::string type_name() const override;
+
+ private:
+  std::shared_ptr<Connection> connection_;
+  Connection::End local_;
+  std::string service_;
+};
+
+/// View stub for `rmi`-bound interfaces: plaintext, unauthenticated RPC with
+/// network accounting but no channel state.
+class RmiStub : public minilang::CallTarget {
+ public:
+  RmiStub(Network* network, std::string from_host, Switchboard* remote,
+          std::string service);
+  minilang::Value call(const std::string& method,
+                       std::vector<minilang::Value> args) override;
+  std::string type_name() const override;
+
+ private:
+  Network* network_;
+  std::string from_host_;
+  Switchboard* remote_;
+  std::string service_;
+};
+
+}  // namespace psf::switchboard

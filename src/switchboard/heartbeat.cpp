@@ -1,0 +1,41 @@
+#include "switchboard/heartbeat.hpp"
+
+namespace psf::switchboard {
+
+HeartbeatDriver::HeartbeatDriver(std::shared_ptr<Connection> connection,
+                                 std::chrono::milliseconds period)
+    : connection_(std::move(connection)),
+      thread_([this, period] { loop(period); }) {}
+
+HeartbeatDriver::~HeartbeatDriver() {
+  stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void HeartbeatDriver::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_.store(true);
+  }
+  cv_.notify_all();
+}
+
+void HeartbeatDriver::loop(std::chrono::milliseconds period) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopped_.load()) {
+    if (cv_.wait_for(lock, period, [this] { return stopped_.load(); })) {
+      return;
+    }
+    lock.unlock();
+    connection_->heartbeat();
+    beats_.fetch_add(1);
+    if (!connection_->open()) {
+      stopped_.store(true);
+      lock.lock();
+      return;
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace psf::switchboard

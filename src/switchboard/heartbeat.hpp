@@ -1,0 +1,43 @@
+// Background heartbeat driver: the paper's Switchboard connections are
+// "monitored using replay-resistant heartbeats that indicate liveness and
+// round-trip latency". Tests drive Connection::heartbeat() deterministically;
+// deployments attach a HeartbeatDriver, which beats from a real thread until
+// stopped or the connection closes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "switchboard/channel.hpp"
+
+namespace psf::switchboard {
+
+class HeartbeatDriver {
+ public:
+  HeartbeatDriver(std::shared_ptr<Connection> connection,
+                  std::chrono::milliseconds period);
+  ~HeartbeatDriver();
+
+  HeartbeatDriver(const HeartbeatDriver&) = delete;
+  HeartbeatDriver& operator=(const HeartbeatDriver&) = delete;
+
+  void stop();
+  std::uint64_t beats() const { return beats_.load(); }
+  bool running() const { return !stopped_.load(); }
+
+ private:
+  void loop(std::chrono::milliseconds period);
+
+  std::shared_ptr<Connection> connection_;
+  std::atomic<std::uint64_t> beats_{0};
+  std::atomic<bool> stopped_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+}  // namespace psf::switchboard

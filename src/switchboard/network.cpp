@@ -1,0 +1,150 @@
+#include "switchboard/network.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace psf::switchboard {
+
+void Network::add_host(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(hosts_.begin(), hosts_.end(), name) == hosts_.end()) {
+    hosts_.push_back(name);
+  }
+}
+
+bool Network::has_host(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::find(hosts_.begin(), hosts_.end(), name) != hosts_.end();
+}
+
+std::vector<std::string> Network::hosts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hosts_;
+}
+
+void Network::connect(const std::string& a, const std::string& b,
+                      LinkProps props) {
+  add_host(a);
+  add_host(b);
+  std::lock_guard<std::mutex> lock(mutex_);
+  links_[key(a, b)] = props;
+}
+
+std::optional<LinkProps> Network::link(const std::string& a,
+                                       const std::string& b) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = links_.find(key(a, b));
+  if (it == links_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Network::set_link(const std::string& a, const std::string& b,
+                       LinkProps props) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  links_[key(a, b)] = props;
+}
+
+void Network::disconnect(const std::string& a, const std::string& b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  links_.erase(key(a, b));
+}
+
+std::optional<PathInfo> Network::path(const std::string& from,
+                                      const std::string& to) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (from == to) {
+    return PathInfo{{from}, 0, 0, true};
+  }
+  // Dijkstra on latency.
+  using QueueItem = std::pair<util::SimTime, std::string>;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+  std::map<std::string, util::SimTime> dist;
+  std::map<std::string, std::string> prev;
+  dist[from] = 0;
+  queue.emplace(0, from);
+  while (!queue.empty()) {
+    auto [d, host] = queue.top();
+    queue.pop();
+    if (d > dist[host]) continue;
+    if (host == to) break;
+    for (const auto& [k, props] : links_) {
+      std::string neighbor;
+      if (k.first == host) {
+        neighbor = k.second;
+      } else if (k.second == host) {
+        neighbor = k.first;
+      } else {
+        continue;
+      }
+      const util::SimTime nd = d + props.latency;
+      auto it = dist.find(neighbor);
+      if (it == dist.end() || nd < it->second) {
+        dist[neighbor] = nd;
+        prev[neighbor] = host;
+        queue.emplace(nd, neighbor);
+      }
+    }
+  }
+  if (dist.find(to) == dist.end()) return std::nullopt;
+
+  PathInfo info;
+  info.latency = dist[to];
+  info.bandwidth_kbps = 0;
+  info.secure = true;
+  std::vector<std::string> reversed{to};
+  std::string current = to;
+  while (current != from) {
+    current = prev[current];
+    reversed.push_back(current);
+  }
+  info.hops.assign(reversed.rbegin(), reversed.rend());
+  for (std::size_t i = 0; i + 1 < info.hops.size(); ++i) {
+    const auto& props = links_.at(key(info.hops[i], info.hops[i + 1]));
+    if (!props.secure) info.secure = false;
+    if (props.bandwidth_kbps != 0 &&
+        (info.bandwidth_kbps == 0 ||
+         props.bandwidth_kbps < info.bandwidth_kbps)) {
+      info.bandwidth_kbps = props.bandwidth_kbps;
+    }
+  }
+  return info;
+}
+
+std::optional<util::SimTime> Network::transfer(const std::string& from,
+                                               const std::string& to,
+                                               std::size_t bytes) {
+  auto info = path(from, to);
+  if (!info.has_value()) return std::nullopt;
+  util::SimTime elapsed = info->latency;
+  if (info->bandwidth_kbps > 0) {
+    // bytes / (kbps * 1000 / 8 bytes-per-second) seconds, in nanoseconds.
+    const double seconds = static_cast<double>(bytes) /
+                           (static_cast<double>(info->bandwidth_kbps) * 125.0);
+    elapsed += static_cast<util::SimTime>(seconds * 1e9);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i + 1 < info->hops.size(); ++i) {
+      LinkStats& stats = stats_[key(info->hops[i], info->hops[i + 1])];
+      ++stats.messages;
+      stats.bytes += bytes;
+    }
+  }
+  return elapsed;
+}
+
+LinkStats Network::stats(const std::string& a, const std::string& b) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = stats_.find(key(a, b));
+  return it == stats_.end() ? LinkStats{} : it->second;
+}
+
+std::uint64_t Network::total_messages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [k, stats] : stats_) total += stats.messages;
+  return total;
+}
+
+}  // namespace psf::switchboard

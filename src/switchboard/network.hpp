@@ -1,0 +1,77 @@
+// Deterministic in-process network model standing in for the paper's WAN
+// testbed (NY / San Diego / Seattle LANs joined by slow, insecure WAN
+// links). Hosts are names; links carry latency, bandwidth, and a `secure`
+// flag. The planner reads these properties to decide where caches and
+// encryptor/decryptor pairs go; Switchboard charges transfers against them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/sim_clock.hpp"
+
+namespace psf::switchboard {
+
+struct LinkProps {
+  util::SimTime latency = 0;        // one-way, nanoseconds
+  std::int64_t bandwidth_kbps = 0;  // 0 = unconstrained
+  bool secure = true;               // physically trusted link?
+};
+
+struct PathInfo {
+  std::vector<std::string> hops;  // [from, ..., to]
+  util::SimTime latency = 0;      // one-way, sum over links
+  std::int64_t bandwidth_kbps = 0;  // min over links (0 = unconstrained)
+  bool secure = true;             // all links secure?
+};
+
+struct LinkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Network {
+ public:
+  void add_host(const std::string& name);
+  bool has_host(const std::string& name) const;
+  std::vector<std::string> hosts() const;
+
+  /// Bidirectional link.
+  void connect(const std::string& a, const std::string& b, LinkProps props);
+  std::optional<LinkProps> link(const std::string& a,
+                                const std::string& b) const;
+  void set_link(const std::string& a, const std::string& b, LinkProps props);
+  void disconnect(const std::string& a, const std::string& b);
+
+  /// Lowest-latency path (Dijkstra); nullopt if unreachable.
+  std::optional<PathInfo> path(const std::string& from,
+                               const std::string& to) const;
+
+  /// Account a transfer of `bytes` from->to along the best path; returns
+  /// the simulated one-way delivery time (latency + serialization), or
+  /// nullopt if unreachable.
+  std::optional<util::SimTime> transfer(const std::string& from,
+                                        const std::string& to,
+                                        std::size_t bytes);
+
+  LinkStats stats(const std::string& a, const std::string& b) const;
+  std::uint64_t total_messages() const;
+
+ private:
+  static std::pair<std::string, std::string> key(const std::string& a,
+                                                 const std::string& b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::string> hosts_;
+  std::map<std::pair<std::string, std::string>, LinkProps> links_;
+  std::map<std::pair<std::string, std::string>, LinkStats> stats_;
+};
+
+}  // namespace psf::switchboard

@@ -1,0 +1,78 @@
+#include "switchboard/stream.hpp"
+
+namespace psf::switchboard {
+
+using minilang::EvalError;
+
+SwitchboardStream::SwitchboardStream(std::shared_ptr<Connection> connection,
+                                     std::size_t chunk_size)
+    : connection_(std::move(connection)),
+      chunk_size_(chunk_size == 0 ? 1 : chunk_size) {}
+
+void SwitchboardStream::send(Connection::End from, const util::Bytes& data) {
+  if (!connection_->open()) {
+    throw EvalError("stream: connection closed (" +
+                    connection_->close_reason() + ")");
+  }
+  if (connection_->suspended(from)) {
+    throw EvalError("stream: authorization revoked; revalidation required");
+  }
+  const Connection::End to =
+      from == Connection::End::kA ? Connection::End::kB : Connection::End::kA;
+
+  std::size_t offset = 0;
+  while (offset < data.size() || data.empty()) {
+    const std::size_t take = std::min(chunk_size_, data.size() - offset);
+    util::Bytes chunk(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                      data.begin() + static_cast<std::ptrdiff_t>(offset + take));
+    const util::Bytes frame = connection_->seal(from, chunk);
+    // Charge the wire: the stream rides the same hosts as the RPC traffic.
+    if (!connection_->board(from)
+             .network()
+             .transfer(connection_->board(from).host(),
+                       connection_->board(to).host(), frame.size())
+             .has_value()) {
+      connection_->close("network partition");
+      throw EvalError("stream: network partition");
+    }
+    auto unsealed = connection_->unseal(to, frame);
+    if (!unsealed.ok()) {
+      connection_->close("stream corruption: " + unsealed.error().message);
+      throw EvalError("stream: " + unsealed.error().message);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto& queue = inbound_[to == Connection::End::kA ? 0 : 1];
+      queue.insert(queue.end(), unsealed.value().begin(),
+                   unsealed.value().end());
+      ++stats_.chunks;
+      stats_.payload_bytes += take;
+      stats_.wire_bytes += frame.size();
+    }
+    offset += take;
+    if (data.empty()) break;  // a single empty chunk still counts as a write
+  }
+}
+
+util::Bytes SwitchboardStream::receive(Connection::End at,
+                                       std::size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& queue = inbound_[at == Connection::End::kA ? 0 : 1];
+  const std::size_t take = std::min(max_bytes, queue.size());
+  util::Bytes out(queue.begin(),
+                  queue.begin() + static_cast<std::ptrdiff_t>(take));
+  queue.erase(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(take));
+  return out;
+}
+
+std::size_t SwitchboardStream::available(Connection::End at) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inbound_[at == Connection::End::kA ? 0 : 1].size();
+}
+
+SwitchboardStream::Stats SwitchboardStream::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace psf::switchboard

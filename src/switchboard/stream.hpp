@@ -1,0 +1,48 @@
+// SwitchboardStream (paper §4.3 / reference [6]): secure, monitored byte
+// transport between the two ends of a Connection. Bulk payloads are chunked
+// into sealed frames (same ChaCha20+HMAC+replay-window machinery as RPC),
+// so large transfers — mail bodies, coherence images — inherit the
+// channel's authentication, privacy, and continuous authorization.
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+#include "switchboard/channel.hpp"
+
+namespace psf::switchboard {
+
+class SwitchboardStream {
+ public:
+  explicit SwitchboardStream(std::shared_ptr<Connection> connection,
+                             std::size_t chunk_size = 16 * 1024);
+
+  /// Send the whole buffer from `from` toward the other end. Chunks are
+  /// sealed, transferred (charged to the network), and appended to the
+  /// peer's receive queue. Throws minilang::EvalError on closed/suspended
+  /// connections or transport failure.
+  void send(Connection::End from, const util::Bytes& data);
+
+  /// Dequeue up to `max_bytes` available at `at` (FIFO across chunks).
+  util::Bytes receive(Connection::End at, std::size_t max_bytes);
+
+  std::size_t available(Connection::End at) const;
+
+  struct Stats {
+    std::uint64_t chunks = 0;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t wire_bytes = 0;  // sealed size (payload + framing + MAC)
+  };
+  Stats stats() const;
+
+  const std::shared_ptr<Connection>& connection() const { return connection_; }
+
+ private:
+  std::shared_ptr<Connection> connection_;
+  std::size_t chunk_size_;
+  mutable std::mutex mutex_;
+  std::deque<std::uint8_t> inbound_[2];  // indexed by receiving end
+  Stats stats_;
+};
+
+}  // namespace psf::switchboard

@@ -1,0 +1,32 @@
+// Leveled logger. Default level is Warn so tests and benchmarks stay quiet;
+// examples raise it to Info to narrate deployments.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace psf::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+}  // namespace psf::util
+
+#define PSF_LOG(level, component, expr)                                   \
+  do {                                                                    \
+    if (static_cast<int>(level) >= static_cast<int>(psf::util::log_level())) { \
+      std::ostringstream psf_log_os;                                      \
+      psf_log_os << expr;                                                 \
+      psf::util::log_line(level, component, psf_log_os.str());            \
+    }                                                                     \
+  } while (0)
+
+#define PSF_DEBUG(component, expr) PSF_LOG(psf::util::LogLevel::kDebug, component, expr)
+#define PSF_INFO(component, expr) PSF_LOG(psf::util::LogLevel::kInfo, component, expr)
+#define PSF_WARN(component, expr) PSF_LOG(psf::util::LogLevel::kWarn, component, expr)
+#define PSF_ERROR(component, expr) PSF_LOG(psf::util::LogLevel::kError, component, expr)

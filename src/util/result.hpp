@@ -1,0 +1,54 @@
+// Minimal expected-style result type (C++20 has no std::expected yet).
+// Used by modules whose failures are ordinary outcomes rather than bugs:
+// proof search, VIG validation, planning.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace psf::util {
+
+/// Error payload: a short machine-readable code plus a human explanation.
+struct Error {
+  std::string code;
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+  static Result failure(std::string code, std::string message) {
+    return Result(Error{std::move(code), std::move(message)});
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    if (!ok()) throw std::runtime_error("Result::take on error: " + error().message);
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    if (ok()) throw std::runtime_error("Result::error on success");
+    return std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace psf::util

@@ -1,0 +1,73 @@
+// Deterministic PRNG (xoshiro256**) so every test, benchmark workload, and
+// simulated key generation step is reproducible from a single seed.
+// Not cryptographically secure by design: the repo is a research
+// reproduction, and determinism is worth more than entropy here.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace psf::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound); bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  double next_double() {  // uniform in [0, 1)
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  Bytes next_bytes(std::size_t n) {
+    Bytes out(n);
+    std::size_t i = 0;
+    while (i < n) {
+      std::uint64_t v = next_u64();
+      for (int j = 0; j < 8 && i < n; ++j, ++i) {
+        out[i] = static_cast<std::uint8_t>(v >> (8 * j));
+      }
+    }
+    return out;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace psf::util

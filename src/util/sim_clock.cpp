@@ -1,0 +1,4 @@
+#include "util/sim_clock.hpp"
+
+// Header-only implementations; this TU anchors the vtables.
+namespace psf::util {}

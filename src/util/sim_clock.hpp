@@ -1,0 +1,51 @@
+// Virtual time source. The network simulator, credential expiration, and
+// heartbeat replay windows all read time through a Clock so tests can advance
+// time deterministically instead of sleeping.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace psf::util {
+
+/// Nanoseconds since an arbitrary epoch.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicrosecond = 1'000;
+constexpr SimTime kMillisecond = 1'000'000;
+constexpr SimTime kSecond = 1'000'000'000;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual SimTime now() const = 0;
+};
+
+/// Manually advanced clock; thread-safe.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(SimTime start = 0) : now_(start) {}
+
+  SimTime now() const override { return now_.load(std::memory_order_acquire); }
+
+  void advance(SimTime delta) { now_.fetch_add(delta, std::memory_order_acq_rel); }
+
+  void set(SimTime t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<SimTime> now_;
+};
+
+/// Wall-clock-backed clock for benchmarks that measure real elapsed time.
+class RealClock final : public Clock {
+ public:
+  SimTime now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace psf::util

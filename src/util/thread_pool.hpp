@@ -1,0 +1,39 @@
+// Fixed-size worker pool. Used by the planner for parallel plan search and by
+// benchmarks that drive many Switchboard channels concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace psf::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  std::size_t size() const { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace psf::util

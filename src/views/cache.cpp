@@ -1,0 +1,126 @@
+#include "views/cache.hpp"
+
+#include "minilang/interp.hpp"
+#include "minilang/value_codec.hpp"
+
+namespace psf::views {
+
+using minilang::Instance;
+using minilang::Value;
+
+CacheManager::CacheManager(Policy policy, Value original)
+    : policy_(policy), original_(std::move(original)) {}
+
+void CacheManager::before_method(Instance& self, const minilang::MethodDef&) {
+  acquire_image(self);
+}
+
+void CacheManager::after_method(Instance& self, const minilang::MethodDef&) {
+  release_image(self);
+}
+
+void CacheManager::acquire_image(Instance& self) {
+  ++stats_.acquires;
+  if (in_coherence_) return;
+  if (policy_ != Policy::kPull && policy_ != Policy::kPullPush) return;
+  if (original_.is_null()) return;
+  in_coherence_ = true;
+  try {
+    Value image = minilang::invoke_method(
+        self.shared_from_this(), "extractImageFromObj", {}, /*external=*/false);
+    if (image.is_bytes() && !image.as_bytes().empty()) {
+      minilang::invoke_method(self.shared_from_this(), "mergeImageIntoView",
+                              {image}, /*external=*/false);
+      ++stats_.pulls;
+    }
+  } catch (...) {
+    in_coherence_ = false;
+    throw;
+  }
+  in_coherence_ = false;
+}
+
+void CacheManager::release_image(Instance& self) {
+  ++stats_.releases;
+  if (in_coherence_) return;
+  if (policy_ != Policy::kPush && policy_ != Policy::kPullPush) return;
+  if (original_.is_null()) return;
+  in_coherence_ = true;
+  try {
+    Value image = minilang::invoke_method(self.shared_from_this(),
+                                          "extractImageFromView", {},
+                                          /*external=*/false);
+    if (image.is_bytes() && !image.as_bytes().empty()) {
+      minilang::invoke_method(self.shared_from_this(), "mergeImageIntoObj",
+                              {image}, /*external=*/false);
+      ++stats_.pushes;
+    }
+  } catch (...) {
+    in_coherence_ = false;
+    throw;
+  }
+  in_coherence_ = false;
+}
+
+std::shared_ptr<CacheManager> attach_cache_manager(
+    const std::shared_ptr<Instance>& view, Value original,
+    CacheManager::Policy policy) {
+  auto manager = std::make_shared<CacheManager>(policy, std::move(original));
+  view->set_hooks(manager);
+  return manager;
+}
+
+namespace {
+bool is_wiring_field_name(const std::string& name) {
+  return name == "cacheManager" || name.ends_with("_rmi") ||
+         name.ends_with("_switch");
+}
+}  // namespace
+
+util::Bytes instance_image(const Instance& instance) {
+  minilang::ValueMap image;
+  for (const auto& [name, value] : instance.fields()) {
+    if (is_wiring_field_name(name) || value.is_object()) continue;
+    image[name] = value;
+  }
+  return minilang::encode_value(Value::map(std::move(image)));
+}
+
+void merge_instance_image(Instance& instance, const util::Bytes& image) {
+  if (image.empty()) return;
+  auto decoded = minilang::decode_value(image);
+  if (!decoded.ok() || !decoded.value().is_map()) {
+    throw minilang::EvalError("mergeImage: malformed image");
+  }
+  for (const auto& [name, value] : *decoded.value().as_map()) {
+    if (instance.has_field(name) && !is_wiring_field_name(name)) {
+      instance.set_field(name, value);
+    }
+  }
+}
+
+Value ImageEndpoint::call(const std::string& method,
+                          std::vector<Value> args) {
+  // When the wrapped target is itself a view (a chained replica), its own
+  // CacheManager keeps it coherent with *its* original: reads pull first
+  // (read-through) and writes push afterwards (write-through), so updates
+  // propagate along replica chains.
+  auto* cache = dynamic_cast<CacheManager*>(target_->hooks());
+  if (method == "extractImageFromView" || method == "extractImageFromObj") {
+    if (cache != nullptr) cache->acquire_image(*target_);
+    return Value::bytes(instance_image(*target_));
+  }
+  if (method == "mergeImageIntoView" || method == "mergeImageIntoObj") {
+    if (args.size() != 1) throw minilang::EvalError("mergeImage: bad arity");
+    merge_instance_image(*target_, args[0].as_bytes());
+    if (cache != nullptr) cache->release_image(*target_);
+    return Value::null();
+  }
+  return target_->call(method, std::move(args));
+}
+
+std::string ImageEndpoint::type_name() const {
+  return "image-endpoint:" + target_->type_name();
+}
+
+}  // namespace psf::views

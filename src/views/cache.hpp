@@ -1,0 +1,96 @@
+// Cache coherence for views (paper §4.1/§4.3, building on the OOPSLA'99
+// object-views work): a view caches a subset of the original object's state;
+// acquireImage/releaseImage calls bracket every view method so the method
+// always works against the most current image. CacheManager implements the
+// bracket as MethodHooks: `before` pulls the original's image into the view,
+// `after` pushes the view's image back, under a configurable policy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "minilang/object.hpp"
+
+namespace psf::views {
+
+class CacheManager : public minilang::MethodHooks {
+ public:
+  enum class Policy {
+    kNone,      // no automatic coherence traffic
+    kPull,      // acquire: refresh view from the original
+    kPush,      // release: write view state back to the original
+    kPullPush,  // both (the paper's default behaviour)
+  };
+
+  /// `original` is an object value referencing the represented object —
+  /// a local Instance or a remote stub. Null means not yet wired.
+  explicit CacheManager(Policy policy = Policy::kPullPush,
+                        minilang::Value original = minilang::Value::null());
+
+  void set_original(minilang::Value original) { original_ = std::move(original); }
+  const minilang::Value& original() const { return original_; }
+
+  Policy policy() const { return policy_; }
+  void set_policy(Policy policy) { policy_ = policy; }
+
+  // MethodHooks: acquireImage / releaseImage brackets.
+  void before_method(minilang::Instance& self,
+                     const minilang::MethodDef& method) override;
+  void after_method(minilang::Instance& self,
+                    const minilang::MethodDef& method) override;
+
+  /// Explicit coherence operations (also usable by application code).
+  void acquire_image(minilang::Instance& self);
+  void release_image(minilang::Instance& self);
+
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t pulls = 0;   // images fetched from the original
+    std::uint64_t pushes = 0;  // images written back
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Policy policy_;
+  minilang::Value original_;
+  Stats stats_;
+  bool in_coherence_ = false;  // re-entrancy guard
+};
+
+/// Wire a freshly instantiated view to its original object: installs a
+/// CacheManager (stored in the `cacheManager` hook slot) and returns it.
+std::shared_ptr<CacheManager> attach_cache_manager(
+    const std::shared_ptr<minilang::Instance>& view, minilang::Value original,
+    CacheManager::Policy policy = CacheManager::Policy::kPullPush);
+
+/// Snapshot an instance's serializable state (all fields except wiring
+/// fields — cacheManager, *_rmi, *_switch — and object references) as an
+/// image; the byte[] the paper's coherence methods exchange.
+util::Bytes instance_image(const minilang::Instance& instance);
+
+/// Apply an image: set every matching non-wiring field.
+void merge_instance_image(minilang::Instance& instance,
+                          const util::Bytes& image);
+
+/// Remote coherence endpoint: wraps a (non-view) instance so that peers can
+/// fetch/apply its image with extractImageFromView / mergeImageIntoView
+/// calls, while all other methods pass through. This is how a view's
+/// default coherence handlers talk to an original object across the
+/// network.
+class ImageEndpoint : public minilang::CallTarget {
+ public:
+  explicit ImageEndpoint(std::shared_ptr<minilang::Instance> target)
+      : target_(std::move(target)) {}
+
+  minilang::Value call(const std::string& method,
+                       std::vector<minilang::Value> args) override;
+  std::string type_name() const override;
+
+  const std::shared_ptr<minilang::Instance>& target() const { return target_; }
+
+ private:
+  std::shared_ptr<minilang::Instance> target_;
+};
+
+}  // namespace psf::views

@@ -1,0 +1,19 @@
+// Java-source rendering of a generated view class, reproducing the shape of
+// the paper's Table 5: interface declarations with Remote/Serializable
+// markers, the view class with copied fields, injected stub and cacheManager
+// fields, a constructor with Naming/Switchboard lookups, stub-delegating
+// remote methods, and the coherence methods.
+#pragma once
+
+#include <string>
+
+#include "minilang/object.hpp"
+
+namespace psf::views {
+
+/// Emit the full Table 5-style listing for `view_class` (which must have
+/// been produced by VIG, i.e. carries interface bindings).
+std::string generate_java_source(const minilang::ClassDef& view_class,
+                                 const minilang::ClassRegistry& registry);
+
+}  // namespace psf::views

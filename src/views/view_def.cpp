@@ -1,0 +1,243 @@
+#include "views/view_def.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace psf::views {
+
+const char* const kCoherenceMethods[4] = {
+    "mergeImageIntoView", "mergeImageIntoObj", "extractImageFromView",
+    "extractImageFromObj"};
+
+namespace {
+
+std::string trim(std::string s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.erase(s.begin());
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.pop_back();
+  }
+  return s;
+}
+
+util::Result<ViewDefinition> fail(const std::string& message) {
+  return util::Result<ViewDefinition>::failure("view-def", message);
+}
+
+/// Collect (MSign, MBody) sibling pairs, matching the paper's Table 3(b)
+/// layout where signatures and bodies alternate.
+util::Result<std::vector<MethodSpec>> collect_methods(
+    const xml::Element& section) {
+  std::vector<MethodSpec> out;
+  std::string pending_sign;
+  bool have_sign = false;
+  for (const auto& child : section.children) {
+    if (child->name == "MSign") {
+      if (have_sign) {
+        return util::Result<std::vector<MethodSpec>>::failure(
+            "view-def", "MSign '" + trim(child->text) +
+                            "' follows MSign without an MBody");
+      }
+      pending_sign = trim(child->text);
+      have_sign = true;
+    } else if (child->name == "MBody") {
+      if (!have_sign) {
+        return util::Result<std::vector<MethodSpec>>::failure(
+            "view-def", "MBody without a preceding MSign");
+      }
+      auto spec = MethodSpec::parse_signature(pending_sign, child->text);
+      if (!spec.ok()) {
+        return util::Result<std::vector<MethodSpec>>::failure(
+            spec.error().code, spec.error().message);
+      }
+      out.push_back(std::move(spec).take());
+      have_sign = false;
+    }
+  }
+  if (have_sign) {
+    return util::Result<std::vector<MethodSpec>>::failure(
+        "view-def", "MSign '" + pending_sign + "' has no MBody");
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<MethodSpec> MethodSpec::parse_signature(
+    const std::string& signature, std::string body) {
+  auto bad = [&](const std::string& why) {
+    return util::Result<MethodSpec>::failure(
+        "view-def", "bad method signature '" + signature + "': " + why);
+  };
+  const std::string sig = trim(signature);
+  const auto open = sig.find('(');
+  if (open == std::string::npos || sig.back() != ')') {
+    return bad("expected name(params)");
+  }
+  MethodSpec spec;
+  // Tolerate Java-style return types / modifiers before the name: the name
+  // is the last identifier before '('.
+  std::string head = trim(sig.substr(0, open));
+  const auto last_space = head.find_last_of(" \t");
+  spec.name = last_space == std::string::npos ? head : head.substr(last_space + 1);
+  if (spec.name.empty()) return bad("missing method name");
+
+  const std::string params = sig.substr(open + 1, sig.size() - open - 2);
+  if (!trim(params).empty() && trim(params).back() == ',') {
+    return bad("empty parameter");
+  }
+  std::istringstream is(params);
+  std::string param;
+  while (std::getline(is, param, ',')) {
+    param = trim(param);
+    if (param.empty()) return bad("empty parameter");
+    // Drop a Java-style type prefix if present ("String name" -> "name").
+    const auto space = param.find_last_of(" \t");
+    if (space != std::string::npos) param = trim(param.substr(space + 1));
+    spec.params.push_back(param);
+  }
+  spec.body = std::move(body);
+  return spec;
+}
+
+std::string MethodSpec::signature() const {
+  std::ostringstream os;
+  os << name << "(";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << params[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+util::Result<ViewDefinition> ViewDefinition::from_xml(
+    const std::string& xml_text) {
+  auto parsed = xml::parse(xml_text);
+  if (!parsed.ok()) {
+    return fail("XML error: " + parsed.error().message);
+  }
+  return from_element(*parsed.value());
+}
+
+util::Result<ViewDefinition> ViewDefinition::from_element(
+    const xml::Element& root) {
+  if (root.name != "View") return fail("root element must be <View>");
+  ViewDefinition def;
+  def.name = root.attr("name");
+  if (def.name.empty()) return fail("<View> requires a name attribute");
+
+  const xml::Element* represents = root.child("Represents");
+  if (represents == nullptr || represents->attr("name").empty()) {
+    return fail("view '" + def.name +
+                "' must declare <Represents name=.../>");
+  }
+  def.represents = represents->attr("name");
+
+  if (const xml::Element* restricts = root.child("Restricts")) {
+    for (const xml::Element* iface : restricts->children_named("Interface")) {
+      InterfaceRestriction r;
+      r.name = iface->attr("name");
+      if (r.name.empty()) return fail("<Interface> requires a name");
+      const std::string type = iface->attr("type");
+      if (type == "local" || type.empty()) {
+        r.binding = minilang::Binding::kLocal;
+      } else if (type == "rmi") {
+        r.binding = minilang::Binding::kRmi;
+      } else if (type == "switchboard" || type == "switch") {
+        r.binding = minilang::Binding::kSwitchboard;
+      } else {
+        return fail("interface '" + r.name + "': unknown type '" + type +
+                    "' (expected local, rmi, or switchboard)");
+      }
+      def.interfaces.push_back(std::move(r));
+    }
+  }
+
+  if (const xml::Element* adds = root.child("Adds_Fields")) {
+    for (const xml::Element* field : adds->children_named("Field")) {
+      if (field->attr("name").empty()) return fail("<Field> requires a name");
+      def.added_fields.push_back({field->attr("name"), field->attr("type")});
+    }
+  }
+
+  if (const xml::Element* adds = root.child("Adds_Methods")) {
+    auto methods = collect_methods(*adds);
+    if (!methods.ok()) return fail(methods.error().message);
+    def.added_methods = std::move(methods).take();
+  }
+  if (const xml::Element* customizes = root.child("Customizes_Methods")) {
+    auto methods = collect_methods(*customizes);
+    if (!methods.ok()) return fail(methods.error().message);
+    def.customized_methods = std::move(methods).take();
+  }
+  if (const xml::Element* removes = root.child("Removes_Methods")) {
+    for (const xml::Element* method : removes->children_named("Method")) {
+      if (method->attr("name").empty()) {
+        return fail("<Method> under <Removes_Methods> requires a name");
+      }
+      def.removed_methods.push_back(method->attr("name"));
+    }
+  }
+  return def;
+}
+
+std::string ViewDefinition::to_xml() const {
+  xml::Element root;
+  root.name = "View";
+  root.attributes.emplace_back("name", name);
+
+  auto add_child = [](xml::Element& parent, const std::string& name) {
+    parent.children.push_back(std::make_unique<xml::Element>());
+    parent.children.back()->name = name;
+    return parent.children.back().get();
+  };
+
+  xml::Element* represents = add_child(root, "Represents");
+  represents->attributes.emplace_back("name", this->represents);
+
+  if (!interfaces.empty()) {
+    xml::Element* restricts = add_child(root, "Restricts");
+    for (const auto& iface : interfaces) {
+      xml::Element* e = add_child(*restricts, "Interface");
+      e->attributes.emplace_back("name", iface.name);
+      e->attributes.emplace_back("type", minilang::binding_name(iface.binding));
+    }
+  }
+  if (!added_fields.empty()) {
+    xml::Element* adds = add_child(root, "Adds_Fields");
+    for (const auto& field : added_fields) {
+      xml::Element* e = add_child(*adds, "Field");
+      e->attributes.emplace_back("name", field.name);
+      e->attributes.emplace_back("type", field.type);
+    }
+  }
+  auto emit_methods = [&](const std::string& section,
+                          const std::vector<MethodSpec>& methods) {
+    if (methods.empty()) return;
+    xml::Element* s = add_child(root, section);
+    for (const auto& m : methods) {
+      add_child(*s, "MSign")->text = m.signature();
+      add_child(*s, "MBody")->text = m.body;
+    }
+  };
+  emit_methods("Adds_Methods", added_methods);
+  emit_methods("Customizes_Methods", customized_methods);
+  if (!removed_methods.empty()) {
+    xml::Element* removes = add_child(root, "Removes_Methods");
+    for (const auto& name : removed_methods) {
+      add_child(*removes, "Method")->attributes.emplace_back("name", name);
+    }
+  }
+  return xml::serialize(root);
+}
+
+const MethodSpec* ViewDefinition::find_added(const std::string& method) const {
+  for (const auto& m : added_methods) {
+    if (m.name == method) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace psf::views

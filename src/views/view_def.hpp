@@ -1,0 +1,70 @@
+// View definitions (paper §4.1, Table 3(b)): the XML rules describing a view
+// of a represented object — which interfaces it exposes and how (local /
+// rmi / switchboard), added fields and methods, customized methods, and the
+// cache-coherence method bodies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minilang/object.hpp"
+#include "util/result.hpp"
+#include "xml/xml.hpp"
+
+namespace psf::views {
+
+struct InterfaceRestriction {
+  std::string name;
+  minilang::Binding binding = minilang::Binding::kLocal;
+};
+
+struct MethodSpec {
+  std::string name;
+  std::vector<std::string> params;
+  std::string body;  // MiniLang source
+
+  /// Parse "addMeeting(name)" / "constructor(args, more)".
+  static util::Result<MethodSpec> parse_signature(const std::string& signature,
+                                                  std::string body);
+  std::string signature() const;
+};
+
+struct AddedField {
+  std::string name;
+  std::string type;
+};
+
+/// The four coherence methods the paper requires plus the constructor.
+/// VIG can also synthesize default coherence handlers (the paper's
+/// future-work extension; see VigOptions::auto_coherence).
+extern const char* const kCoherenceMethods[4];
+
+struct ViewDefinition {
+  std::string name;
+  std::string represents;
+  std::vector<InterfaceRestriction> interfaces;
+  std::vector<AddedField> added_fields;
+  std::vector<MethodSpec> added_methods;       // incl. constructor+coherence
+  std::vector<MethodSpec> customized_methods;  // override represented impls
+  // Method-level access control (paper §4.2: restriction "down to the
+  // level of individual methods"): names dropped from the restricted
+  // interfaces, via <Removes_Methods><Method name=.../></Removes_Methods>.
+  std::vector<std::string> removed_methods;
+
+  /// Parse the Table 3(b) schema:
+  ///   <View name=...>
+  ///     <Represents name=.../>
+  ///     <Restricts> <Interface name=... type=local|rmi|switchboard/> ...
+  ///     <Adds_Fields> <Field name=... type=.../> ...
+  ///     <Adds_Methods> <MSign>sig</MSign> <MBody>code</MBody> ...
+  ///     <Customizes_Methods> <MSign>sig</MSign> <MBody>code</MBody> ...
+  static util::Result<ViewDefinition> from_xml(const std::string& xml_text);
+  static util::Result<ViewDefinition> from_element(const xml::Element& root);
+
+  /// Serialize back to the Table 3(b) schema.
+  std::string to_xml() const;
+
+  const MethodSpec* find_added(const std::string& method) const;
+};
+
+}  // namespace psf::views

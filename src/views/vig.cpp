@@ -1,0 +1,472 @@
+#include "views/vig.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "minilang/interp.hpp"
+#include "minilang/parser.hpp"
+#include "minilang/value_codec.hpp"
+#include "views/cache.hpp"
+
+namespace psf::views {
+
+using minilang::Binding;
+using minilang::ClassDef;
+using minilang::Expr;
+using minilang::ExprKind;
+using minilang::FieldDef;
+using minilang::Instance;
+using minilang::InterfaceDef;
+using minilang::MethodDef;
+using minilang::Stmt;
+using minilang::StmtKind;
+using minilang::StmtPtr;
+using minilang::Value;
+
+std::string VigDiagnostic::display() const {
+  std::string out = "view '" + view + "', " + context + ": " + message;
+  if (!hint.empty()) out += " (fix: " + hint + ")";
+  return out;
+}
+
+std::string stub_field_name(const std::string& interface_name,
+                            Binding binding) {
+  std::string base = interface_name;
+  if (!base.empty()) {
+    base[0] = static_cast<char>(std::tolower(static_cast<unsigned char>(base[0])));
+  }
+  return base + (binding == Binding::kRmi ? "_rmi" : "_switch");
+}
+
+namespace {
+
+void walk_expr(const Expr& e, std::set<std::string>& declared,
+               std::set<std::string>& vars, std::set<std::string>& calls) {
+  switch (e.kind) {
+    case ExprKind::kIdent:
+      if (e.name != "this" && declared.count(e.name) == 0) vars.insert(e.name);
+      return;
+    case ExprKind::kCall:
+      calls.insert(e.name);
+      break;
+    default:
+      break;
+  }
+  for (const auto& child : e.children) {
+    walk_expr(*child, declared, vars, calls);
+  }
+}
+
+void walk_block(const std::vector<StmtPtr>& block,
+                std::set<std::string>& declared, std::set<std::string>& vars,
+                std::set<std::string>& calls);
+
+void walk_stmt(const Stmt& s, std::set<std::string>& declared,
+               std::set<std::string>& vars, std::set<std::string>& calls) {
+  if (s.init) walk_stmt(*s.init, declared, vars, calls);  // for-header first
+  if (s.target) walk_expr(*s.target, declared, vars, calls);
+  if (s.expr) walk_expr(*s.expr, declared, vars, calls);
+  if (s.kind == StmtKind::kVarDecl) declared.insert(s.name);
+  walk_block(s.body, declared, vars, calls);
+  if (s.update) walk_stmt(*s.update, declared, vars, calls);
+  walk_block(s.else_body, declared, vars, calls);
+}
+
+void walk_block(const std::vector<StmtPtr>& block,
+                std::set<std::string>& declared, std::set<std::string>& vars,
+                std::set<std::string>& calls) {
+  for (const auto& stmt : block) walk_stmt(*stmt, declared, vars, calls);
+}
+
+bool is_builtin(const std::string& name) {
+  const auto& builtins = minilang::builtin_names();
+  return std::find(builtins.begin(), builtins.end(), name) != builtins.end();
+}
+
+bool is_coherence_method(const std::string& name) {
+  for (const char* m : kCoherenceMethods) {
+    if (name == m) return true;
+  }
+  return false;
+}
+
+// ---- default coherence handlers (VigOptions::auto_coherence) ----
+// The image is the encoded map of the view's serializable fields (see
+// views::instance_image); stub/cacheManager fields and object-valued fields
+// are excluded (they are not state, they are wiring).
+
+/// The original object the view represents, as wired by the deployment
+/// infrastructure through the CacheManager hooks; null Value if unwired.
+Value original_of(Instance& self) {
+  auto* cache = dynamic_cast<CacheManager*>(self.hooks());
+  return cache != nullptr ? cache->original() : Value::null();
+}
+
+MethodDef make_native(const std::string& name, std::vector<std::string> params,
+                      minilang::NativeFn fn, const std::string& source_note) {
+  MethodDef m;
+  m.name = name;
+  m.params = std::move(params);
+  m.is_native = true;
+  m.native = std::move(fn);
+  m.source = source_note;
+  m.visibility = minilang::Visibility::kPublic;
+  return m;
+}
+
+std::vector<MethodDef> default_coherence_methods() {
+  std::vector<MethodDef> out;
+  out.push_back(make_native(
+      "extractImageFromView", {},
+      [](Instance& self, std::vector<Value>) {
+        return Value::bytes(instance_image(self));
+      },
+      "/* VIG default: encode the view's serializable fields */"));
+  out.push_back(make_native(
+      "mergeImageIntoView", {"image"},
+      [](Instance& self, std::vector<Value> args) {
+        merge_instance_image(self, args[0].as_bytes());
+        return Value::null();
+      },
+      "/* VIG default: decode image and update matching fields */"));
+  out.push_back(make_native(
+      "extractImageFromObj", {},
+      [](Instance& self, std::vector<Value>) {
+        Value original = original_of(self);
+        if (original.is_null()) return Value::bytes({});
+        auto instance =
+            std::dynamic_pointer_cast<Instance>(original.as_object());
+        if (instance == nullptr) {
+          // Remote original: fetch its image through the stub protocol.
+          return original.as_object()->call("extractImageFromView", {});
+        }
+        return Value::bytes(instance_image(*instance));
+      },
+      "/* VIG default: snapshot the original object's shared fields */"));
+  out.push_back(make_native(
+      "mergeImageIntoObj", {"image"},
+      [](Instance& self, std::vector<Value> args) {
+        Value original = original_of(self);
+        if (original.is_null()) return Value::null();
+        auto instance =
+            std::dynamic_pointer_cast<Instance>(original.as_object());
+        if (instance == nullptr) {
+          original.as_object()->call("mergeImageIntoView", {args[0]});
+          return Value::null();
+        }
+        merge_instance_image(*instance, args[0].as_bytes());
+        return Value::null();
+      },
+      "/* VIG default: write shared fields back into the original */"));
+  return out;
+}
+
+/// Build the stub body `return <stub>.<method>(args);` as parsed AST.
+MethodDef make_stub_method(const minilang::MethodSig& sig,
+                           const std::string& stub_field,
+                           const std::string& interface_name) {
+  std::ostringstream os;
+  os << "return " << stub_field << "." << sig.name << "(";
+  for (std::size_t i = 0; i < sig.params.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << sig.params[i];
+  }
+  os << ");";
+  MethodDef m;
+  m.name = sig.name;
+  m.params = sig.params;
+  m.interface_name = interface_name;
+  m.source = os.str();
+  m.body = std::move(minilang::parse_block_source(m.source)).take();
+  return m;
+}
+
+}  // namespace
+
+FreeNames collect_free_names(const std::vector<StmtPtr>& body,
+                             const std::vector<std::string>& params) {
+  std::set<std::string> declared(params.begin(), params.end());
+  std::set<std::string> vars;
+  std::set<std::string> calls;
+  walk_block(body, declared, vars, calls);
+  FreeNames out;
+  out.variables.assign(vars.begin(), vars.end());
+  out.calls.assign(calls.begin(), calls.end());
+  return out;
+}
+
+Vig::Vig(minilang::ClassRegistry* registry, VigOptions options)
+    : registry_(registry), options_(options) {}
+
+util::Result<std::shared_ptr<ClassDef>> Vig::generate(
+    const ViewDefinition& def) {
+  diagnostics_.clear();
+  auto diag = [&](const std::string& context, const std::string& message,
+                  const std::string& hint) {
+    diagnostics_.push_back(VigDiagnostic{def.name, context, message, hint});
+  };
+  auto finish_failure = [&]() {
+    std::ostringstream os;
+    os << diagnostics_.size() << " error(s) generating view '" << def.name
+       << "':";
+    for (const auto& d : diagnostics_) os << "\n  " << d.display();
+    return util::Result<std::shared_ptr<ClassDef>>::failure("vig", os.str());
+  };
+
+  // Lazy-generation cache (paper: code generation deferred to first deploy).
+  if (options_.cache) {
+    if (auto cached = registry_->find_class(def.name);
+        cached != nullptr && cached->represents == def.represents) {
+      ++stats_.cache_hits;
+      return std::const_pointer_cast<ClassDef>(cached);
+    }
+  }
+
+  auto represented = registry_->find_class(def.represents);
+  if (represented == nullptr) {
+    diag("represented object", "class '" + def.represents + "' is not known",
+         "check the <Represents name=.../> rule");
+    return finish_failure();
+  }
+
+  auto view = std::make_shared<ClassDef>();
+  view->name = def.name;
+  view->represents = def.represents;
+
+  std::set<std::string> view_method_names;
+  std::vector<MethodDef> methods;
+  auto add_method = [&](MethodDef m) {
+    if (!view_method_names.insert(m.name).second) {
+      diag("method " + m.name, "defined more than once",
+           "remove the duplicate MSign/MBody pair");
+      return;
+    }
+    methods.push_back(std::move(m));
+  };
+
+  // Method-level restriction: names the definition removes from the
+  // restricted interfaces (paper §4.2's finest granularity).
+  std::set<std::string> removed(def.removed_methods.begin(),
+                                def.removed_methods.end());
+  std::set<std::string> removal_used;
+
+  // ---- (1) interfaces ----
+  for (const auto& restriction : def.interfaces) {
+    const InterfaceDef* iface = registry_->find_interface(restriction.name);
+    if (iface == nullptr) {
+      diag("interface " + restriction.name, "interface is not known",
+           "declare the interface or remove the <Interface> rule");
+      continue;
+    }
+    // A view implements a *subset* of the original's functionality: the
+    // represented class (or an ancestor) must implement the interface.
+    bool implemented = false;
+    for (const auto& cls : registry_->chain(*represented)) {
+      if (std::find(cls->interfaces.begin(), cls->interfaces.end(),
+                    restriction.name) != cls->interfaces.end()) {
+        implemented = true;
+        break;
+      }
+    }
+    if (!implemented) {
+      diag("interface " + restriction.name,
+           "represented object '" + def.represents +
+               "' does not implement it",
+           "views may only restrict interfaces of the original object");
+      continue;
+    }
+    view->interfaces.push_back(restriction.name);
+    view->interface_bindings[restriction.name] = restriction.binding;
+
+    if (restriction.binding == Binding::kLocal) {
+      // Copy each implementation from the represented chain.
+      for (const auto& sig : iface->methods) {
+        if (removed.count(sig.name) > 0) {
+          removal_used.insert(sig.name);
+          continue;
+        }
+        const MethodDef* impl =
+            registry_->resolve_method(*represented, sig.name);
+        if (impl == nullptr) {
+          diag("interface " + restriction.name,
+               "method '" + sig.name + "' has no implementation in '" +
+                   def.represents + "'",
+               "implement it on the represented object or bind the "
+               "interface as rmi/switchboard");
+          continue;
+        }
+        MethodDef copy = impl->clone();
+        copy.interface_name = restriction.name;
+        add_method(std::move(copy));
+      }
+    } else {
+      // Remote binding: synthesize stub methods against the original object.
+      const std::string stub = stub_field_name(restriction.name,
+                                               restriction.binding);
+      for (const auto& sig : iface->methods) {
+        if (removed.count(sig.name) > 0) {
+          removal_used.insert(sig.name);
+          continue;
+        }
+        MethodDef m = make_stub_method(sig, stub, restriction.name);
+        add_method(std::move(m));
+      }
+      view->fields.push_back(FieldDef{stub, restriction.name, Value::null()});
+    }
+  }
+
+  // ---- (2) added and customized methods from the XML ----
+  auto splice = [&](const MethodSpec& spec, bool customize) {
+    if (customize &&
+        registry_->resolve_method(*represented, spec.name) == nullptr) {
+      diag("method " + spec.name,
+           "customizes a method that does not exist on '" + def.represents +
+               "'",
+           "move it to <Adds_Methods> or fix the method name");
+      return;
+    }
+    auto parsed = minilang::parse_block_source(spec.body);
+    if (!parsed.ok()) {
+      diag("method " + spec.name, "body does not parse: " + parsed.error().message,
+           "correct the MBody code");
+      return;
+    }
+    MethodDef m;
+    m.name = spec.name;
+    m.params = spec.params;
+    m.source = spec.body;
+    m.body = std::move(parsed).take();
+    if (customize) {
+      // Replace any implementation copied from the interface pass.
+      auto it = std::find_if(methods.begin(), methods.end(),
+                             [&](const MethodDef& existing) {
+                               return existing.name == spec.name;
+                             });
+      if (it != methods.end()) {
+        m.interface_name = it->interface_name;
+        *it = std::move(m);
+        return;
+      }
+    }
+    add_method(std::move(m));
+  };
+  for (const auto& spec : def.added_methods) splice(spec, /*customize=*/false);
+  for (const auto& spec : def.customized_methods) splice(spec, /*customize=*/true);
+
+  // Removals that matched no restricted-interface method are programmer
+  // mistakes worth flagging.
+  for (const auto& name : removed) {
+    if (removal_used.count(name) == 0) {
+      diag("removed method " + name,
+           "does not name a method of any restricted interface",
+           "fix the name or drop the <Method> entry under "
+           "<Removes_Methods>");
+    }
+  }
+
+  // The paper requires at least one constructor declaration.
+  if (view_method_names.count("constructor") == 0) {
+    diag("constructor", "view defines no constructor",
+         "add an MSign/MBody pair for 'constructor(...)' under "
+         "<Adds_Methods>");
+  }
+
+  // Coherence methods: required, but VIG can supply default handlers.
+  for (const char* name : kCoherenceMethods) {
+    if (view_method_names.count(name) > 0) continue;
+    if (options_.auto_coherence) {
+      for (auto& m : default_coherence_methods()) {
+        if (m.name == name) add_method(std::move(m));
+      }
+    } else {
+      diag(std::string("method ") + name,
+           "cache-coherence method is missing",
+           "provide it under <Adds_Methods> or enable auto_coherence");
+    }
+  }
+
+  // ---- (3) fields ----
+  for (const auto& field : def.added_fields) {
+    if (represented->find_field(field.name) == nullptr &&
+        std::none_of(view->fields.begin(), view->fields.end(),
+                     [&](const FieldDef& f) { return f.name == field.name; })) {
+      view->fields.push_back(FieldDef{field.name, field.type, Value::null()});
+    } else if (std::any_of(view->fields.begin(), view->fields.end(),
+                           [&](const FieldDef& f) { return f.name == field.name; })) {
+      diag("field " + field.name, "added field collides with a stub field",
+           "rename the field in <Adds_Fields>");
+    } else {
+      // Redeclares a represented field: copy type from the original.
+      view->fields.push_back(
+          *represented->find_field(field.name));
+    }
+  }
+  view->fields.push_back(FieldDef{"cacheManager", "CacheManager", Value::null()});
+
+  // Validate bodies; copy used fields and transitively referenced methods
+  // from the represented chain (paper: VIG parses the method code and copies
+  // the declarations of all used class fields; Javassist-style chain walk).
+  auto field_known = [&](const std::string& name) {
+    return std::any_of(view->fields.begin(), view->fields.end(),
+                       [&](const FieldDef& f) { return f.name == name; });
+  };
+  auto copy_field_if_represented = [&](const std::string& name) {
+    for (const auto& cls : registry_->chain(*represented)) {
+      if (const FieldDef* f = cls->find_field(name)) {
+        view->fields.push_back(*f);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    // Indexed loop: transitive copies append to `methods`.
+    const MethodDef& m = methods[i];
+    if (m.is_native) continue;
+    const FreeNames free = collect_free_names(m.body, m.params);
+    for (const auto& var : free.variables) {
+      if (field_known(var)) continue;
+      if (copy_field_if_represented(var)) continue;
+      diag("method " + m.name,
+           "uses variable '" + var +
+               "' that is not defined in the original object or the method",
+           "declare it with 'var', add it under <Adds_Fields>, or fix the "
+           "name");
+    }
+    for (const auto& call : free.calls) {
+      if (is_builtin(call) || view_method_names.count(call) > 0) continue;
+      const MethodDef* impl = registry_->resolve_method(*represented, call);
+      if (impl != nullptr) {
+        MethodDef copy = impl->clone();
+        view_method_names.insert(copy.name);
+        methods.push_back(std::move(copy));  // analyzed later in this loop
+        continue;
+      }
+      diag("method " + m.name,
+           "calls method '" + call +
+               "' that exists neither on the view nor on '" + def.represents +
+               "'",
+           "add the method or correct the call");
+    }
+  }
+
+  if (!diagnostics_.empty()) return finish_failure();
+
+  // Coherence wrapping: every method implemented by the view except the
+  // constructor and the coherence methods themselves.
+  for (auto& m : methods) {
+    if (options_.wrap_coherence && m.name != "constructor" &&
+        !is_coherence_method(m.name)) {
+      m.coherence_wrapped = true;
+    }
+  }
+  view->methods = std::move(methods);
+
+  registry_->register_class(view);
+  ++stats_.generated;
+  return view;
+}
+
+}  // namespace psf::views

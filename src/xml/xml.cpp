@@ -1,0 +1,296 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace psf::xml {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : input_(input) {}
+
+  util::Result<ElementPtr> parse_document() {
+    skip_misc();
+    if (eof()) return fail("empty document");
+    auto root = parse_element();
+    if (!root.ok()) return root;
+    skip_misc();
+    if (!eof()) return fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  bool eof() const { return pos_ >= input_.size(); }
+  char peek() const { return input_[pos_]; }
+  char at(std::size_t offset) const {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+
+  void advance() {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+  }
+
+  bool starts_with(const char* s) const {
+    return input_.compare(pos_, std::char_traits<char>::length(s), s) == 0;
+  }
+
+  void skip_n(std::size_t n) {
+    for (std::size_t i = 0; i < n && !eof(); ++i) advance();
+  }
+
+  // Whitespace, comments, and XML declarations between top-level items.
+  void skip_misc() {
+    for (;;) {
+      skip_ws();
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else if (starts_with("<?")) {
+        while (!eof() && !starts_with("?>")) advance();
+        skip_n(2);
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_comment() {
+    skip_n(4);  // "<!--"
+    while (!eof() && !starts_with("-->")) advance();
+    skip_n(3);
+  }
+
+  util::Result<ElementPtr> fail(const std::string& message) const {
+    return util::Result<ElementPtr>::failure(
+        "xml-parse", "line " + std::to_string(line_) + ": " + message);
+  }
+
+  static bool is_name_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool is_name_char(char c) {
+    return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  std::string parse_name() {
+    std::string name;
+    while (!eof() && is_name_char(peek())) {
+      name.push_back(peek());
+      advance();
+    }
+    return name;
+  }
+
+  util::Result<std::string> fail_str(const std::string& message) const {
+    return util::Result<std::string>::failure(
+        "xml-parse", "line " + std::to_string(line_) + ": " + message);
+  }
+
+  // Attribute value: quoted ("..." or '...') or bare (the paper writes
+  // `name = MailClient`), terminated by whitespace, '>', or '/'.
+  util::Result<std::string> parse_attr_value() {
+    if (peek() == '"' || peek() == '\'') {
+      const char quote = peek();
+      advance();
+      std::string value;
+      while (!eof() && peek() != quote) {
+        value.push_back(peek());
+        advance();
+      }
+      if (eof()) return fail_str("unterminated attribute value");
+      advance();  // closing quote
+      return decode_entities(value);
+    }
+    std::string value;
+    while (!eof() && !std::isspace(static_cast<unsigned char>(peek())) &&
+           peek() != '>' && peek() != '/') {
+      value.push_back(peek());
+      advance();
+    }
+    if (value.empty()) return fail_str("empty attribute value");
+    return decode_entities(value);
+  }
+
+  util::Result<ElementPtr> parse_element() {
+    if (eof() || peek() != '<') return fail("expected '<'");
+    advance();
+    if (eof() || !is_name_start(peek())) return fail("expected element name");
+    auto element = std::make_unique<Element>();
+    element->name = parse_name();
+
+    // Attributes.
+    for (;;) {
+      skip_ws();
+      if (eof()) return fail("unterminated start tag for " + element->name);
+      if (peek() == '>' || peek() == '/') break;
+      if (!is_name_start(peek())) return fail("expected attribute name");
+      const std::string key = parse_name();
+      skip_ws();
+      if (eof() || peek() != '=') return fail("expected '=' after attribute " + key);
+      advance();
+      skip_ws();
+      auto value = parse_attr_value();
+      if (!value.ok()) {
+        return util::Result<ElementPtr>::failure(value.error().code,
+                                                 value.error().message);
+      }
+      element->attributes.emplace_back(key, value.value());
+    }
+
+    if (peek() == '/') {  // self-closing
+      advance();
+      if (eof() || peek() != '>') return fail("expected '>' after '/'");
+      advance();
+      return util::Result<ElementPtr>(std::move(element));
+    }
+    advance();  // '>'
+
+    // Content.
+    for (;;) {
+      if (eof()) return fail("unterminated element " + element->name);
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else if (starts_with("<![CDATA[")) {
+        skip_n(9);
+        std::string cdata;
+        while (!eof() && !starts_with("]]>")) {
+          cdata.push_back(peek());
+          advance();
+        }
+        if (eof()) return fail("unterminated CDATA");
+        skip_n(3);
+        element->text += cdata;
+      } else if (starts_with("</")) {
+        skip_n(2);
+        const std::string close_name = parse_name();
+        if (close_name != element->name) {
+          return fail("mismatched close tag: expected </" + element->name +
+                      ">, got </" + close_name + ">");
+        }
+        skip_ws();
+        if (eof() || peek() != '>') return fail("expected '>' in close tag");
+        advance();
+        return util::Result<ElementPtr>(std::move(element));
+      } else if (peek() == '<') {
+        auto child = parse_element();
+        if (!child.ok()) return child;
+        element->children.push_back(std::move(child).take());
+      } else {
+        std::string text;
+        while (!eof() && peek() != '<') {
+          text.push_back(peek());
+          advance();
+        }
+        element->text += decode_entities(text);
+      }
+    }
+  }
+
+  static std::string decode_entities(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size();) {
+      if (s[i] == '&') {
+        if (s.compare(i, 4, "&lt;") == 0) { out.push_back('<'); i += 4; continue; }
+        if (s.compare(i, 4, "&gt;") == 0) { out.push_back('>'); i += 4; continue; }
+        if (s.compare(i, 5, "&amp;") == 0) { out.push_back('&'); i += 5; continue; }
+        if (s.compare(i, 6, "&quot;") == 0) { out.push_back('"'); i += 6; continue; }
+        if (s.compare(i, 6, "&apos;") == 0) { out.push_back('\''); i += 6; continue; }
+      }
+      out.push_back(s[i]);
+      ++i;
+    }
+    return out;
+  }
+
+  const std::string& input_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+void serialize_into(const Element& e, int indent, std::ostringstream& os) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  os << pad << "<" << e.name;
+  for (const auto& [key, value] : e.attributes) {
+    os << " " << key << "=\"" << escape(value) << "\"";
+  }
+  const bool has_text = !e.text.empty();
+  if (e.children.empty() && !has_text) {
+    os << "/>\n";
+    return;
+  }
+  os << ">";
+  if (has_text) os << escape(e.text);
+  if (!e.children.empty()) {
+    os << "\n";
+    for (const auto& child : e.children) serialize_into(*child, indent + 1, os);
+    os << pad;
+  }
+  os << "</" << e.name << ">\n";
+}
+
+}  // namespace
+
+std::string Element::attr(const std::string& key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+bool Element::has_attr(const std::string& key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::vector<const Element*> Element::children_named(
+    const std::string& name) const {
+  std::vector<const Element*> out;
+  for (const auto& child : children) {
+    if (child->name == name) out.push_back(child.get());
+  }
+  return out;
+}
+
+const Element* Element::child(const std::string& name) const {
+  for (const auto& c : children) {
+    if (c->name == name) return c.get();
+  }
+  return nullptr;
+}
+
+util::Result<ElementPtr> parse(const std::string& input) {
+  return Parser(input).parse_document();
+}
+
+std::string serialize(const Element& root) {
+  std::ostringstream os;
+  serialize_into(root, 0, os);
+  return os.str();
+}
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace psf::xml

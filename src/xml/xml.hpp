@@ -1,0 +1,47 @@
+// Minimal XML subset parser/serializer for view definitions (Table 3(b) of
+// the paper). Supports elements, attributes (quoted or bare values, matching
+// the paper's loose `name = MailClient` style), text content, CDATA sections
+// (used for embedding MiniLang method bodies), and comments. No namespaces,
+// no DTDs, no entities beyond the five predefined ones.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace psf::xml {
+
+struct Element;
+using ElementPtr = std::unique_ptr<Element>;
+
+struct Element {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<ElementPtr> children;
+  std::string text;  // concatenated character data (incl. CDATA)
+
+  /// First attribute with this name, or empty string.
+  std::string attr(const std::string& key) const;
+  bool has_attr(const std::string& key) const;
+
+  /// All direct children with this element name.
+  std::vector<const Element*> children_named(const std::string& name) const;
+
+  /// First direct child with this name, or nullptr.
+  const Element* child(const std::string& name) const;
+};
+
+/// Parse a document; returns the root element or a parse error with
+/// line information.
+util::Result<ElementPtr> parse(const std::string& input);
+
+/// Serialize back to XML text (pretty-printed, 2-space indent).
+std::string serialize(const Element& root);
+
+/// Escape character data.
+std::string escape(const std::string& text);
+
+}  // namespace psf::xml

@@ -1,0 +1,243 @@
+// Deeper-coverage suite: adaptation after environment changes, chained
+// (view-of-view) generation, delegated assignment chains, and network model
+// corners.
+#include <gtest/gtest.h>
+
+#include "mail/scenario.hpp"
+#include "psf/framework.hpp"
+#include "views/codegen.hpp"
+#include "views/vig.hpp"
+
+namespace psf {
+namespace {
+
+using drbac::Principal;
+using mail::Scenario;
+using minilang::Value;
+using util::kMillisecond;
+
+// -------------------------------------------------------------- adaptation
+
+struct ScenarioFixture : ::testing::Test {
+  Scenario s = mail::build_scenario();
+};
+
+TEST_F(ScenarioFixture, AdaptationMovesProviderAfterLinkDegrades) {
+  // Bob starts with a loose-latency session; the link he relies on
+  // degrades; adapt() re-plans under the new environment.
+  framework::QoS qos;
+  qos.max_latency_ms = 60;
+  auto before = s.psf->request(s.request_for(s.bob, Scenario::kSdPc, qos));
+  ASSERT_TRUE(before.ok()) << before.error().message;
+  EXPECT_TRUE(s.psf->session_still_valid(before.value()));
+
+  // The WAN latency doubles: any plan serving from ny-server violates QoS.
+  s.psf->update_link(Scenario::kNyServer, Scenario::kSdPc,
+                     {100 * kMillisecond, 200, false});
+  if (before.value().provider_node == Scenario::kNyServer) {
+    EXPECT_FALSE(s.psf->session_still_valid(before.value()));
+  }
+  auto after = s.psf->adapt(before.value());
+  ASSERT_TRUE(after.ok()) << after.error().message;
+  EXPECT_EQ(after.value().provider_node, Scenario::kSdPc);
+  EXPECT_TRUE(s.psf->session_still_valid(after.value()));
+  // The superseded channel was closed.
+  EXPECT_FALSE(before.value().connection->open());
+  // The new session works end to end.
+  EXPECT_EQ(after.value()
+                .view->call("getPhone", {Value::string("alice")})
+                .as_string(),
+            "555-0100");
+}
+
+TEST_F(ScenarioFixture, AdaptationReleasesClientCpu) {
+  framework::QoS qos;
+  auto session = s.psf->request(s.request_for(s.bob, Scenario::kSdPc, qos));
+  ASSERT_TRUE(session.ok());
+  const std::int64_t used = s.psf->node(Scenario::kSdPc)->cpu_used();
+  auto adapted = s.psf->adapt(session.value());
+  ASSERT_TRUE(adapted.ok()) << adapted.error().message;
+  // Old view's CPU released, new view's reserved: net unchanged.
+  EXPECT_EQ(s.psf->node(Scenario::kSdPc)->cpu_used(), used);
+}
+
+TEST_F(ScenarioFixture, MonitorEventsDriveAdaptationLoop) {
+  framework::QoS qos;
+  qos.max_latency_ms = 60;
+  auto session = s.psf->request(s.request_for(s.bob, Scenario::kSdPc, qos));
+  ASSERT_TRUE(session.ok());
+
+  int adaptations = 0;
+  s.psf->monitor().subscribe(
+      [&](const framework::MonitorModule::Event&) {
+        if (!s.psf->session_still_valid(session.value())) {
+          auto adapted = s.psf->adapt(session.value());
+          if (adapted.ok()) {
+            session = std::move(adapted);
+            ++adaptations;
+          }
+        }
+      });
+  s.psf->update_link(Scenario::kNyServer, Scenario::kSdPc,
+                     {200 * kMillisecond, 200, false});
+  if (adaptations > 0) {
+    EXPECT_TRUE(s.psf->session_still_valid(session.value()));
+  }
+  SUCCEED();
+}
+
+// ------------------------------------------------------------ view-of-view
+
+TEST(ViewOfView, VigGeneratesViewsOfGeneratedViews) {
+  // The replica chain implies views can represent views: generate a
+  // restricted view whose represented object is itself a VIG product.
+  minilang::ClassRegistry registry;
+  mail::register_all(registry);
+  views::Vig vig(&registry);
+  auto base = views::ViewDefinition::from_xml(mail::view_xml_member());
+  ASSERT_TRUE(vig.generate(base.value()).ok());
+
+  auto nested = views::ViewDefinition::from_xml(R"(
+<View name="ViewOfMemberView">
+  <Represents name="ViewMailClient_Member"/>
+  <Restricts>
+    <Interface name="AddressI" type="local"/>
+  </Restricts>
+  <Adds_Methods>
+    <MSign>constructor()</MSign><MBody>accounts = map();</MBody>
+  </Adds_Methods>
+</View>)");
+  ASSERT_TRUE(nested.ok());
+  auto cls = vig.generate(nested.value());
+  ASSERT_TRUE(cls.ok()) << cls.error().message;
+  EXPECT_EQ(cls.value()->represents, "ViewMailClient_Member");
+  EXPECT_NE(cls.value()->find_method("getPhone"), nullptr);
+  EXPECT_EQ(cls.value()->find_method("sendMessage"), nullptr);
+
+  // Chain them at run time: nested view over member view over original.
+  auto original = minilang::instantiate(registry, "MailClient");
+  original->call("addAccount", {Value::string("zoe"), Value::string("777"),
+                                Value::string("z@x")});
+  auto middle = minilang::instantiate(registry, "ViewMailClient_Member");
+  views::attach_cache_manager(middle, Value::object(original));
+  auto top = minilang::instantiate(registry, "ViewOfMemberView");
+  views::attach_cache_manager(
+      top, Value::object(std::make_shared<views::ImageEndpoint>(middle)));
+  EXPECT_EQ(top->call("getPhone", {Value::string("zoe")}).as_string(), "777");
+}
+
+TEST(ViewOfView, CodegenWorksForNestedViews) {
+  minilang::ClassRegistry registry;
+  mail::register_all(registry);
+  views::Vig vig(&registry);
+  auto base = views::ViewDefinition::from_xml(mail::view_xml_member());
+  ASSERT_TRUE(vig.generate(base.value()).ok());
+  auto nested = views::ViewDefinition::from_xml(R"(
+<View name="N"><Represents name="ViewMailClient_Member"/>
+  <Restricts><Interface name="NotesI" type="rmi"/></Restricts>
+  <Adds_Methods><MSign>constructor()</MSign><MBody>return null;</MBody></Adds_Methods>
+</View>)");
+  ASSERT_TRUE(nested.ok());
+  auto cls = vig.generate(nested.value());
+  ASSERT_TRUE(cls.ok()) << cls.error().message;
+  const std::string source = views::generate_java_source(*cls.value(), registry);
+  EXPECT_NE(source.find("public class N"), std::string::npos);
+  EXPECT_NE(source.find("notesI_rmi"), std::string::npos);
+}
+
+// ------------------------------------------------- delegated assignments
+
+TEST(DelegatedAssignment, AssignmentRightsChainThroughRoles) {
+  // A grants the *role* B.admin the right of assignment over A.r; C holds
+  // B.admin; C then third-party-issues A.r to D. The proof must chain:
+  // D -> A.r (by C), supported by C -> B.admin -> assignment of A.r.
+  util::Rng rng(55);
+  drbac::Repository repo;
+  drbac::Entity a = drbac::Entity::create("A", rng);
+  drbac::Entity b = drbac::Entity::create("B", rng);
+  drbac::Entity c = drbac::Entity::create("C", rng);
+  drbac::Entity d = drbac::Entity::create("D", rng);
+
+  // [B.admin -> A.r '] A : role-held assignment right.
+  repo.add(drbac::issue(a, Principal::of_role(b, "admin"),
+                        drbac::role_of(a, "r"), {}, /*assignment=*/true, 0, 0,
+                        repo.next_serial()));
+  // [C -> B.admin] B.
+  repo.add(drbac::issue(b, Principal::of_entity(c),
+                        drbac::role_of(b, "admin"), {}, false, 0, 0,
+                        repo.next_serial()));
+  // [D -> A.r] C  (third-party issue by C).
+  auto grant = drbac::issue(c, Principal::of_entity(d), drbac::role_of(a, "r"),
+                            {}, false, 0, 0, repo.next_serial());
+  repo.add(grant);
+
+  drbac::Engine engine(&repo);
+  auto proof = engine.prove(Principal::of_entity(d), drbac::role_of(a, "r"), 0);
+  ASSERT_TRUE(proof.ok()) << proof.error().message;
+  EXPECT_EQ(proof.value().credentials.size(), 1u);
+  EXPECT_EQ(proof.value().support.size(), 2u);  // admin grant + assignment
+  EXPECT_TRUE(engine.validate(proof.value(), 0));
+
+  // Revoking C's admin membership kills D's authorization.
+  for (const auto& credential : proof.value().support) {
+    if (!credential->assignment) repo.revoke(credential->serial);
+  }
+  EXPECT_FALSE(engine.validate(proof.value(), 0));
+}
+
+TEST(DelegatedAssignment, WithoutAdminMembershipThirdPartyIssueFails) {
+  util::Rng rng(56);
+  drbac::Repository repo;
+  drbac::Entity a = drbac::Entity::create("A", rng);
+  drbac::Entity b = drbac::Entity::create("B", rng);
+  drbac::Entity c = drbac::Entity::create("C", rng);
+  drbac::Entity d = drbac::Entity::create("D", rng);
+  repo.add(drbac::issue(a, Principal::of_role(b, "admin"),
+                        drbac::role_of(a, "r"), {}, true, 0, 0,
+                        repo.next_serial()));
+  // C is NOT B.admin. C's third-party grant must be unusable.
+  repo.add(drbac::issue(c, Principal::of_entity(d), drbac::role_of(a, "r"),
+                        {}, false, 0, 0, repo.next_serial()));
+  drbac::Engine engine(&repo);
+  EXPECT_FALSE(
+      engine.prove(Principal::of_entity(d), drbac::role_of(a, "r"), 0).ok());
+}
+
+// -------------------------------------------------------- network corners
+
+TEST(NetworkCorners, LinkUpdateChangesRouting) {
+  switchboard::Network net;
+  net.connect("a", "b", {10 * kMillisecond, 0, true});
+  net.connect("a", "m", {2 * kMillisecond, 0, true});
+  net.connect("m", "b", {2 * kMillisecond, 0, true});
+  EXPECT_EQ(net.path("a", "b")->hops.size(), 3u);  // via m
+  net.set_link("a", "b", {1 * kMillisecond, 0, true});
+  EXPECT_EQ(net.path("a", "b")->hops.size(), 2u);  // direct now
+}
+
+TEST(NetworkCorners, MultiHopTransferChargesEveryLink) {
+  switchboard::Network net;
+  net.connect("a", "m", {kMillisecond, 0, true});
+  net.connect("m", "b", {kMillisecond, 0, true});
+  ASSERT_TRUE(net.transfer("a", "b", 500).has_value());
+  EXPECT_EQ(net.stats("a", "m").bytes, 500u);
+  EXPECT_EQ(net.stats("m", "b").bytes, 500u);
+  EXPECT_EQ(net.total_messages(), 2u);
+}
+
+TEST(NetworkCorners, TransferToUnknownHostFails) {
+  switchboard::Network net;
+  net.add_host("a");
+  EXPECT_FALSE(net.transfer("a", "nowhere", 1).has_value());
+}
+
+TEST(NetworkCorners, ZeroByteTransferStillHasLatency) {
+  switchboard::Network net;
+  net.connect("a", "b", {7 * kMillisecond, 100, true});
+  auto t = net.transfer("a", "b", 0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 7 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace psf

@@ -1,0 +1,275 @@
+// Edge and failure paths of the PSF framework, two-way RPC on Switchboard
+// channels, and the method-level access control extension
+// (<Removes_Methods>).
+#include <gtest/gtest.h>
+
+#include "mail/scenario.hpp"
+#include "psf/framework.hpp"
+#include "switchboard/authorizer.hpp"
+#include "views/vig.hpp"
+
+namespace psf {
+namespace {
+
+using drbac::Principal;
+using mail::Scenario;
+using minilang::Value;
+
+// --------------------------------------------- method-level access control
+
+TEST(RemovesMethods, DropsIndividualMethodsFromInterfaces) {
+  minilang::ClassRegistry registry;
+  mail::register_all(registry);
+  views::Vig vig(&registry);
+  auto def = views::ViewDefinition::from_xml(R"(
+<View name="ViewNoMeetings">
+  <Represents name="MailClient"/>
+  <Restricts>
+    <Interface name="NotesI" type="local"/>
+    <Interface name="AddressI" type="switchboard"/>
+  </Restricts>
+  <Removes_Methods>
+    <Method name="addMeeting"/>
+    <Method name="getPhone"/>
+  </Removes_Methods>
+  <Adds_Methods>
+    <MSign>constructor()</MSign><MBody>notes = list();</MBody>
+  </Adds_Methods>
+</View>)");
+  ASSERT_TRUE(def.ok()) << def.error().message;
+  EXPECT_EQ(def.value().removed_methods.size(), 2u);
+  auto cls = vig.generate(def.value());
+  ASSERT_TRUE(cls.ok()) << cls.error().message;
+  // addNote stays, addMeeting is gone; getEmail stub stays, getPhone gone.
+  EXPECT_NE(cls.value()->find_method("addNote"), nullptr);
+  EXPECT_EQ(cls.value()->find_method("addMeeting"), nullptr);
+  EXPECT_NE(cls.value()->find_method("getEmail"), nullptr);
+  EXPECT_EQ(cls.value()->find_method("getPhone"), nullptr);
+
+  auto view = minilang::instantiate(registry, "ViewNoMeetings");
+  EXPECT_THROW(view->call("addMeeting", {Value::string("x")}),
+               minilang::EvalError);
+  view->call("addNote", {Value::string("fine")});
+}
+
+TEST(RemovesMethods, RoundTripsThroughXml) {
+  views::ViewDefinition def;
+  def.name = "V";
+  def.represents = "C";
+  def.removed_methods = {"a", "b"};
+  auto again = views::ViewDefinition::from_xml(def.to_xml());
+  // from_xml requires Represents; build a proper one instead.
+  views::ViewDefinition full;
+  full.name = "V";
+  full.represents = "MailClient";
+  full.removed_methods = {"addMeeting"};
+  auto parsed = views::ViewDefinition::from_xml(full.to_xml());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().removed_methods,
+            std::vector<std::string>{"addMeeting"});
+  (void)again;
+}
+
+TEST(RemovesMethods, UnknownRemovalDiagnosed) {
+  minilang::ClassRegistry registry;
+  mail::register_all(registry);
+  views::Vig vig(&registry);
+  auto def = views::ViewDefinition::from_xml(R"(
+<View name="V">
+  <Represents name="MailClient"/>
+  <Restricts><Interface name="NotesI" type="local"/></Restricts>
+  <Removes_Methods><Method name="noSuchMethod"/></Removes_Methods>
+  <Adds_Methods><MSign>constructor()</MSign><MBody>notes = list();</MBody></Adds_Methods>
+</View>)");
+  ASSERT_TRUE(def.ok());
+  auto cls = vig.generate(def.value());
+  ASSERT_FALSE(cls.ok());
+  EXPECT_NE(cls.error().message.find("noSuchMethod"), std::string::npos);
+}
+
+// ----------------------------------------------------------- two-way RPC
+
+TEST(TwoWayRpc, ServerEndCallsClientService) {
+  // Paper §4.3: "Switchboard connections provide a two-way procedure-call
+  // (RPC) interface" — the B end can invoke services registered on A.
+  util::Rng rng(88);
+  auto clock = std::make_shared<util::SimClock>();
+  switchboard::Network net;
+  net.connect("a", "b", {util::kMillisecond, 0, true});
+  switchboard::Switchboard a("a", &net, clock);
+  switchboard::Switchboard b("b", &net, clock);
+
+  minilang::ClassRegistry registry;
+  mail::register_all(registry);
+  auto client_inbox = minilang::instantiate(registry, "MailClient");
+  a.register_service("callback", client_inbox);  // service on the CLIENT
+
+  switchboard::AuthorizationSuite sa, sb;
+  sa.identity = drbac::Entity::create("A", rng);
+  sa.authorizer = std::make_shared<switchboard::AcceptAllAuthorizer>();
+  sb.identity = drbac::Entity::create("B", rng);
+  sb.authorizer = std::make_shared<switchboard::AcceptAllAuthorizer>();
+  auto conn = switchboard::Connection::establish(a, b, sa, sb, rng).value();
+
+  // The server pushes a message to the client's inbox.
+  conn->call(switchboard::Connection::End::kB, "callback", "deliver",
+             {mail::make_message("server", "client", "push", "hello")});
+  EXPECT_EQ(client_inbox->get_field("inbox").as_list()->size(), 1u);
+  // Both directions in flight on the same connection.
+  b.register_service("echo", client_inbox);
+  conn->call(switchboard::Connection::End::kA, "echo", "deliver",
+             {mail::make_message("x", "y", "z", "w")});
+  EXPECT_EQ(conn->stats().calls, 2u);
+}
+
+// ---------------------------------------------------- framework edge cases
+
+struct ScenarioFixture : ::testing::Test {
+  Scenario s = mail::build_scenario();
+};
+
+TEST_F(ScenarioFixture, UnknownServiceRejected) {
+  framework::ClientRequest request;
+  request.identity = s.alice;
+  request.client_node = Scenario::kNyPc;
+  request.service = "no-such-service";
+  auto session = s.psf->request(request);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.error().code, "no-service");
+}
+
+TEST_F(ScenarioFixture, UnknownClientNodeRejected) {
+  auto request = s.request_for(s.alice, "mars-base");
+  auto session = s.psf->request(request);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.error().code, "no-node");
+}
+
+TEST_F(ScenarioFixture, UnreachableClientNodeFailsPlanning) {
+  s.psf->add_node("island", "Comp.NY");
+  auto session = s.psf->request(s.request_for(s.alice, "island"));
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.error().code, "no-plan");
+}
+
+TEST_F(ScenarioFixture, LatencyBoundSelectsNearProvider) {
+  framework::QoS qos;
+  qos.max_latency_ms = 5;  // WAN is 40 ms; only local service can comply
+  auto session = s.psf->request(s.request_for(s.bob, Scenario::kSdPc, qos));
+  ASSERT_TRUE(session.ok()) << session.error().message;
+  EXPECT_EQ(session.value().provider_node, Scenario::kSdPc);
+}
+
+TEST_F(ScenarioFixture, CpuExhaustionEventuallyRejectsDeployments) {
+  // Each session consumes view CPU on the client node (capacity 100,
+  // view_cpu 10, replica 20 + cipher 5): repeated requests must eventually
+  // fail with a CPU-related planning error rather than misbehave.
+  framework::QoS qos;
+  qos.min_bandwidth_kbps = 1000;
+  int successes = 0;
+  util::Result<framework::ClientSession> last =
+      util::Result<framework::ClientSession>::failure("none", "none");
+  for (int i = 0; i < 20; ++i) {
+    last = s.psf->request(s.request_for(s.bob, Scenario::kSdPc, qos));
+    if (!last.ok()) break;
+    ++successes;
+  }
+  EXPECT_GT(successes, 2);
+  EXPECT_LT(successes, 20);
+  ASSERT_FALSE(last.ok());
+  EXPECT_NE(last.error().message.find("CPU"), std::string::npos);
+}
+
+TEST_F(ScenarioFixture, DefineServiceValidatesInputs) {
+  framework::ServiceConfig config;
+  config.name = "broken";
+  config.domain = "Comp.NY";
+  config.origin_node = "mars-base";
+  config.origin_class = "MailServer";
+  auto r = s.psf->define_service(config);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "bad-service");
+
+  config.origin_node = Scenario::kNyServer;
+  config.origin_class = "NoSuchClass";
+  auto r2 = s.psf->define_service(config);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.error().message.find("NoSuchClass"), std::string::npos);
+}
+
+TEST_F(ScenarioFixture, GuardsAreSingletonsPerDomain) {
+  framework::Guard& again = s.psf->create_guard("Comp.NY");
+  EXPECT_EQ(&again, s.ny);
+  EXPECT_EQ(s.psf->guard("Comp.NY"), s.ny);
+  EXPECT_EQ(s.psf->guard("Nowhere"), nullptr);
+}
+
+TEST_F(ScenarioFixture, NodeCpuAccounting) {
+  framework::Node* node = s.psf->node(Scenario::kNyPc);
+  const std::int64_t used = node->cpu_used();
+  EXPECT_TRUE(node->reserve_cpu(10));
+  EXPECT_EQ(node->cpu_used(), used + 10);
+  node->release_cpu(10);
+  EXPECT_EQ(node->cpu_used(), used);
+  EXPECT_FALSE(node->reserve_cpu(node->cpu_capacity() + 1));
+}
+
+TEST(GuardCache, HitsMissesAndRevocationInvalidation) {
+  drbac::Repository repo;
+  util::Rng rng(9);
+  framework::Guard guard("Comp.NY", &repo, rng);
+  guard.add_access_rule("Member", "MemberView");
+  guard.set_default_view("AnonView");
+  drbac::Entity alice = guard.create_principal("Alice");
+  auto cred = guard.grant(Principal::of_entity(alice), "Member");
+  guard.enable_decision_cache();
+
+  auto first = guard.select_view(Principal::of_entity(alice), 0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(guard.cache_stats().misses, 1u);
+  auto second = guard.select_view(Principal::of_entity(alice), 0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().view_name, "MemberView");
+  EXPECT_EQ(guard.cache_stats().hits, 1u);
+
+  // Revocation invalidates: the next lookup re-proves and now maps to the
+  // default view.
+  repo.revoke(cred->serial);
+  EXPECT_EQ(guard.cache_stats().invalidations, 1u);
+  auto third = guard.select_view(Principal::of_entity(alice), 0);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.value().view_name, "AnonView");
+  EXPECT_EQ(guard.cache_stats().misses, 2u);
+}
+
+TEST(GuardCache, DisabledByDefault) {
+  drbac::Repository repo;
+  util::Rng rng(10);
+  framework::Guard guard("D", &repo, rng);
+  guard.set_default_view("V");
+  drbac::Entity user = guard.create_principal("U");
+  (void)guard.select_view(Principal::of_entity(user), 0);
+  (void)guard.select_view(Principal::of_entity(user), 0);
+  EXPECT_EQ(guard.cache_stats().hits, 0u);
+  EXPECT_EQ(guard.cache_stats().misses, 0u);
+}
+
+TEST_F(ScenarioFixture, ExpiredClientCredentialDeniedAtRequestTime) {
+  // A wallet whose only membership credential has expired maps to the
+  // default (anonymous) view instead of the member view.
+  drbac::Entity frank = s.ny->create_principal("Frank");
+  auto short_lived = s.ny->grant(Principal::of_entity(frank), "Member", {},
+                                 /*issued=*/0, /*expires=*/10);
+  s.psf->clock()->set(100);  // past expiry
+  framework::ClientRequest request;
+  request.identity = frank;
+  request.credentials = {short_lived};
+  request.client_node = Scenario::kNyPc;
+  request.service = "mail";
+  auto session = s.psf->request(request);
+  ASSERT_TRUE(session.ok()) << session.error().message;
+  EXPECT_EQ(session.value().view_name, "ViewMailClient_Anonymous");
+}
+
+}  // namespace
+}  // namespace psf

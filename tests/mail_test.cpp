@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include "mail/components.hpp"
+#include "mail/scenario.hpp"
+#include "minilang/interp.hpp"
+#include "views/cache.hpp"
+#include "views/vig.hpp"
+
+namespace psf::mail {
+namespace {
+
+using minilang::ClassRegistry;
+using minilang::EvalError;
+using minilang::Value;
+
+struct MailWorld {
+  ClassRegistry registry;
+  MailWorld() { register_all(registry); }
+};
+
+// ------------------------------------------------------------- MailClient
+
+TEST(MailClient, AccountDirectory) {
+  MailWorld w;
+  auto client = minilang::instantiate(w.registry, "MailClient");
+  client->call("addAccount", {Value::string("alice"), Value::string("555"),
+                              Value::string("a@x")});
+  EXPECT_EQ(client->call("getPhone", {Value::string("alice")}).as_string(),
+            "555");
+  EXPECT_EQ(client->call("getEmail", {Value::string("alice")}).as_string(),
+            "a@x");
+}
+
+TEST(MailClient, UnknownAccountThrows) {
+  MailWorld w;
+  auto client = minilang::instantiate(w.registry, "MailClient");
+  EXPECT_THROW(client->call("getPhone", {Value::string("ghost")}), EvalError);
+}
+
+TEST(MailClient, FindAccountIsPrivate) {
+  MailWorld w;
+  auto client = minilang::instantiate(w.registry, "MailClient");
+  EXPECT_THROW(client->call("findAccount", {Value::string("alice")}),
+               EvalError);
+}
+
+TEST(MailClient, MessageLifecycle) {
+  MailWorld w;
+  auto client = minilang::instantiate(w.registry, "MailClient");
+  client->call("deliver", {make_message("bob", "alice", "s1", "b1")});
+  client->call("deliver", {make_message("eve", "alice", "s2", "b2")});
+  const Value received = client->call("receiveMessages", {});
+  EXPECT_EQ(received.as_list()->size(), 2u);
+  // Receiving drains the inbox.
+  EXPECT_EQ(client->call("receiveMessages", {}).as_list()->size(), 0u);
+}
+
+TEST(MailClient, NotesAndMeetings) {
+  MailWorld w;
+  auto client = minilang::instantiate(w.registry, "MailClient");
+  client->call("addNote", {Value::string("n")});
+  EXPECT_TRUE(client->call("addMeeting", {Value::string("alice")}).as_bool());
+  EXPECT_EQ(client->get_field("notes").as_list()->size(), 1u);
+  EXPECT_EQ(client->get_field("meetings").as_list()->size(), 1u);
+}
+
+// ------------------------------------------------------------- MailServer
+
+TEST(MailServer, RoutesMailToMailboxes) {
+  MailWorld w;
+  auto server = minilang::instantiate(w.registry, "MailServer");
+  server->call("registerAccount", {Value::string("alice"), Value::string("1"),
+                                   Value::string("a@x")});
+  server->call("registerAccount", {Value::string("bob"), Value::string("2"),
+                                   Value::string("b@x")});
+  EXPECT_TRUE(
+      server->call("sendMail", {make_message("bob", "alice", "s", "b")})
+          .as_bool());
+  EXPECT_EQ(server->call("countPending", {Value::string("alice")}).as_int(), 1);
+  EXPECT_EQ(server->call("countPending", {Value::string("bob")}).as_int(), 0);
+  const Value fetched = server->call("fetchMail", {Value::string("alice")});
+  ASSERT_EQ(fetched.as_list()->size(), 1u);
+  EXPECT_EQ((*fetched.as_list())[0].as_map()->at("subject").as_string(), "s");
+  EXPECT_EQ(server->call("countPending", {Value::string("alice")}).as_int(), 0);
+}
+
+TEST(MailServer, RejectsMailToUnknownRecipient) {
+  MailWorld w;
+  auto server = minilang::instantiate(w.registry, "MailServer");
+  EXPECT_FALSE(
+      server->call("sendMail", {make_message("x", "ghost", "s", "b")})
+          .as_bool());
+}
+
+TEST(MailServer, DirectoryReturnsEmptyForUnknown) {
+  MailWorld w;
+  auto server = minilang::instantiate(w.registry, "MailServer");
+  EXPECT_EQ(server->call("getPhone", {Value::string("ghost")}).as_string(), "");
+}
+
+// ------------------------------------------------- Encryptor / Decryptor
+
+TEST(Privacy, EncryptDecryptRoundTrip) {
+  MailWorld w;
+  const Value key = Value::bytes(util::to_bytes("pair key"));
+  auto enc = minilang::instantiate(w.registry, "Encryptor", {key});
+  auto dec = minilang::instantiate(w.registry, "Decryptor", {key});
+  const Value plain = Value::bytes(util::to_bytes("the body of the mail"));
+  const Value cipher = enc->call("transform", {plain});
+  EXPECT_NE(cipher.as_bytes(), plain.as_bytes());
+  EXPECT_EQ(dec->call("transform", {cipher}).as_bytes(), plain.as_bytes());
+}
+
+TEST(Privacy, DifferentKeysDoNotDecrypt) {
+  MailWorld w;
+  auto enc = minilang::instantiate(w.registry, "Encryptor",
+                                   {Value::bytes(util::to_bytes("key-1"))});
+  auto dec = minilang::instantiate(w.registry, "Decryptor",
+                                   {Value::bytes(util::to_bytes("key-2"))});
+  const Value plain = Value::bytes(util::to_bytes("secret"));
+  const Value garbled = dec->call("transform", {enc->call("transform", {plain})});
+  EXPECT_NE(garbled.as_bytes(), plain.as_bytes());
+}
+
+TEST(Privacy, UninitializedKeyThrows) {
+  MailWorld w;
+  auto cls = w.registry.find_class("Encryptor");
+  auto enc = std::make_shared<minilang::Instance>(cls, &w.registry);
+  EXPECT_THROW(enc->call("transform", {Value::bytes({1, 2})}), EvalError);
+}
+
+// --------------------------------------------------------- ViewMailServer
+
+TEST(ViewMailServer, CacheServesReadsAndWritesThrough) {
+  MailWorld w;
+  views::Vig vig(&w.registry);
+  auto def = views::ViewDefinition::from_xml(view_xml_mail_server_cache());
+  ASSERT_TRUE(def.ok()) << def.error().message;
+  auto cls = vig.generate(def.value());
+  ASSERT_TRUE(cls.ok()) << cls.error().message;
+
+  auto origin = minilang::instantiate(w.registry, "MailServer");
+  origin->call("registerAccount", {Value::string("alice"), Value::string("1"),
+                                   Value::string("a@x")});
+  auto cache = minilang::instantiate(w.registry, "ViewMailServer");
+  views::attach_cache_manager(cache, Value::object(origin));
+
+  // Read through the cache: pulled from the origin.
+  EXPECT_EQ(cache->call("getPhone", {Value::string("alice")}).as_string(), "1");
+  // Write through the cache: lands on the origin.
+  EXPECT_TRUE(
+      cache->call("sendMail", {make_message("bob", "alice", "s", "b")})
+          .as_bool());
+  EXPECT_EQ(origin->call("countPending", {Value::string("alice")}).as_int(), 1);
+  // New registration at the origin becomes visible at the cache.
+  origin->call("registerAccount", {Value::string("carol"), Value::string("3"),
+                                   Value::string("c@x")});
+  EXPECT_EQ(cache->call("getEmail", {Value::string("carol")}).as_string(),
+            "c@x");
+}
+
+// ---------------------------------------------------------- Scenario
+
+struct ScenarioFixture : ::testing::Test {
+  Scenario s = build_scenario();
+};
+
+TEST_F(ScenarioFixture, Table2CredentialsMatchPaperRendering) {
+  const char* expected[] = {
+      "[ Alice -> Comp.NY.Member ] Comp.NY",
+      "[ Comp.SD.Member -> Comp.NY.Member ] Comp.NY",
+      "[ Comp.SD -> Comp.NY.Partner ' ] Comp.NY",
+      "[ Dell.Linux -> Mail.Node ] Mail with Secure={false,true} Trust=(0,10)",
+      "[ Dell.SuSe -> Mail.Node ] Mail with Secure={false,true} Trust=(0,7)",
+      "[ IBM.Windows -> Mail.Node ] Mail with Secure={false} Trust=(0,1)",
+      "[ Comp.NY.PC -> Dell.Linux ] Dell",
+      "[ Mail.MailClient -> Comp.NY.Executable ] Comp.NY with CPU=(0,100)",
+      "[ Mail.Encryptor -> Comp.NY.Executable ] Comp.NY with CPU=(0,100)",
+      "[ Mail.Decryptor -> Comp.NY.Executable ] Comp.NY with CPU=(0,100)",
+      "[ Bob -> Comp.SD.Member ] Comp.SD",
+      "[ Inc.SE.Member -> Comp.NY.Partner ] Comp.SD",
+      "[ Comp.SD.PC -> Dell.SuSe ] Dell",
+      "[ Comp.NY.Executable -> Comp.SD.Executable ] Comp.SD with CPU=(0,80)",
+      "[ Charlie -> Inc.SE.Member ] Inc.SE",
+      "[ Inc.SE.PC -> IBM.Windows ] IBM",
+      "[ Comp.NY.Executable -> Inc.SE.Executable ] Inc.SE with CPU=(0,40)",
+  };
+  for (int i = 1; i <= 17; ++i) {
+    EXPECT_EQ(s.cred(i)->display(), expected[i - 1]) << "credential " << i;
+    EXPECT_TRUE(s.cred(i)->verify_signature()) << "credential " << i;
+  }
+}
+
+TEST_F(ScenarioFixture, Table2TypesMatchPaper) {
+  using drbac::DelegationType;
+  // (3) is the only assignment; (12), (14), (17), (2)... check a few.
+  EXPECT_EQ(s.cred(3)->type(), DelegationType::kAssignment);
+  EXPECT_EQ(s.cred(1)->type(), DelegationType::kSelfCertifying);
+  EXPECT_EQ(s.cred(12)->type(), DelegationType::kThirdParty);
+  EXPECT_EQ(s.cred(14)->type(), DelegationType::kSelfCertifying);
+}
+
+TEST_F(ScenarioFixture, NodeAuthorizationMapsPlatformsToPolicy) {
+  drbac::Engine engine(&s.psf->repository());
+  drbac::ProveOptions secure_node;
+  secure_node.required = {
+      {"Secure", drbac::Attribute::make_set("Secure", {"true"})}};
+  // sd-pc chains PC -> Dell.SuSe -> Mail.Node (credentials 13 + 5).
+  auto sd = engine.prove(s.psf->node(Scenario::kSdPc)->principal(),
+                         s.mail->role("Node"), 0, secure_node);
+  EXPECT_TRUE(sd.ok()) << sd.error().message;
+  // se-pc chains to IBM.Windows whose Secure={false}: must fail.
+  auto se = engine.prove(s.psf->node(Scenario::kSePc)->principal(),
+                         s.mail->role("Node"), 0, secure_node);
+  EXPECT_FALSE(se.ok());
+}
+
+TEST_F(ScenarioFixture, ComponentAuthorizationAttenuatesCpuPerSite) {
+  drbac::Engine engine(&s.psf->repository());
+  auto sd = engine.prove(s.cred(8)->subject, s.sd->role("Executable"), 0);
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd.value().effective_attributes.at("CPU").hi, 80);
+  auto se = engine.prove(s.cred(8)->subject, s.se->role("Executable"), 0);
+  ASSERT_TRUE(se.ok());
+  EXPECT_EQ(se.value().effective_attributes.at("CPU").hi, 40);
+}
+
+TEST_F(ScenarioFixture, WalletsAuthorizeTheRightViews) {
+  auto alice = s.ny->select_view(drbac::Principal::of_entity(s.alice), 0);
+  EXPECT_EQ(alice.value().view_name, "ViewMailClient_Member");
+  auto bob = s.ny->select_view(drbac::Principal::of_entity(s.bob), 0);
+  EXPECT_EQ(bob.value().view_name, "ViewMailClient_Member");
+  auto charlie = s.ny->select_view(drbac::Principal::of_entity(s.charlie), 0);
+  EXPECT_EQ(charlie.value().view_name, "ViewMailClient_Partner");
+}
+
+TEST_F(ScenarioFixture, SecureWanDisablesCipherDeployment) {
+  // With physically secure WAN links, privacy needs no encryptor pair.
+  Scenario secure_world = build_scenario({200, 40, /*wan_secure=*/true});
+  framework::QoS qos;
+  qos.min_bandwidth_kbps = 1000;
+  qos.privacy = true;
+  auto session = secure_world.psf->request(
+      secure_world.request_for(secure_world.bob, Scenario::kSdPc, qos));
+  ASSERT_TRUE(session.ok()) << session.error().message;
+  EXPECT_TRUE(session.value().plan.uses_replica);
+  EXPECT_FALSE(session.value().plan.uses_ciphers);
+}
+
+TEST_F(ScenarioFixture, FastWanServesFromOrigin) {
+  Scenario fast_world = build_scenario({100'000, 2, true});
+  framework::QoS qos;
+  qos.min_bandwidth_kbps = 1000;
+  auto session = fast_world.psf->request(
+      fast_world.request_for(fast_world.bob, Scenario::kSdPc, qos));
+  ASSERT_TRUE(session.ok()) << session.error().message;
+  EXPECT_EQ(session.value().provider_node, Scenario::kNyServer);
+  EXPECT_FALSE(session.value().plan.uses_replica);
+}
+
+TEST_F(ScenarioFixture, EndToEndPrivateMailDelivery) {
+  framework::QoS qos;
+  qos.min_bandwidth_kbps = 1000;
+  qos.privacy = true;
+  auto session = s.psf->request(s.request_for(s.bob, Scenario::kSdPc, qos));
+  ASSERT_TRUE(session.ok()) << session.error().message;
+  ASSERT_TRUE(session.value().plan.uses_ciphers);
+  session.value().view->call(
+      "sendMessage", {make_message("bob", "alice", "secret", "classified")});
+  auto origin = s.psf->origin_instance("mail");
+  ASSERT_EQ(origin->get_field("outbox").as_list()->size(), 1u);
+  const auto& message = (*origin->get_field("outbox").as_list())[0];
+  // Plaintext inside the endpoints despite ciphertext on the wire.
+  EXPECT_EQ(message.as_map()->at("body").as_string(), "classified");
+}
+
+TEST_F(ScenarioFixture, MailboxServiceDeploysViewMailServerCache) {
+  // §2.2: the view mail server is replicated as a cache close to the
+  // client. Bob's session gets a ViewMailServer on (or near) sd-pc.
+  framework::ClientRequest request = s.request_for(s.bob, Scenario::kSdPc);
+  request.service = "mailbox";
+  auto session = s.psf->request(request);
+  ASSERT_TRUE(session.ok()) << session.error().message;
+  EXPECT_EQ(session.value().view_name, "ViewMailServer");
+
+  // Bob sends mail through his cache view; it lands in the origin
+  // MailServer's mailbox for alice.
+  EXPECT_TRUE(session.value()
+                  .view
+                  ->call("sendMail",
+                         {make_message("bob", "alice", "cache", "hello")})
+                  .as_bool());
+  auto origin = s.psf->origin_instance("mailbox");
+  EXPECT_EQ(origin->call("countPending", {Value::string("alice")}).as_int(),
+            1);
+
+  // Alice fetches through her own session at ny-pc.
+  framework::ClientRequest alice_request =
+      s.request_for(s.alice, Scenario::kNyPc);
+  alice_request.service = "mailbox";
+  auto alice_session = s.psf->request(alice_request);
+  ASSERT_TRUE(alice_session.ok()) << alice_session.error().message;
+  const Value fetched =
+      alice_session.value().view->call("fetchMail", {Value::string("alice")});
+  ASSERT_EQ(fetched.as_list()->size(), 1u);
+  EXPECT_EQ((*fetched.as_list())[0].as_map()->at("subject").as_string(),
+            "cache");
+}
+
+TEST_F(ScenarioFixture, MailboxServiceDeniesStrangers) {
+  drbac::Entity eve = drbac::Entity::create("Eve", s.psf->rng());
+  framework::ClientRequest request;
+  request.identity = eve;
+  request.client_node = Scenario::kSePc;
+  request.service = "mailbox";  // no default view configured
+  auto session = s.psf->request(request);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.error().code, "access-denied");
+}
+
+TEST_F(ScenarioFixture, PerServiceAclsAreIndependent) {
+  // The same client gets different views from different services.
+  auto mail_session = s.psf->request(s.request_for(s.bob, Scenario::kSdPc));
+  ASSERT_TRUE(mail_session.ok());
+  EXPECT_EQ(mail_session.value().view_name, "ViewMailClient_Member");
+  framework::ClientRequest request = s.request_for(s.bob, Scenario::kSdPc);
+  request.service = "mailbox";
+  auto box_session = s.psf->request(request);
+  ASSERT_TRUE(box_session.ok());
+  EXPECT_EQ(box_session.value().view_name, "ViewMailServer");
+}
+
+TEST_F(ScenarioFixture, CrossUserMailThroughSharedOrigin) {
+  // Alice and Charlie both get sessions over the same origin object: an
+  // account registered at the origin becomes visible through both views.
+  auto alice = s.psf->request(s.request_for(s.alice, Scenario::kNyPc));
+  ASSERT_TRUE(alice.ok());
+  auto charlie = s.psf->request(s.request_for(s.charlie, Scenario::kSePc));
+  ASSERT_TRUE(charlie.ok());
+  s.psf->origin_instance("mail")->call(
+      "addAccount",
+      {Value::string("dave"), Value::string("999"), Value::string("d@x")});
+  // Alice's member view is local with pull coherence from the origin.
+  EXPECT_EQ(
+      alice.value().view->call("getPhone", {Value::string("dave")}).as_string(),
+      "999");
+  // Charlie's partner view routes AddressI over the switchboard channel.
+  EXPECT_EQ(charlie.value()
+                .view->call("getPhone", {Value::string("dave")})
+                .as_string(),
+            "999");
+}
+
+}  // namespace
+}  // namespace psf::mail

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "minilang/value_codec.hpp"
+#include "util/rng.hpp"
+
+namespace psf::minilang {
+namespace {
+
+TEST(ValueCodec, RoundTripsPrimitives) {
+  for (const Value& v :
+       {Value::null(), Value::boolean(true), Value::boolean(false),
+        Value::integer(0), Value::integer(-42), Value::integer(1'234'567'890),
+        Value::string(""), Value::string("hello"),
+        Value::bytes({0x00, 0xff, 0x7f})}) {
+    auto decoded = decode_value(encode_value(v));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(decoded.value().equals(v)) << v.to_display_string();
+  }
+}
+
+TEST(ValueCodec, RoundTripsNestedContainers) {
+  ValueMap inner;
+  inner["phone"] = Value::string("555-0100");
+  inner["email"] = Value::string("alice@comp.ny");
+  ValueMap outer;
+  outer["alice"] = Value::map(inner);
+  outer["count"] = Value::integer(2);
+  Value v = Value::list({Value::map(outer), Value::string("tail"),
+                         Value::list({Value::integer(1), Value::null()})});
+  auto decoded = decode_value(encode_value(v));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().equals(v));
+}
+
+TEST(ValueCodec, ObjectsAreNotSerializable) {
+  struct Dummy : CallTarget {
+    Value call(const std::string&, std::vector<Value>) override {
+      return Value::null();
+    }
+    std::string type_name() const override { return "Dummy"; }
+  };
+  const Value v = Value::object(std::make_shared<Dummy>());
+  EXPECT_THROW(encode_value(v), EvalError);
+  // ... and the error message points at the paper's remedy.
+  try {
+    encode_value(v);
+  } catch (const EvalError& e) {
+    EXPECT_NE(std::string(e.what()).find("rmi or switchboard"),
+              std::string::npos);
+  }
+}
+
+TEST(ValueCodec, RejectsTruncatedInput) {
+  const util::Bytes encoded = encode_value(Value::string("some string"));
+  for (std::size_t cut = 1; cut < encoded.size(); ++cut) {
+    util::Bytes truncated(encoded.begin(),
+                          encoded.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(decode_value(truncated).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(ValueCodec, RejectsTrailingGarbage) {
+  util::Bytes encoded = encode_value(Value::integer(5));
+  encoded.push_back(0x00);
+  EXPECT_FALSE(decode_value(encoded).ok());
+}
+
+TEST(ValueCodec, RejectsUnknownTag) {
+  EXPECT_FALSE(decode_value({0xee}).ok());
+}
+
+TEST(ValueCodec, RejectsOversizedListCount) {
+  // Tag list + absurd count.
+  util::Bytes bad = {6, 0xff, 0xff, 0xff, 0xff};
+  EXPECT_FALSE(decode_value(bad).ok());
+}
+
+TEST(ValueCodec, ValueListRoundTrip) {
+  std::vector<Value> args = {Value::string("getPhone"), Value::integer(1),
+                             Value::list({Value::string("alice")})};
+  auto decoded = decode_values(encode_values(args));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), 3u);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    EXPECT_TRUE(decoded.value()[i].equals(args[i]));
+  }
+}
+
+TEST(ValueCodec, EmptyValueListRoundTrip) {
+  auto decoded = decode_values(encode_values({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(ValueCodec, FuzzDecodeNeverCrashes) {
+  util::Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const util::Bytes garbage = rng.next_bytes(rng.next_below(64));
+    (void)decode_value(garbage);  // must not crash or hang
+    (void)decode_values(garbage);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace psf::minilang

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "xml/xml.hpp"
+
+namespace psf::xml {
+namespace {
+
+TEST(Xml, ParsesSimpleElement) {
+  auto r = parse("<View name=\"V\"/>");
+  ASSERT_TRUE(r.ok()) << r.ok();
+  EXPECT_EQ(r.value()->name, "View");
+  EXPECT_EQ(r.value()->attr("name"), "V");
+}
+
+TEST(Xml, ParsesBareAttributeValues) {
+  // The paper writes `<View name = ViewMailClient_Partner >`.
+  auto r = parse("<View name = ViewMailClient_Partner ></View>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->attr("name"), "ViewMailClient_Partner");
+}
+
+TEST(Xml, ParsesNestedChildren) {
+  auto r = parse(R"(
+    <View name=V>
+      <Represents name=MailClient/>
+      <Restricts>
+        <Interface name=MessageI type=local/>
+        <Interface name=NotesI type=rmi/>
+      </Restricts>
+    </View>)");
+  ASSERT_TRUE(r.ok());
+  const Element& root = *r.value();
+  ASSERT_NE(root.child("Represents"), nullptr);
+  EXPECT_EQ(root.child("Represents")->attr("name"), "MailClient");
+  const Element* restricts = root.child("Restricts");
+  ASSERT_NE(restricts, nullptr);
+  EXPECT_EQ(restricts->children_named("Interface").size(), 2u);
+  EXPECT_EQ(restricts->children_named("Interface")[1]->attr("type"), "rmi");
+}
+
+TEST(Xml, ParsesTextContent) {
+  auto r = parse("<MBody>return accounts;</MBody>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->text, "return accounts;");
+}
+
+TEST(Xml, ParsesCdata) {
+  auto r = parse("<MBody><![CDATA[if (a < b) { return a; }]]></MBody>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->text, "if (a < b) { return a; }");
+}
+
+TEST(Xml, DecodesEntities) {
+  auto r = parse("<T a=\"x &lt; y\">p &amp; q</T>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->attr("a"), "x < y");
+  EXPECT_EQ(r.value()->text, "p & q");
+}
+
+TEST(Xml, SkipsCommentsAndDeclaration) {
+  auto r = parse("<?xml version=\"1.0\"?><!-- header --><Root><!-- inner --><A/></Root>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->children.size(), 1u);
+}
+
+TEST(Xml, RejectsMismatchedTags) {
+  auto r = parse("<A><B></A></B>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("mismatched"), std::string::npos);
+}
+
+TEST(Xml, RejectsUnterminated) {
+  EXPECT_FALSE(parse("<A>").ok());
+  EXPECT_FALSE(parse("<A attr=").ok());
+  EXPECT_FALSE(parse("").ok());
+}
+
+TEST(Xml, RejectsTrailingContent) {
+  EXPECT_FALSE(parse("<A/><B/>").ok());
+}
+
+TEST(Xml, ErrorsCarryLineNumbers) {
+  auto r = parse("<A>\n\n<B></C>\n</A>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("line 3"), std::string::npos);
+}
+
+TEST(Xml, SerializeParseRoundTrip) {
+  auto r = parse(R"(<View name="V"><Field name="accountCopy" type="Account"/><MBody>x = 1;</MBody></View>)");
+  ASSERT_TRUE(r.ok());
+  const std::string text = serialize(*r.value());
+  auto r2 = parse(text);
+  ASSERT_TRUE(r2.ok()) << r2.error().message;
+  EXPECT_EQ(r2.value()->attr("name"), "V");
+  ASSERT_NE(r2.value()->child("MBody"), nullptr);
+  EXPECT_EQ(r2.value()->child("MBody")->text, "x = 1;");
+}
+
+TEST(Xml, EscapeProducesValidEntities) {
+  EXPECT_EQ(escape("a<b>&\"c"), "a&lt;b&gt;&amp;&quot;c");
+}
+
+TEST(Xml, AttrMissingReturnsEmpty) {
+  auto r = parse("<A/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->attr("nope"), "");
+  EXPECT_FALSE(r.value()->has_attr("nope"));
+}
+
+}  // namespace
+}  // namespace psf::xml
