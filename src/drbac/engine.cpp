@@ -4,9 +4,32 @@
 #include <set>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace psf::drbac {
 
 namespace {
+
+// Hot-path instrumentation (psf.drbac.*). References resolved once.
+struct EngineMetrics {
+  obs::Counter& proofs_attempted = obs::counter("psf.drbac.proofs.attempted");
+  obs::Counter& proofs_succeeded = obs::counter("psf.drbac.proofs.succeeded");
+  obs::Counter& proofs_failed = obs::counter("psf.drbac.proofs.failed");
+  obs::Counter& credentials_examined =
+      obs::counter("psf.drbac.credentials.examined");
+  obs::Counter& memo_hits = obs::counter("psf.drbac.proof_cache.memo_hits");
+  obs::Counter& validations = obs::counter("psf.drbac.validations");
+  obs::Counter& validation_failures =
+      obs::counter("psf.drbac.validation.failures");
+  obs::Histogram& search_depth =
+      obs::histogram("psf.drbac.search.depth", {1, 2, 4, 8, 16, 32, 64});
+  obs::Histogram& prove_us = obs::histogram("psf.drbac.prove_us");
+  static EngineMetrics& get() {
+    static EngineMetrics m;
+    return m;
+  }
+};
 
 /// Search state shared across the recursive descent.
 struct Search {
@@ -18,6 +41,8 @@ struct Search {
   // Goals proven impossible (memoized failures keep the search polynomial
   // on dense delegation graphs).
   std::set<std::string> failed;
+  // Deepest recursion reached, reported to psf.drbac.search.depth.
+  std::size_t max_depth_seen = 0;
 
   static std::string goal_key(const RoleRef& target, bool assignment) {
     return target.entity_fp + "." + target.role + (assignment ? "'" : "");
@@ -68,6 +93,7 @@ std::optional<ChainResult> find_chain(Search& s, const Principal& subject,
   if (!assignment && subject.is_role() && subject.as_role_ref() == target) {
     return ChainResult{};
   }
+  s.max_depth_seen = std::max(s.max_depth_seen, depth);
   if (depth >= s.options->max_depth) {
     truncated = true;
     return std::nullopt;
@@ -78,6 +104,7 @@ std::optional<ChainResult> find_chain(Search& s, const Principal& subject,
     return std::nullopt;  // cycle
   }
   if (s.failed.count(key + "#" + subject.entity_fp + "." + subject.role) > 0) {
+    EngineMetrics::get().memo_hits.inc();
     return std::nullopt;
   }
   s.on_path.insert(key);
@@ -96,6 +123,8 @@ std::optional<ChainResult> find_chain(Search& s, const Principal& subject,
       if (c->target == target) candidates.push_back(c);
     }
   }
+
+  EngineMetrics::get().credentials_examined.inc(candidates.size());
 
   bool subtree_truncated = false;
   for (const auto& c : candidates) {
@@ -183,17 +212,25 @@ std::string Proof::display() const {
 util::Result<Proof> Engine::prove(const Principal& subject,
                                   const RoleRef& target, util::SimTime now,
                                   ProveOptions options) const {
-  Search search{repository_, now, &options, {}, {}};
+  EngineMetrics& metrics = EngineMetrics::get();
+  metrics.proofs_attempted.inc();
+  obs::ScopedSpan span("drbac.prove");
+  obs::ScopedTimerUs timer(metrics.prove_us);
+  Search search{repository_, now, &options, {}, {}, 0};
 
   bool truncated = false;
   auto chain =
       find_chain(search, subject, target, /*assignment=*/false, 0, truncated);
+  metrics.search_depth.observe(
+      static_cast<std::int64_t>(search.max_depth_seen));
   if (!chain.has_value()) {
+    metrics.proofs_failed.inc();
     return util::Result<Proof>::failure(
         "no-proof", "no credential chain proves " + subject.display() +
                         " is " + target.display());
   }
   if (!satisfies(chain->attributes, options.required)) {
+    metrics.proofs_failed.inc();
     return util::Result<Proof>::failure(
         "attributes-unsatisfied",
         "chain found but attenuated attributes (" +
@@ -201,6 +238,7 @@ util::Result<Proof> Engine::prove(const Principal& subject,
             ") do not satisfy requirement (" +
             attributes_to_string(options.required) + ")");
   }
+  metrics.proofs_succeeded.inc();
 
   Proof proof;
   proof.subject = subject;
@@ -213,8 +251,23 @@ util::Result<Proof> Engine::prove(const Principal& subject,
   return proof;
 }
 
+namespace {
+bool validate_impl(const Repository* repository, const Proof& proof,
+                   util::SimTime now, const AttributeMap& required);
+}  // namespace
+
 bool Engine::validate(const Proof& proof, util::SimTime now,
                       const AttributeMap& required) const {
+  EngineMetrics& metrics = EngineMetrics::get();
+  metrics.validations.inc();
+  const bool ok = validate_impl(repository_, proof, now, required);
+  if (!ok) metrics.validation_failures.inc();
+  return ok;
+}
+
+namespace {
+bool validate_impl(const Repository* repository_, const Proof& proof,
+                   util::SimTime now, const AttributeMap& required) {
   if (proof.credentials.empty()) {
     // Only the identity proof has an empty chain.
     return proof.subject.is_role() &&
@@ -256,6 +309,7 @@ bool Engine::validate(const Proof& proof, util::SimTime now,
   }
   return satisfies(attrs, required);
 }
+}  // namespace
 
 ProofMonitor::ProofMonitor(Repository* repository, Proof proof,
                            Callback on_invalidated)
@@ -274,6 +328,7 @@ ProofMonitor::ProofMonitor(Repository* repository, Proof proof,
         if (watched.count(serial) == 0) return;
         bool expected = false;
         if (flag->compare_exchange_strong(expected, true)) {
+          obs::counter("psf.drbac.proofs.invalidated").inc();
           on_invalidated(*proof_copy, serial);
         }
       });

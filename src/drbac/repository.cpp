@@ -1,16 +1,36 @@
 #include "drbac/repository.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace psf::drbac {
 
+namespace {
+// Credential discovery instrumentation (psf.drbac.repo.*).
+struct RepoMetrics {
+  obs::Counter& adds = obs::counter("psf.drbac.repo.adds");
+  obs::Counter& lookups = obs::counter("psf.drbac.repo.lookups");
+  obs::Counter& revocations = obs::counter("psf.drbac.repo.revocations");
+  obs::Gauge& size = obs::gauge("psf.drbac.repo.credentials");
+  static RepoMetrics& get() {
+    static RepoMetrics m;
+    return m;
+  }
+};
+}  // namespace
+
 void Repository::add(DelegationPtr credential) {
+  RepoMetrics& metrics = RepoMetrics::get();
   std::lock_guard<std::mutex> lock(mutex_);
   credentials_.push_back(credential);
   by_target_[target_key(credential->target)].push_back(credential);
   by_subject_[subject_key(credential->subject)].push_back(credential);
+  metrics.adds.inc();
+  metrics.size.set(static_cast<std::int64_t>(credentials_.size()));
 }
 
 std::vector<DelegationPtr> Repository::by_target(const RoleRef& target,
                                                  bool honor_tags) const {
+  RepoMetrics::get().lookups.inc();
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<DelegationPtr> out;
   auto it = by_target_.find(target_key(target));
@@ -23,6 +43,7 @@ std::vector<DelegationPtr> Repository::by_target(const RoleRef& target,
 
 std::vector<DelegationPtr> Repository::by_subject(const Principal& subject,
                                                   bool honor_tags) const {
+  RepoMetrics::get().lookups.inc();
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<DelegationPtr> out;
   auto it = by_subject_.find(subject_key(subject));
@@ -52,6 +73,7 @@ void Repository::revoke(std::uint64_t serial) {
     if (!revoked_.insert(serial).second) return;  // already revoked
     subscribers = subscribers_;
   }
+  RepoMetrics::get().revocations.inc();
   // Notify outside the lock so callbacks may re-enter the repository.
   for (const auto& [id, callback] : subscribers) callback(serial);
 }
@@ -144,6 +166,9 @@ util::Result<Repository::MergeResult> Repository::merge_snapshot(
   const std::uint32_t revoked_count = util::get_u32_be(snapshot, pos);
   pos += 4;
   if (pos + 8ull * revoked_count != snapshot.size()) return fail();
+  obs::counter("psf.drbac.repo.merges").inc();
+  obs::counter("psf.drbac.repo.merge.added").inc(result.added);
+  obs::counter("psf.drbac.repo.merge.rejected").inc(result.rejected);
   for (std::uint32_t i = 0; i < revoked_count; ++i) {
     const std::uint64_t serial = util::get_u64_be(snapshot, pos);
     pos += 8;

@@ -1,0 +1,201 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace psf::obs {
+
+namespace {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+std::string hex_id(std::uint64_t id) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << id;
+  return os.str();
+}
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& e : snapshot.entries) {
+    const std::string name = prometheus_name(e.name);
+    switch (e.kind) {
+      case MetricsSnapshot::Entry::Kind::kCounter:
+        os << "# TYPE " << name << " counter\n";
+        os << name << " " << e.value << "\n";
+        break;
+      case MetricsSnapshot::Entry::Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n";
+        os << name << " " << e.value << "\n";
+        break;
+      case MetricsSnapshot::Entry::Kind::kHistogram: {
+        const auto& h = e.histogram;
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+          cumulative += h.bucket_counts[i];
+          os << name << "_bucket{le=\"" << h.bounds[i] << "\"} " << cumulative
+             << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+        os << name << "_sum " << h.sum << "\n";
+        os << name << "_count " << h.count << "\n";
+        for (double p : {50.0, 95.0, 99.0}) {
+          os << name << "_p" << static_cast<int>(p) << " " << h.percentile(p)
+             << "\n";
+        }
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n  \"context\": {\n"
+     << "    \"library\": \"psf-views\",\n"
+     << "    \"exporter\": \"psf::obs\",\n"
+     << "    \"schema\": \"metrics-snapshot-v1\",\n"
+     << "    \"metric_count\": " << snapshot.entries.size() << "\n"
+     << "  },\n  \"metrics\": [\n";
+  for (std::size_t i = 0; i < snapshot.entries.size(); ++i) {
+    const auto& e = snapshot.entries[i];
+    os << "    {\"name\": ";
+    json_escape(os, e.name);
+    switch (e.kind) {
+      case MetricsSnapshot::Entry::Kind::kCounter:
+        os << ", \"type\": \"counter\", \"value\": " << e.value << "}";
+        break;
+      case MetricsSnapshot::Entry::Kind::kGauge:
+        os << ", \"type\": \"gauge\", \"value\": " << e.value << "}";
+        break;
+      case MetricsSnapshot::Entry::Kind::kHistogram: {
+        const auto& h = e.histogram;
+        os << ", \"type\": \"histogram\", \"count\": " << h.count
+           << ", \"sum\": " << h.sum << ", \"min\": " << h.min
+           << ", \"max\": " << h.max << ", \"p50\": " << h.percentile(50)
+           << ", \"p95\": " << h.percentile(95)
+           << ", \"p99\": " << h.percentile(99) << ", \"buckets\": [";
+        for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+          if (b != 0) os << ", ";
+          os << "{\"le\": " << h.bounds[b] << ", \"count\": "
+             << h.bucket_counts[b] << "}";
+        }
+        if (!h.bounds.empty()) os << ", ";
+        os << "{\"le\": \"+Inf\", \"count\": "
+           << h.bucket_counts.back() << "}]}";
+        break;
+      }
+    }
+    if (i + 1 < snapshot.entries.size()) os << ",";
+    os << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+std::string spans_to_json(const std::vector<SpanRecord>& spans) {
+  std::ostringstream os;
+  os << "{\n  \"context\": {\n"
+     << "    \"exporter\": \"psf::obs\",\n"
+     << "    \"schema\": \"spans-v1\",\n"
+     << "    \"span_count\": " << spans.size() << "\n"
+     << "  },\n  \"spans\": [\n";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    os << "    {\"trace_id\": \"" << hex_id(s.trace_id) << "\", \"span_id\": \""
+       << hex_id(s.span_id) << "\", \"parent_id\": \"" << hex_id(s.parent_id)
+       << "\", \"name\": ";
+    json_escape(os, s.name);
+    os << ", \"start_ns\": " << s.start_ns
+       << ", \"duration_ns\": " << s.duration_ns << "}";
+    if (i + 1 < spans.size()) os << ",";
+    os << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+std::string format_trace(const std::vector<SpanRecord>& spans,
+                         TraceId trace_id) {
+  std::vector<const SpanRecord*> mine;
+  for (const auto& s : spans) {
+    if (s.trace_id == trace_id) mine.push_back(&s);
+  }
+  if (mine.empty()) return "";
+  std::stable_sort(mine.begin(), mine.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     return a->start_ns < b->start_ns;
+                   });
+  std::map<SpanId, std::vector<const SpanRecord*>> children;
+  std::vector<const SpanRecord*> roots;
+  for (const SpanRecord* s : mine) {
+    // A parent evicted from the ring (or living on another process) makes
+    // the span a root for display purposes.
+    bool parent_present = false;
+    for (const SpanRecord* p : mine) {
+      if (p->span_id == s->parent_id) {
+        parent_present = true;
+        break;
+      }
+    }
+    if (s->parent_id == 0 || !parent_present) {
+      roots.push_back(s);
+    } else {
+      children[s->parent_id].push_back(s);
+    }
+  }
+
+  std::ostringstream os;
+  os << "trace " << hex_id(trace_id) << " (" << mine.size() << " spans)\n";
+  std::function<void(const SpanRecord*, int)> emit =
+      [&](const SpanRecord* s, int depth) {
+        for (int i = 0; i < depth; ++i) os << "  ";
+        os << "- " << s->name << "  " << s->duration_ns / 1000 << " us\n";
+        auto it = children.find(s->span_id);
+        if (it == children.end()) return;
+        for (const SpanRecord* c : it->second) emit(c, depth + 1);
+      };
+  for (const SpanRecord* r : roots) emit(r, 1);
+  return os.str();
+}
+
+std::string dump_prometheus() {
+  return to_prometheus_text(Registry::instance().snapshot());
+}
+
+std::string dump_json() { return to_json(Registry::instance().snapshot()); }
+
+}  // namespace psf::obs

@@ -1,0 +1,40 @@
+// Exporters for the metrics registry and span collector.
+//
+//  - to_prometheus_text: the text exposition format (dots in metric names
+//    become underscores; histograms emit cumulative _bucket/_sum/_count
+//    series plus convenience p50/p95/p99 gauges).
+//  - to_json: a snapshot document in the BENCH_*.json convention used by the
+//    bench binaries — a "context" header object followed by a flat array of
+//    measurements — so the bench tooling can consume metrics snapshots and
+//    benchmark output interchangeably.
+//  - spans_to_json / format_trace: the span ring buffer as JSON, and a
+//    human-readable tree of one trace for terminal output.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace psf::obs {
+
+std::string to_prometheus_text(const MetricsSnapshot& snapshot);
+
+/// `{"context": {...}, "metrics": [{"name": ..., "type": ...}, ...]}`
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// `{"context": {...}, "spans": [{"trace_id": "...", ...}, ...]}`
+/// IDs are rendered as fixed-width hex strings (JSON numbers cannot carry
+/// 64-bit IDs losslessly).
+std::string spans_to_json(const std::vector<SpanRecord>& spans);
+
+/// Indented tree of the spans belonging to `trace_id`, children under their
+/// parents, with durations. Returns "" when the trace has no spans.
+std::string format_trace(const std::vector<SpanRecord>& spans,
+                         TraceId trace_id);
+
+/// Convenience snapshot-and-export of the process-wide registry/collector.
+std::string dump_prometheus();
+std::string dump_json();
+
+}  // namespace psf::obs

@@ -1,0 +1,169 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace psf::obs {
+
+namespace {
+
+thread_local SpanContext t_current;
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SpanContext current_context() { return t_current; }
+
+std::uint64_t next_id() {
+  // Per-thread generator seeded from a global counter plus the thread id, so
+  // two threads never share a stream; re-rolled until non-zero (0 = absent).
+  static std::atomic<std::uint64_t> seeder{0x5f3759df};
+  thread_local std::uint64_t state =
+      seeder.fetch_add(0x9e3779b97f4a7c15ULL) ^
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  std::uint64_t id;
+  do {
+    id = splitmix64(state);
+  } while (id == 0);
+  return id;
+}
+
+// ------------------------------------------------------------ SpanCollector
+
+SpanCollector& SpanCollector::instance() {
+  static SpanCollector* collector = new SpanCollector();  // never destroyed
+  return *collector;
+}
+
+SpanCollector::SpanCollector(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void SpanCollector::record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_] = std::move(record);  // evict oldest
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<SpanRecord> SpanCollector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Full ring: `next_` is the oldest record.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::uint64_t SpanCollector::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t SpanCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_ - std::min<std::uint64_t>(recorded_, ring_.size());
+}
+
+std::size_t SpanCollector::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void SpanCollector::clear(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+  if (capacity > 0) {
+    capacity_ = capacity;
+    ring_.reserve(capacity_);
+  }
+}
+
+// --------------------------------------------------------------- ScopedSpan
+
+ScopedSpan::ScopedSpan(const char* name)
+    : name_(name), prev_(t_current), start_ns_(steady_now_ns()) {
+  ctx_.trace_id = prev_.valid() ? prev_.trace_id : next_id();
+  ctx_.span_id = next_id();
+  parent_id_ = prev_.valid() ? prev_.span_id : 0;
+  t_current = ctx_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  t_current = prev_;
+  SpanRecord record;
+  record.trace_id = ctx_.trace_id;
+  record.span_id = ctx_.span_id;
+  record.parent_id = parent_id_;
+  record.name = name_;
+  record.start_ns = start_ns_;
+  record.duration_ns = steady_now_ns() - start_ns_;
+  SpanCollector::instance().record(std::move(record));
+}
+
+// ------------------------------------------------------------- ContextGuard
+
+ContextGuard::ContextGuard(SpanContext remote) : prev_(t_current) {
+  if (remote.valid()) t_current = remote;
+}
+
+ContextGuard::~ContextGuard() { t_current = prev_; }
+
+// -------------------------------------------------------------- propagation
+
+namespace {
+constexpr std::string_view kMagic = "TRC1";
+}
+
+util::Bytes with_trace_header(SpanContext ctx, const util::Bytes& payload) {
+  util::Bytes out;
+  out.reserve(kTraceHeaderSize + payload.size());
+  util::append(out, kMagic);
+  util::put_u64_be(out, ctx.trace_id);
+  util::put_u64_be(out, ctx.span_id);
+  util::append(out, payload);
+  return out;
+}
+
+bool strip_trace_header(const util::Bytes& wire, SpanContext& ctx,
+                        util::Bytes& payload) {
+  if (wire.size() < kTraceHeaderSize ||
+      !std::equal(kMagic.begin(), kMagic.end(), wire.begin())) {
+    return false;
+  }
+  ctx.trace_id = util::get_u64_be(wire, 4);
+  ctx.span_id = util::get_u64_be(wire, 12);
+  payload.assign(wire.begin() + kTraceHeaderSize, wire.end());
+  return true;
+}
+
+}  // namespace psf::obs

@@ -1,0 +1,129 @@
+// Distributed trace spans (ISSUE 1 tentpole, tracing half).
+//
+//  - 64-bit trace and span IDs; ID 0 is "absent".
+//  - ScopedSpan: RAII span covering a scope. Nesting is tracked through a
+//    thread-local current context, so child spans automatically link to the
+//    enclosing span (parent_id) and inherit its trace_id.
+//  - SpanCollector: process-wide bounded ring buffer of finished spans;
+//    oldest records are evicted when full (dropped() counts them).
+//  - Propagation: a SpanContext serializes to a 20-byte wire header
+//    ("TRC1" + trace_id + span_id, big-endian) that Switchboard injects in
+//    front of the RPC plaintext before sealing a frame, so a request's spans
+//    chain across hosts: the dispatch span on the remote host parents to the
+//    caller's span and shares its trace_id.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace psf::obs {
+
+using TraceId = std::uint64_t;
+using SpanId = std::uint64_t;
+
+struct SpanContext {
+  TraceId trace_id = 0;
+  SpanId span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+/// The active context on this thread (invalid when no span is open).
+SpanContext current_context();
+
+/// Fresh non-zero ID (per-thread splitmix64, collision-safe across threads).
+std::uint64_t next_id();
+
+/// A finished span as stored by the collector.
+struct SpanRecord {
+  TraceId trace_id = 0;
+  SpanId span_id = 0;
+  SpanId parent_id = 0;  // 0 = root
+  std::string name;
+  std::int64_t start_ns = 0;     // steady-clock, process-relative
+  std::int64_t duration_ns = 0;
+};
+
+/// Bounded ring buffer of finished spans.
+class SpanCollector {
+ public:
+  static SpanCollector& instance();
+
+  explicit SpanCollector(std::size_t capacity = 4096);
+
+  void record(SpanRecord record);
+  /// Oldest-first copy of the retained spans.
+  std::vector<SpanRecord> snapshot() const;
+
+  std::uint64_t recorded() const;  // total ever recorded
+  std::uint64_t dropped() const;   // evicted by the ring bound
+  std::size_t capacity() const;
+
+  /// Drops retained spans; also applies a new bound when `capacity` > 0.
+  void clear(std::size_t capacity = 0);
+
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;      // ring write cursor
+  std::uint64_t recorded_ = 0;
+};
+
+/// RAII span. Opens on construction (creating a new trace when no context is
+/// active), restores the previous thread context and records itself into the
+/// process SpanCollector on destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  SpanContext context() const { return ctx_; }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  SpanContext ctx_;
+  SpanId parent_id_ = 0;
+  SpanContext prev_;
+  std::int64_t start_ns_ = 0;
+};
+
+/// Install a propagated (remote) context as the thread's current one for a
+/// scope — the receiving half of cross-host propagation. Spans opened inside
+/// the scope parent to the remote span.
+class ContextGuard {
+ public:
+  explicit ContextGuard(SpanContext remote);
+  ~ContextGuard();
+
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  SpanContext prev_;
+};
+
+// ------------------------------------------------------------- propagation
+
+constexpr std::size_t kTraceHeaderSize = 4 + 8 + 8;  // "TRC1" + ids
+
+/// `header(ctx) + payload`. An invalid context still produces a header with
+/// zero IDs so the receiver can frame-strip unconditionally.
+util::Bytes with_trace_header(SpanContext ctx, const util::Bytes& payload);
+
+/// Split a wire buffer produced by with_trace_header(). Returns false (and
+/// leaves outputs untouched) when the magic is absent — the payload is then
+/// a legacy frame to be consumed as-is.
+bool strip_trace_header(const util::Bytes& wire, SpanContext& ctx,
+                        util::Bytes& payload);
+
+}  // namespace psf::obs

@@ -1,5 +1,7 @@
 #include "psf/framework.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "psf/cipher_wiring.hpp"
 #include "util/log.hpp"
 
@@ -7,6 +9,23 @@ namespace psf::framework {
 
 using minilang::Value;
 using switchboard::Connection;
+
+namespace {
+// Request-flow instrumentation (psf.framework.*).
+struct FrameworkMetrics {
+  obs::Counter& requests_ok = obs::counter("psf.framework.requests.ok");
+  obs::Counter& requests_failed =
+      obs::counter("psf.framework.requests.failed");
+  obs::Counter& replicas_deployed =
+      obs::counter("psf.framework.replicas.deployed");
+  obs::Counter& adaptations = obs::counter("psf.framework.adaptations");
+  obs::Histogram& request_us = obs::histogram("psf.framework.request_us");
+  static FrameworkMetrics& get() {
+    static FrameworkMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 // ------------------------------------------------------------------- Node
 
@@ -236,10 +255,20 @@ util::Result<std::shared_ptr<minilang::Instance>> Psf::deploy_replica(
       std::make_shared<views::ImageEndpoint>(replica));
 
   service.replicas[provider.name()] = replica;
+  FrameworkMetrics::get().replicas_deployed.inc();
   return replica;
 }
 
 util::Result<ClientSession> Psf::request(const ClientRequest& request) {
+  FrameworkMetrics& metrics = FrameworkMetrics::get();
+  obs::ScopedSpan span("psf.request");
+  obs::ScopedTimerUs timer(metrics.request_us);
+  auto result = request_impl(request);
+  (result.ok() ? metrics.requests_ok : metrics.requests_failed).inc();
+  return result;
+}
+
+util::Result<ClientSession> Psf::request_impl(const ClientRequest& request) {
   using Fail = util::Result<ClientSession>;
   std::lock_guard<std::mutex> control(control_mutex_);
 
@@ -392,6 +421,7 @@ util::Result<ClientSession> Psf::request(const ClientRequest& request) {
 }
 
 util::Result<ClientSession> Psf::adapt(const ClientSession& session) {
+  FrameworkMetrics::get().adaptations.inc();
   {
     std::lock_guard<std::mutex> control(control_mutex_);
     if (session.connection != nullptr) {

@@ -199,6 +199,8 @@ class Psf {
   util::Result<std::shared_ptr<minilang::Instance>> deploy_replica(
       ServiceRuntime& service, Node& provider, const Plan& plan);
 
+  util::Result<ClientSession> request_impl(const ClientRequest& request);
+
   util::Rng rng_;
   std::shared_ptr<util::SimClock> clock_;
   switchboard::Network network_;

@@ -1,6 +1,26 @@
 #include "psf/guard.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace psf::framework {
+
+namespace {
+// Guard access-control instrumentation (psf.guard.*).
+struct GuardMetrics {
+  obs::Counter& issued = obs::counter("psf.guard.credentials.issued");
+  obs::Counter& selections = obs::counter("psf.guard.view.selections");
+  obs::Counter& denials = obs::counter("psf.guard.view.denials");
+  obs::Counter& cache_hits = obs::counter("psf.guard.cache.hits");
+  obs::Counter& cache_misses = obs::counter("psf.guard.cache.misses");
+  obs::Counter& cache_invalidations =
+      obs::counter("psf.guard.cache.invalidations");
+  static GuardMetrics& get() {
+    static GuardMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 Guard::Guard(std::string domain, drbac::Repository* repository, util::Rng& rng)
     : entity_(drbac::Entity::create(std::move(domain), rng)),
@@ -20,6 +40,7 @@ drbac::DelegationPtr Guard::issue(const drbac::Principal& subject,
                                  std::move(attributes), assignment, issued_at,
                                  expires_at, repository_->next_serial());
   repository_->add(credential);
+  GuardMetrics::get().issued.inc();
   return credential;
 }
 
@@ -57,14 +78,18 @@ void Guard::set_default_view(const std::string& view_name) {
 
 util::Result<Guard::AccessDecision> Guard::select_view(
     const drbac::Principal& client, util::SimTime now) const {
+  GuardMetrics& metrics = GuardMetrics::get();
+  obs::ScopedSpan span("psf.guard.select_view");
   if (cache_enabled_) {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     auto it = decision_cache_.find(client.entity_fp);
     if (it != decision_cache_.end()) {
       ++cache_stats_.hits;
+      metrics.cache_hits.inc();
       return it->second;
     }
     ++cache_stats_.misses;
+    metrics.cache_misses.inc();
   }
 
   auto remember = [&](AccessDecision decision) {
@@ -83,16 +108,20 @@ util::Result<Guard::AccessDecision> Guard::select_view(
     const std::vector<std::pair<std::string, std::string>>& rules,
     const std::string& default_view, const drbac::Principal& client,
     util::SimTime now) const {
+  GuardMetrics& metrics = GuardMetrics::get();
   drbac::Engine engine(repository_);
   for (const auto& [role_name, view_name] : rules) {
     auto proof = engine.prove(client, role(role_name), now);
     if (proof.ok()) {
+      metrics.selections.inc();
       return AccessDecision{view_name, std::move(proof).take(), role_name};
     }
   }
   if (!default_view.empty()) {
+    metrics.selections.inc();
     return AccessDecision{default_view, std::nullopt, ""};
   }
+  metrics.denials.inc();
   return util::Result<AccessDecision>::failure(
       "access-denied", "client " + client.display() +
                            " matches no access rule and no default view is "
@@ -106,6 +135,7 @@ void Guard::enable_decision_cache() {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     decision_cache_.clear();
     ++cache_stats_.invalidations;
+    GuardMetrics::get().cache_invalidations.inc();
   });
 }
 

@@ -3,9 +3,26 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace psf::framework {
 
 namespace {
+
+// Deployment planning instrumentation (psf.planner.*).
+struct PlannerMetrics {
+  obs::Counter& plans = obs::counter("psf.planner.plans");
+  obs::Counter& failures = obs::counter("psf.planner.failures");
+  obs::Counter& candidates = obs::counter("psf.planner.candidates");
+  obs::Counter& rejections = obs::counter("psf.planner.rejections");
+  obs::Counter& proofs = obs::counter("psf.planner.proofs_attempted");
+  obs::Histogram& plan_us = obs::histogram("psf.planner.plan_us");
+  static PlannerMetrics& get() {
+    static PlannerMetrics m;
+    return m;
+  }
+};
 
 const NodeInfo* find_node(const std::vector<NodeInfo>& nodes,
                           const std::string& name) {
@@ -54,11 +71,15 @@ std::string Plan::display() const {
 util::Result<Plan> Planner::plan(const PlanProblem& problem,
                                  const std::vector<NodeInfo>& nodes,
                                  util::SimTime now, PlannerOptions options) {
+  PlannerMetrics& metrics = PlannerMetrics::get();
+  obs::ScopedSpan span("psf.plan");
+  obs::ScopedTimerUs timer(metrics.plan_us);
   drbac::Engine engine(repository_);
   std::vector<std::string> rejections;
 
   auto node_authorized = [&](const NodeInfo& node) {
     ++stats_.proofs_attempted;
+    metrics.proofs.inc();
     drbac::ProveOptions prove_options;
     prove_options.required = problem.node_policy_attrs;
     return engine
@@ -68,6 +89,7 @@ util::Result<Plan> Planner::plan(const PlanProblem& problem,
   auto component_authorized = [&](const drbac::Principal& component,
                                   const NodeInfo& node, std::int64_t cpu) {
     ++stats_.proofs_attempted;
+    metrics.proofs.inc();
     drbac::ProveOptions prove_options;
     prove_options.required = {
         {"CPU", drbac::Attribute::make_range("CPU", 0, cpu)}};
@@ -94,6 +116,7 @@ util::Result<Plan> Planner::plan(const PlanProblem& problem,
       continue;
     }
     ++stats_.candidates_considered;
+    metrics.candidates.inc();
 
     // Progression feasibility: network QoS on the client<->provider path.
     auto client_path = network_->path(problem.client_node, candidate.name);
@@ -232,7 +255,9 @@ util::Result<Plan> Planner::plan(const PlanProblem& problem,
     if (!best.has_value() || plan.cost < best->cost) best = std::move(plan);
   }
 
+  metrics.rejections.inc(static_cast<std::int64_t>(rejections.size()));
   if (!best.has_value()) {
+    metrics.failures.inc();
     std::ostringstream os;
     os << "no feasible deployment for " << problem.client_view << " at "
        << problem.client_node;
@@ -240,6 +265,7 @@ util::Result<Plan> Planner::plan(const PlanProblem& problem,
     return util::Result<Plan>::failure("no-plan", os.str());
   }
   ++stats_.plans_found;
+  metrics.plans.inc();
   return *best;
 }
 

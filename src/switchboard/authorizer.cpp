@@ -1,6 +1,21 @@
 #include "switchboard/authorizer.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace psf::switchboard {
+
+namespace {
+// Authorization decision instrumentation (psf.switchboard.authorize.*).
+struct AuthorizerMetrics {
+  obs::Counter& allowed = obs::counter("psf.switchboard.authorize.allow");
+  obs::Counter& denied = obs::counter("psf.switchboard.authorize.deny");
+  static AuthorizerMetrics& get() {
+    static AuthorizerMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 RoleAuthorizer::RoleAuthorizer(drbac::Repository* repository,
                                drbac::RoleRef required_role,
@@ -12,9 +27,12 @@ RoleAuthorizer::RoleAuthorizer(drbac::Repository* repository,
 util::Result<drbac::Proof> RoleAuthorizer::authorize(
     const drbac::Principal& peer,
     const std::vector<drbac::DelegationPtr>& credentials, util::SimTime now) {
+  AuthorizerMetrics& metrics = AuthorizerMetrics::get();
+  obs::ScopedSpan span("switchboard.authorize");
   // Collect the presented credentials (verified) into the repository.
   for (const auto& credential : credentials) {
     if (!credential->verify_signature()) {
+      metrics.denied.inc();
       return util::Result<drbac::Proof>::failure(
           "bad-credential",
           "presented credential has an invalid signature: " +
@@ -27,13 +45,16 @@ util::Result<drbac::Proof> RoleAuthorizer::authorize(
   drbac::Engine engine(repository_);
   drbac::ProveOptions options;
   options.required = required_attributes_;
-  return engine.prove(peer, required_role_, now, options);
+  auto proof = engine.prove(peer, required_role_, now, options);
+  (proof.ok() ? metrics.allowed : metrics.denied).inc();
+  return proof;
 }
 
 util::Result<drbac::Proof> AcceptAllAuthorizer::authorize(
     const drbac::Principal& peer,
     const std::vector<drbac::DelegationPtr>& credentials, util::SimTime now) {
   (void)credentials;
+  AuthorizerMetrics::get().allowed.inc();
   drbac::Proof proof;
   proof.subject = peer;
   proof.target = drbac::RoleRef{"*", "*", "anonymous"};

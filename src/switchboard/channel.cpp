@@ -4,6 +4,8 @@
 #include "crypto/dh.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace psf::switchboard {
@@ -78,18 +80,54 @@ util::Bytes handshake_transcript(const util::Bytes& dh_a,
   return transcript;
 }
 
+// Channel instrumentation (psf.switchboard.*). Simulated durations use the
+// _sim_ns suffix; wall-clock ones use _us.
+struct ChannelMetrics {
+  obs::Counter& handshakes = obs::counter("psf.switchboard.handshakes");
+  obs::Counter& handshake_failures =
+      obs::counter("psf.switchboard.handshake.failures");
+  obs::Histogram& handshake_us =
+      obs::histogram("psf.switchboard.handshake_us");
+  obs::Histogram& handshake_sim_ns =
+      obs::histogram("psf.switchboard.handshake_sim_ns");
+  obs::Counter& calls = obs::counter("psf.switchboard.calls");
+  obs::Counter& frames = obs::counter("psf.switchboard.frames");
+  obs::Counter& bytes = obs::counter("psf.switchboard.bytes");
+  obs::Histogram& call_rtt_sim_ns =
+      obs::histogram("psf.switchboard.call.rtt_sim_ns");
+  obs::Counter& replay_rejections =
+      obs::counter("psf.switchboard.replay.rejections");
+  obs::Counter& heartbeats = obs::counter("psf.switchboard.heartbeats");
+  obs::Gauge& heartbeat_rtt_ns =
+      obs::gauge("psf.switchboard.heartbeat.rtt_ns");
+  obs::Counter& suspensions = obs::counter("psf.switchboard.suspensions");
+  obs::Counter& revalidations = obs::counter("psf.switchboard.revalidations");
+  static ChannelMetrics& get() {
+    static ChannelMetrics m;
+    return m;
+  }
+};
+
 }  // namespace
 
 util::Result<std::shared_ptr<Connection>> Connection::establish(
     Switchboard& a, Switchboard& b, const AuthorizationSuite& suite_a,
     const AuthorizationSuite& suite_b, util::Rng& rng) {
   using Fail = util::Result<std::shared_ptr<Connection>>;
+  ChannelMetrics& metrics = ChannelMetrics::get();
+  obs::ScopedSpan span("switchboard.handshake");
+  obs::ScopedTimerUs timer(metrics.handshake_us);
+  auto fail = [&](const char* code, std::string message) {
+    timer.cancel();
+    metrics.handshake_failures.inc();
+    return Fail::failure(code, std::move(message));
+  };
 
   // Route check: connections span the network, so there must be a path.
   auto route = a.network().path(a.host(), b.host());
   if (!route.has_value()) {
-    return Fail::failure("no-route", "no network path between " + a.host() +
-                                         " and " + b.host());
+    return fail("no-route", "no network path between " + a.host() + " and " +
+                                b.host());
   }
 
   // Ephemeral DH + identity signatures over the shared transcript.
@@ -101,11 +139,11 @@ util::Result<std::shared_ptr<Connection>> Connection::establish(
   const crypto::Signature sig_b = crypto::sign(suite_b.identity.keys, transcript);
   if (!crypto::verify(suite_a.identity.keys.public_key, transcript, sig_a) ||
       !crypto::verify(suite_b.identity.keys.public_key, transcript, sig_b)) {
-    return Fail::failure("auth-failed", "identity signature did not verify");
+    return fail("auth-failed", "identity signature did not verify");
   }
   util::Bytes secret;
   if (!crypto::dh_shared_secret(dh_a, dh_b.public_point, secret)) {
-    return Fail::failure("key-exchange", "DH key agreement failed");
+    return fail("key-exchange", "DH key agreement failed");
   }
 
   // Mutual authorization: each side evaluates the partner's credentials.
@@ -113,16 +151,16 @@ util::Result<std::shared_ptr<Connection>> Connection::establish(
   auto proof_of_a = suite_b.authorizer->authorize(
       drbac::Principal::of_entity(suite_a.identity), suite_a.credentials, now);
   if (!proof_of_a.ok()) {
-    return Fail::failure("authorization-denied",
-                         b.host() + " rejected " + suite_a.identity.name +
-                             ": " + proof_of_a.error().message);
+    return fail("authorization-denied",
+                b.host() + " rejected " + suite_a.identity.name + ": " +
+                    proof_of_a.error().message);
   }
   auto proof_of_b = suite_a.authorizer->authorize(
       drbac::Principal::of_entity(suite_b.identity), suite_b.credentials, now);
   if (!proof_of_b.ok()) {
-    return Fail::failure("authorization-denied",
-                         a.host() + " rejected " + suite_b.identity.name +
-                             ": " + proof_of_b.error().message);
+    return fail("authorization-denied",
+                a.host() + " rejected " + suite_b.identity.name + ": " +
+                    proof_of_b.error().message);
   }
 
   auto connection = std::shared_ptr<Connection>(new Connection());
@@ -154,11 +192,13 @@ util::Result<std::shared_ptr<Connection>> Connection::establish(
                                   flight % 2 == 0 ? b.host() : a.host(),
                                   handshake_bytes / 3);
     if (!t.has_value()) {
-      return Fail::failure("no-route", "network lost during handshake");
+      return fail("no-route", "network lost during handshake");
     }
     elapsed += *t;
   }
   connection->stats_.handshake_time = elapsed;
+  metrics.handshakes.inc();
+  metrics.handshake_sim_ns.observe(elapsed);
   return util::Result<std::shared_ptr<Connection>>(std::move(connection));
 }
 
@@ -177,6 +217,7 @@ void Connection::install_monitor(End end) {
       repo, proofs_[i],
       [this, end](const drbac::Proof&, std::uint64_t serial) {
         suspended_[index(end)].store(true);
+        ChannelMetrics::get().suspensions.inc();
         std::function<void(End, const std::string&)> listener;
         {
           std::lock_guard<std::mutex> lock(mutex_);
@@ -222,6 +263,7 @@ util::Result<util::Bytes> Connection::unseal(End receiver,
                                   ? recv_max_[dir] - kReplayWindow
                                   : 0;
     if (seq <= low || recv_seen_[dir].count(seq) > 0) {
+      ChannelMetrics::get().replay_rejections.inc();
       return Fail::failure("replay", "replayed or stale frame (seq " +
                                          std::to_string(seq) + ")");
     }
@@ -268,14 +310,19 @@ Value Connection::call(End from, const std::string& service,
         "further requests");
   }
   const End to = other(from);
+  ChannelMetrics& metrics = ChannelMetrics::get();
+  obs::ScopedSpan span("switchboard.call");
 
-  // Request: encode, seal, transfer, unseal, dispatch.
+  // Request: encode, prepend trace context, seal, transfer, unseal, dispatch.
+  // The trace header travels inside the sealed plaintext so the frame layout
+  // (seq + ciphertext + hmac) is unchanged.
   std::vector<Value> request;
   request.reserve(args.size() + 2);
   request.push_back(Value::string(service));
   request.push_back(Value::string(method));
   for (auto& a : args) request.push_back(std::move(a));
-  const util::Bytes plaintext = minilang::encode_values(request);
+  const util::Bytes plaintext =
+      obs::with_trace_header(span.context(), minilang::encode_values(request));
   const util::Bytes frame = seal(from, plaintext);
 
   auto forward_time = boards_[index(from)]->network().transfer(
@@ -290,12 +337,25 @@ Value Connection::call(End from, const std::string& service,
     throw EvalError("switchboard: " + unsealed.error().message);
   }
 
+  // Receiving end: recover the caller's trace context so the dispatch span
+  // links into the same trace even though it runs "on" the remote host.
+  obs::SpanContext remote_context;
+  util::Bytes request_plain;
+  if (!obs::strip_trace_header(unsealed.value(), remote_context,
+                               request_plain)) {
+    request_plain = unsealed.value();
+  }
+
   Value result;
   std::string app_error;
-  try {
-    result = dispatch(to, unsealed.value());
-  } catch (const EvalError& e) {
-    app_error = e.what();
+  {
+    obs::ContextGuard remote_guard(remote_context);
+    obs::ScopedSpan dispatch_span("switchboard.dispatch");
+    try {
+      result = dispatch(to, request_plain);
+    } catch (const EvalError& e) {
+      app_error = e.what();
+    }
   }
 
   // Response: ok flag + payload (or error text), sealed in the reverse
@@ -332,6 +392,11 @@ Value Connection::call(End from, const std::string& service,
     stats_.bytes += frame.size() + response_frame.size();
     stats_.last_rtt = *forward_time + *back_time;
   }
+  metrics.calls.inc();
+  metrics.frames.inc(2);
+  metrics.bytes.inc(
+      static_cast<std::int64_t>(frame.size() + response_frame.size()));
+  metrics.call_rtt_sim_ns.observe(*forward_time + *back_time);
 
   if (!decoded.value()[0].as_bool()) {
     throw EvalError(decoded.value()[1].as_string());
@@ -344,7 +409,11 @@ void Connection::heartbeat() {
   const util::SimTime now = boards_[0]->clock().now();
 
   // Liveness + RTT probe in both directions (sealed, so replay-resistant:
-  // each heartbeat consumes a fresh sequence number).
+  // each heartbeat consumes a fresh sequence number). The two one-way
+  // transfer times sum into a true round-trip estimate; earlier versions
+  // doubled each direction in turn, so the stored RTT reflected only the
+  // last probe and was wrong on asymmetric links.
+  util::SimTime round_trip = 0;
   for (const End end : {End::kA, End::kB}) {
     util::Bytes payload;
     util::append(payload, "heartbeat|");
@@ -362,10 +431,18 @@ void Connection::heartbeat() {
       close("heartbeat corruption: " + unsealed.error().message);
       return;
     }
+    round_trip += *t;
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.heartbeats;
-    stats_.last_rtt = 2 * *t;
   }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.last_rtt = round_trip;
+    stats_.last_heartbeat_rtt = round_trip;
+  }
+  ChannelMetrics& metrics = ChannelMetrics::get();
+  metrics.heartbeats.inc();
+  metrics.heartbeat_rtt_ns.set(round_trip);
 
   // Continuous authorization: re-validate both proofs at the current time
   // (catches expiry as well as revocations the monitors already flagged).
@@ -396,6 +473,7 @@ bool Connection::revalidate(End end) {
   if (!proof.ok()) return false;
   proofs_[i] = std::move(proof).take();
   suspended_[i].store(false);
+  ChannelMetrics::get().revalidations.inc();
   install_monitor(end);
   std::function<void(End, const std::string&)> listener;
   {

@@ -77,7 +77,10 @@ struct ConnectionStats {
   std::uint64_t frames = 0;
   std::uint64_t bytes = 0;
   std::uint64_t heartbeats = 0;
-  util::SimTime last_rtt = 0;       // simulated
+  util::SimTime last_rtt = 0;       // simulated; last call or heartbeat
+  // RTT from the most recent heartbeat round only — unlike last_rtt it is
+  // never clobbered by RPC traffic, so liveness dashboards stay fresh.
+  util::SimTime last_heartbeat_rtt = 0;  // simulated
   util::SimTime handshake_time = 0; // simulated
 };
 

@@ -1,5 +1,7 @@
 #include "switchboard/heartbeat.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace psf::switchboard {
 
 HeartbeatDriver::HeartbeatDriver(std::shared_ptr<Connection> connection,
@@ -29,6 +31,7 @@ void HeartbeatDriver::loop(std::chrono::milliseconds period) {
     lock.unlock();
     connection_->heartbeat();
     beats_.fetch_add(1);
+    obs::counter("psf.switchboard.heartbeat.driver.beats").inc();
     if (!connection_->open()) {
       stopped_.store(true);
       lock.lock();

@@ -4,6 +4,7 @@
 
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace psf::util {
 
@@ -15,18 +16,29 @@ void set_log_level(LogLevel level);
 void log_line(LogLevel level, const std::string& component,
               const std::string& message);
 
+/// Streams every argument in order (used by PSF_LOG to accept either a
+/// single `a << b` chain or comma-separated pieces).
+template <typename... Args>
+void log_stream_args(std::ostream& os, Args&&... args) {
+  (os << ... << std::forward<Args>(args));
+}
+
 }  // namespace psf::util
 
-#define PSF_LOG(level, component, expr)                                   \
+// Variadic: PSF_LOG(level, component, a << b, c) — everything after
+// `component` is streamed. The atomic level check runs FIRST, so when the
+// level is disabled none of the message arguments are evaluated or formatted
+// (zero-cost disabled logging; hot paths may log freely).
+#define PSF_LOG(level, component, ...)                                   \
   do {                                                                    \
     if (static_cast<int>(level) >= static_cast<int>(psf::util::log_level())) { \
       std::ostringstream psf_log_os;                                      \
-      psf_log_os << expr;                                                 \
+      psf::util::log_stream_args(psf_log_os, __VA_ARGS__);                \
       psf::util::log_line(level, component, psf_log_os.str());            \
     }                                                                     \
   } while (0)
 
-#define PSF_DEBUG(component, expr) PSF_LOG(psf::util::LogLevel::kDebug, component, expr)
-#define PSF_INFO(component, expr) PSF_LOG(psf::util::LogLevel::kInfo, component, expr)
-#define PSF_WARN(component, expr) PSF_LOG(psf::util::LogLevel::kWarn, component, expr)
-#define PSF_ERROR(component, expr) PSF_LOG(psf::util::LogLevel::kError, component, expr)
+#define PSF_DEBUG(component, ...) PSF_LOG(psf::util::LogLevel::kDebug, component, __VA_ARGS__)
+#define PSF_INFO(component, ...) PSF_LOG(psf::util::LogLevel::kInfo, component, __VA_ARGS__)
+#define PSF_WARN(component, ...) PSF_LOG(psf::util::LogLevel::kWarn, component, __VA_ARGS__)
+#define PSF_ERROR(component, ...) PSF_LOG(psf::util::LogLevel::kError, component, __VA_ARGS__)

@@ -2,11 +2,31 @@
 
 #include "minilang/interp.hpp"
 #include "minilang/value_codec.hpp"
+#include "obs/metrics.hpp"
 
 namespace psf::views {
 
 using minilang::Instance;
 using minilang::Value;
+
+namespace {
+// View cache-coherence instrumentation (psf.views.cache.*).
+struct CacheMetrics {
+  obs::Counter& acquires = obs::counter("psf.views.cache.acquires");
+  obs::Counter& releases = obs::counter("psf.views.cache.releases");
+  obs::Counter& pulls = obs::counter("psf.views.cache.pulls");
+  obs::Counter& pushes = obs::counter("psf.views.cache.pushes");
+  obs::Counter& extracts = obs::counter("psf.views.cache.extracts");
+  obs::Counter& merges = obs::counter("psf.views.cache.merges");
+  obs::Histogram& pull_wait_us = obs::histogram("psf.views.cache.pull_wait_us");
+  obs::Histogram& push_wait_us = obs::histogram("psf.views.cache.push_wait_us");
+  obs::Histogram& image_bytes = obs::histogram("psf.views.cache.image_bytes");
+  static CacheMetrics& get() {
+    static CacheMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 CacheManager::CacheManager(Policy policy, Value original)
     : policy_(policy), original_(std::move(original)) {}
@@ -20,11 +40,14 @@ void CacheManager::after_method(Instance& self, const minilang::MethodDef&) {
 }
 
 void CacheManager::acquire_image(Instance& self) {
+  CacheMetrics& metrics = CacheMetrics::get();
   ++stats_.acquires;
+  metrics.acquires.inc();
   if (in_coherence_) return;
   if (policy_ != Policy::kPull && policy_ != Policy::kPullPush) return;
   if (original_.is_null()) return;
   in_coherence_ = true;
+  obs::ScopedTimerUs wait(metrics.pull_wait_us);
   try {
     Value image = minilang::invoke_method(
         self.shared_from_this(), "extractImageFromObj", {}, /*external=*/false);
@@ -32,6 +55,7 @@ void CacheManager::acquire_image(Instance& self) {
       minilang::invoke_method(self.shared_from_this(), "mergeImageIntoView",
                               {image}, /*external=*/false);
       ++stats_.pulls;
+      metrics.pulls.inc();
     }
   } catch (...) {
     in_coherence_ = false;
@@ -41,11 +65,14 @@ void CacheManager::acquire_image(Instance& self) {
 }
 
 void CacheManager::release_image(Instance& self) {
+  CacheMetrics& metrics = CacheMetrics::get();
   ++stats_.releases;
+  metrics.releases.inc();
   if (in_coherence_) return;
   if (policy_ != Policy::kPush && policy_ != Policy::kPullPush) return;
   if (original_.is_null()) return;
   in_coherence_ = true;
+  obs::ScopedTimerUs wait(metrics.push_wait_us);
   try {
     Value image = minilang::invoke_method(self.shared_from_this(),
                                           "extractImageFromView", {},
@@ -54,6 +81,7 @@ void CacheManager::release_image(Instance& self) {
       minilang::invoke_method(self.shared_from_this(), "mergeImageIntoObj",
                               {image}, /*external=*/false);
       ++stats_.pushes;
+      metrics.pushes.inc();
     }
   } catch (...) {
     in_coherence_ = false;
@@ -83,11 +111,16 @@ util::Bytes instance_image(const Instance& instance) {
     if (is_wiring_field_name(name) || value.is_object()) continue;
     image[name] = value;
   }
-  return minilang::encode_value(Value::map(std::move(image)));
+  util::Bytes encoded = minilang::encode_value(Value::map(std::move(image)));
+  CacheMetrics& metrics = CacheMetrics::get();
+  metrics.extracts.inc();
+  metrics.image_bytes.observe(static_cast<std::int64_t>(encoded.size()));
+  return encoded;
 }
 
 void merge_instance_image(Instance& instance, const util::Bytes& image) {
   if (image.empty()) return;
+  CacheMetrics::get().merges.inc();
   auto decoded = minilang::decode_value(image);
   if (!decoded.ok() || !decoded.value().is_map()) {
     throw minilang::EvalError("mergeImage: malformed image");

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "views/vig.hpp"
 
 namespace psf::views {
@@ -59,6 +61,17 @@ bool is_coherence(const std::string& name) {
 
 std::string generate_java_source(const ClassDef& view_class,
                                  const ClassRegistry& registry) {
+  // Codegen instrumentation (psf.vig.codegen.*).
+  struct CodegenMetrics {
+    obs::Counter& emits = obs::counter("psf.vig.codegen.emits");
+    obs::Histogram& bytes = obs::histogram("psf.vig.codegen.bytes");
+    static CodegenMetrics& get() {
+      static CodegenMetrics m;
+      return m;
+    }
+  };
+  CodegenMetrics& metrics = CodegenMetrics::get();
+  obs::ScopedSpan span("vig.codegen");
   std::ostringstream os;
 
   // Interfaces first, with remote markers (Table 5 header).
@@ -139,7 +152,10 @@ std::string generate_java_source(const ClassDef& view_class,
   }
 
   os << "}\n";
-  return os.str();
+  std::string source = os.str();
+  metrics.emits.inc();
+  metrics.bytes.observe(static_cast<std::int64_t>(source.size()));
+  return source;
 }
 
 }  // namespace psf::views

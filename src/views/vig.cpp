@@ -7,9 +7,31 @@
 #include "minilang/interp.hpp"
 #include "minilang/parser.hpp"
 #include "minilang/value_codec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "views/cache.hpp"
 
 namespace psf::views {
+
+namespace {
+// VIG codegen-phase instrumentation (psf.views.vig.*).
+struct VigMetrics {
+  obs::Counter& generated = obs::counter("psf.views.vig.generated");
+  obs::Counter& cache_hits = obs::counter("psf.views.vig.cache_hits");
+  obs::Counter& failures = obs::counter("psf.views.vig.failures");
+  obs::Counter& diagnostics = obs::counter("psf.views.vig.diagnostics");
+  obs::Counter& methods_copied = obs::counter("psf.views.vig.methods.copied");
+  obs::Counter& methods_stubbed =
+      obs::counter("psf.views.vig.methods.stubbed");
+  obs::Counter& methods_spliced =
+      obs::counter("psf.views.vig.methods.spliced");
+  obs::Histogram& generate_us = obs::histogram("psf.views.vig.generate_us");
+  static VigMetrics& get() {
+    static VigMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 using minilang::Binding;
 using minilang::ClassDef;
@@ -201,12 +223,15 @@ Vig::Vig(minilang::ClassRegistry* registry, VigOptions options)
 
 util::Result<std::shared_ptr<ClassDef>> Vig::generate(
     const ViewDefinition& def) {
+  VigMetrics& metrics = VigMetrics::get();
   diagnostics_.clear();
   auto diag = [&](const std::string& context, const std::string& message,
                   const std::string& hint) {
+    metrics.diagnostics.inc();
     diagnostics_.push_back(VigDiagnostic{def.name, context, message, hint});
   };
   auto finish_failure = [&]() {
+    metrics.failures.inc();
     std::ostringstream os;
     os << diagnostics_.size() << " error(s) generating view '" << def.name
        << "':";
@@ -219,9 +244,13 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
     if (auto cached = registry_->find_class(def.name);
         cached != nullptr && cached->represents == def.represents) {
       ++stats_.cache_hits;
+      metrics.cache_hits.inc();
       return std::const_pointer_cast<ClassDef>(cached);
     }
   }
+
+  obs::ScopedSpan span("vig.generate");
+  obs::ScopedTimerUs timer(metrics.generate_us);
 
   auto represented = registry_->find_class(def.represents);
   if (represented == nullptr) {
@@ -252,6 +281,8 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
   std::set<std::string> removal_used;
 
   // ---- (1) interfaces ----
+  {
+  obs::ScopedSpan interfaces_span("vig.interfaces");
   for (const auto& restriction : def.interfaces) {
     const InterfaceDef* iface = registry_->find_interface(restriction.name);
     if (iface == nullptr) {
@@ -299,6 +330,7 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
         MethodDef copy = impl->clone();
         copy.interface_name = restriction.name;
         add_method(std::move(copy));
+        metrics.methods_copied.inc();
       }
     } else {
       // Remote binding: synthesize stub methods against the original object.
@@ -311,10 +343,12 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
         }
         MethodDef m = make_stub_method(sig, stub, restriction.name);
         add_method(std::move(m));
+        metrics.methods_stubbed.inc();
       }
       view->fields.push_back(FieldDef{stub, restriction.name, Value::null()});
     }
   }
+  }  // vig.interfaces span
 
   // ---- (2) added and customized methods from the XML ----
   auto splice = [&](const MethodSpec& spec, bool customize) {
@@ -351,8 +385,17 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
     }
     add_method(std::move(m));
   };
-  for (const auto& spec : def.added_methods) splice(spec, /*customize=*/false);
-  for (const auto& spec : def.customized_methods) splice(spec, /*customize=*/true);
+  {
+    obs::ScopedSpan splice_span("vig.splice");
+    for (const auto& spec : def.added_methods) {
+      splice(spec, /*customize=*/false);
+      metrics.methods_spliced.inc();
+    }
+    for (const auto& spec : def.customized_methods) {
+      splice(spec, /*customize=*/true);
+      metrics.methods_spliced.inc();
+    }
+  }
 
   // Removals that matched no restricted-interface method are programmer
   // mistakes worth flagging.
@@ -421,6 +464,7 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
     return false;
   };
 
+  obs::ScopedSpan validate_span("vig.validate");
   for (std::size_t i = 0; i < methods.size(); ++i) {
     // Indexed loop: transitive copies append to `methods`.
     const MethodDef& m = methods[i];
@@ -442,6 +486,7 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
         MethodDef copy = impl->clone();
         view_method_names.insert(copy.name);
         methods.push_back(std::move(copy));  // analyzed later in this loop
+        metrics.methods_copied.inc();
         continue;
       }
       diag("method " + m.name,
@@ -466,6 +511,7 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
 
   registry_->register_class(view);
   ++stats_.generated;
+  metrics.generated.inc();
   return view;
 }
 

@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "drbac/credential.hpp"
+#include "minilang/value.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "switchboard/authorizer.hpp"
+#include "switchboard/channel.hpp"
+#include "switchboard/network.hpp"
+#include "util/thread_pool.hpp"
+
+namespace psf::obs {
+namespace {
+
+using minilang::Value;
+using util::kMillisecond;
+
+// ----------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterGaugeBasics) {
+  Registry registry;
+  Counter& c = registry.counter("test.counter");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  Gauge& g = registry.gauge("test.gauge");
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.add(10);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST(Metrics, RegistryReturnsSameHandleForSameName) {
+  Registry registry;
+  Counter& a = registry.counter("test.same");
+  Counter& b = registry.counter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  // Kinds have separate namespaces: a gauge named like a counter is distinct.
+  Gauge& g = registry.gauge("test.same");
+  g.set(5);
+  EXPECT_EQ(a.value(), 1u);
+}
+
+TEST(Metrics, CountersAreExactUnderConcurrency) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncsPerThread = 10'000;
+  {
+    util::ThreadPool pool(kThreads);
+    std::vector<std::future<void>> done;
+    for (int t = 0; t < kThreads; ++t) {
+      done.push_back(pool.submit([&registry] {
+        // Re-looking up each time also exercises sharded registration.
+        Counter& c = registry.counter("test.concurrent");
+        Histogram& h = registry.histogram("test.concurrent_us");
+        for (int i = 0; i < kIncsPerThread; ++i) {
+          c.inc();
+          h.observe(i % 100);
+        }
+      }));
+    }
+    for (auto& f : done) f.get();
+  }
+  EXPECT_EQ(registry.counter("test.concurrent").value(),
+            static_cast<std::uint64_t>(kThreads) * kIncsPerThread);
+  EXPECT_EQ(registry.histogram("test.concurrent_us").count(),
+            static_cast<std::uint64_t>(kThreads) * kIncsPerThread);
+}
+
+TEST(Metrics, HistogramPercentilesOnKnownDistribution) {
+  Registry registry;
+  Histogram& h = registry.histogram(
+      "test.uniform", {10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int v = 1; v <= 100; ++v) h.observe(v);
+
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.sum, 5050);
+  EXPECT_EQ(snap.min, 1);
+  EXPECT_EQ(snap.max, 100);
+  // Uniform 1..100: percentile p lands in the bucket containing p.
+  EXPECT_NEAR(static_cast<double>(snap.percentile(50)), 50.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(snap.percentile(95)), 95.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(snap.percentile(99)), 99.0, 10.0);
+}
+
+TEST(Metrics, HistogramOverflowBucketReportsObservedMax) {
+  Registry registry;
+  Histogram& h = registry.histogram("test.overflow", {10});
+  h.observe(5);
+  h.observe(12'345);  // beyond the last bound -> +Inf bucket
+  EXPECT_EQ(h.percentile(99), 12'345);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsHandles) {
+  Registry registry;
+  Counter& c = registry.counter("test.reset");
+  Histogram& h = registry.histogram("test.reset_us");
+  c.inc(9);
+  h.observe(3);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(&c, &registry.counter("test.reset"));
+}
+
+// --------------------------------------------------------------- exporters
+
+TEST(Export, PrometheusTextShape) {
+  Registry registry;
+  registry.counter("test.export.hits").inc(3);
+  registry.gauge("test.export.depth").set(-2);
+  registry.histogram("test.export.lat_us", {10, 100}).observe(42);
+
+  const std::string text = to_prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE test_export_hits counter"), std::string::npos);
+  EXPECT_NE(text.find("test_export_hits 3"), std::string::npos);
+  EXPECT_NE(text.find("test_export_depth -2"), std::string::npos);
+  // Cumulative buckets + the implicit +Inf bucket + sum/count series.
+  EXPECT_NE(text.find("test_export_lat_us_bucket{le=\"100\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_export_lat_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_export_lat_us_count 1"), std::string::npos);
+  EXPECT_NE(text.find("test_export_lat_us_p95"), std::string::npos);
+}
+
+TEST(Export, JsonSnapshotShape) {
+  Registry registry;
+  registry.counter("test.export.json").inc();
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"context\""), std::string::npos);
+  EXPECT_NE(json.find("metrics-snapshot-v1"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.export.json\""), std::string::npos);
+  EXPECT_NE(json.find("\"counter\""), std::string::npos);
+}
+
+// ------------------------------------------------------------------ spans
+
+TEST(Trace, ScopedSpansLinkParentAndChild) {
+  SpanCollector::instance().clear();
+  TraceId trace = 0;
+  SpanId outer_id = 0;
+  {
+    ScopedSpan outer("test.outer");
+    trace = outer.context().trace_id;
+    outer_id = outer.context().span_id;
+    ASSERT_TRUE(outer.context().valid());
+    { ScopedSpan inner("test.inner"); }
+  }
+  const auto spans = SpanCollector::instance().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner finishes (and records) first.
+  EXPECT_EQ(spans[0].name, "test.inner");
+  EXPECT_EQ(spans[0].trace_id, trace);
+  EXPECT_EQ(spans[0].parent_id, outer_id);
+  EXPECT_EQ(spans[1].name, "test.outer");
+  EXPECT_EQ(spans[1].parent_id, 0u);
+}
+
+TEST(Trace, RingBufferEvictsOldestFirst) {
+  SpanCollector collector(4);
+  for (int i = 0; i < 6; ++i) {
+    SpanRecord r;
+    r.trace_id = 1;
+    r.span_id = static_cast<SpanId>(i + 1);
+    r.name = "s" + std::to_string(i);
+    collector.record(std::move(r));
+  }
+  EXPECT_EQ(collector.recorded(), 6u);
+  EXPECT_EQ(collector.dropped(), 2u);
+  const auto spans = collector.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "s2");  // s0, s1 evicted
+  EXPECT_EQ(spans.back().name, "s5");
+}
+
+TEST(Trace, HeaderRoundTrip) {
+  const SpanContext ctx{0x1122334455667788ull, 0x99aabbccddeeff00ull};
+  const util::Bytes payload = util::to_bytes("request-payload");
+  const util::Bytes wire = with_trace_header(ctx, payload);
+  EXPECT_EQ(wire.size(), payload.size() + kTraceHeaderSize);
+
+  SpanContext out;
+  util::Bytes stripped;
+  ASSERT_TRUE(strip_trace_header(wire, out, stripped));
+  EXPECT_EQ(out.trace_id, ctx.trace_id);
+  EXPECT_EQ(out.span_id, ctx.span_id);
+  EXPECT_EQ(stripped, payload);
+
+  // No magic -> legacy frame, outputs untouched.
+  SpanContext untouched;
+  util::Bytes ignored;
+  EXPECT_FALSE(strip_trace_header(payload, untouched, ignored));
+  EXPECT_EQ(untouched.trace_id, 0u);
+}
+
+// --------------------------------------- cross-host propagation + heartbeat
+
+struct EchoService : minilang::CallTarget {
+  SpanContext seen;  // the thread context while the service body runs
+  Value call(const std::string& method, std::vector<Value> args) override {
+    seen = current_context();
+    (void)method;
+    return args.empty() ? Value::null() : args[0];
+  }
+  std::string type_name() const override { return "echo"; }
+};
+
+struct ObsChannelWorld {
+  util::Rng rng{7};
+  std::shared_ptr<util::SimClock> clock = std::make_shared<util::SimClock>();
+  switchboard::Network net;
+  drbac::Repository repo;
+  drbac::Entity guard{drbac::Entity::create("Comp.NY", rng)};
+  drbac::Entity client{drbac::Entity::create("Alice", rng)};
+  drbac::Entity server_id{drbac::Entity::create("Mail.Server", rng)};
+  switchboard::Switchboard client_board{"client-host", &net, clock};
+  switchboard::Switchboard server_board{"server-host", &net, clock};
+
+  ObsChannelWorld() {
+    net.connect("client-host", "server-host", {5 * kMillisecond, 10'000, false});
+    switchboard::AuthorizationSuite server_suite;
+    server_suite.identity = server_id;
+    server_suite.authorizer =
+        std::make_shared<switchboard::AcceptAllAuthorizer>();
+    server_board.set_suite(server_suite);
+  }
+
+  std::shared_ptr<switchboard::Connection> connect() {
+    switchboard::AuthorizationSuite suite;
+    suite.identity = client;
+    suite.authorizer = std::make_shared<switchboard::AcceptAllAuthorizer>();
+    auto r = client_board.connect(server_board, suite, rng);
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message);
+    return r.value();
+  }
+};
+
+TEST(Trace, TraceIdPropagatesThroughSwitchboardFrames) {
+  ObsChannelWorld w;
+  auto echo = std::make_shared<EchoService>();
+  w.server_board.register_service("echo", echo);
+  auto conn = w.connect();
+
+  SpanCollector::instance().clear();
+  TraceId client_trace = 0;
+  {
+    ScopedSpan client_span("test.client");
+    client_trace = client_span.context().trace_id;
+    const Value out = conn->call(switchboard::Connection::End::kA, "echo",
+                                 "echo", {Value::string("ping")});
+    EXPECT_EQ(out.as_string(), "ping");
+  }
+
+  // The service body ran under the caller's trace even though the context
+  // crossed hosts inside a sealed frame.
+  EXPECT_EQ(echo->seen.trace_id, client_trace);
+
+  const auto spans = SpanCollector::instance().snapshot();
+  const SpanRecord* call = nullptr;
+  const SpanRecord* dispatch = nullptr;
+  for (const auto& s : spans) {
+    if (s.name == "switchboard.call") call = &s;
+    if (s.name == "switchboard.dispatch") dispatch = &s;
+  }
+  ASSERT_NE(call, nullptr);
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_EQ(call->trace_id, client_trace);
+  EXPECT_EQ(dispatch->trace_id, client_trace);
+  // Parent chain: client span -> call span -> dispatch span.
+  EXPECT_EQ(dispatch->parent_id, call->span_id);
+  EXPECT_NE(call->parent_id, 0u);
+
+  const std::string tree = format_trace(spans, client_trace);
+  EXPECT_NE(tree.find("switchboard.call"), std::string::npos);
+  EXPECT_NE(tree.find("switchboard.dispatch"), std::string::npos);
+}
+
+TEST(Heartbeat, UpdatesRttAfterRoundTripAndSurvivesRpcTraffic) {
+  ObsChannelWorld w;
+  auto echo = std::make_shared<EchoService>();
+  w.server_board.register_service("echo", echo);
+  auto conn = w.connect();
+
+  EXPECT_EQ(conn->stats().last_heartbeat_rtt, 0);
+  conn->heartbeat();
+  const auto after_beat = conn->stats();
+  // One full round trip: both one-way transfer times, not a doubled single
+  // direction.
+  EXPECT_GE(after_beat.last_heartbeat_rtt, 2 * 5 * kMillisecond);
+  EXPECT_EQ(after_beat.last_heartbeat_rtt, after_beat.last_rtt);
+
+  // RPC traffic updates last_rtt but must not clobber the heartbeat RTT.
+  conn->call(switchboard::Connection::End::kA, "echo", "echo",
+             {Value::string("x")});
+  EXPECT_EQ(conn->stats().last_heartbeat_rtt, after_beat.last_heartbeat_rtt);
+
+  // The liveness gauge reflects the last heartbeat round trip.
+  EXPECT_GE(gauge("psf.switchboard.heartbeat.rtt_ns").value(),
+            2 * 5 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace psf::obs

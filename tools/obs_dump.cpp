@@ -1,0 +1,86 @@
+// obs_dump: run the mail case study as a representative workload, then dump
+// the process-wide observability state.
+//
+//   obs_dump            Prometheus text exposition (default, same as --text)
+//   obs_dump --json     metrics snapshot in the BENCH_*.json convention
+//   obs_dump --spans    span ring buffer as JSON
+//   obs_dump --trace    human-readable tree of one cross-host trace
+#include <iostream>
+#include <string>
+
+#include "mail/scenario.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+// Exercise every instrumented layer: ACL + planner + VIG + channel for three
+// clients, some RPC/coherence traffic, a heartbeat, and a revocation.
+void run_workload() {
+  using psf::mail::Scenario;
+  using psf::minilang::Value;
+
+  Scenario s = psf::mail::build_scenario();
+  psf::framework::Psf& psf = *s.psf;
+
+  auto alice = psf.request(s.request_for(s.alice, Scenario::kNyPc));
+  auto bob = psf.request(s.request_for(s.bob, Scenario::kSdPc));
+  auto charlie = psf.request(s.request_for(s.charlie, Scenario::kSePc));
+
+  alice.value().view->call("addMeeting", {Value::string("bob")});
+  bob.value().view->call(
+      "sendMessage",
+      {psf::mail::make_message("bob", "alice", "hi", "lunch?")});
+  charlie.value().view->call("getPhone", {Value::string("alice")});
+
+  alice.value().connection->heartbeat();
+  bob.value().connection->heartbeat();
+
+  psf.repository().revoke(s.cred(11)->serial);
+  try {
+    bob.value().view->call("getPhone", {Value::string("alice")});
+  } catch (const psf::minilang::EvalError&) {
+    // Expected: the revocation suspended Bob's end.
+  }
+}
+
+int usage() {
+  std::cerr << "usage: obs_dump [--text|--json|--spans|--trace]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "--text";
+  if (argc > 2) return usage();
+  if (argc == 2) mode = argv[1];
+  if (mode != "--text" && mode != "--json" && mode != "--spans" &&
+      mode != "--trace") {
+    return usage();
+  }
+
+  run_workload();
+
+  if (mode == "--json") {
+    std::cout << psf::obs::dump_json() << "\n";
+  } else if (mode == "--spans") {
+    std::cout << psf::obs::spans_to_json(
+                     psf::obs::SpanCollector::instance().snapshot())
+              << "\n";
+  } else if (mode == "--trace") {
+    const auto spans = psf::obs::SpanCollector::instance().snapshot();
+    for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+      if (it->name == "switchboard.dispatch" && it->parent_id != 0) {
+        std::cout << psf::obs::format_trace(spans, it->trace_id);
+        return 0;
+      }
+    }
+    std::cerr << "no cross-host trace recorded\n";
+    return 1;
+  } else {
+    std::cout << psf::obs::dump_prometheus();
+  }
+  return 0;
+}
