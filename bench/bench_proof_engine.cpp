@@ -2,14 +2,37 @@
 // repository. Sweeps chain depth, distractor volume, and fan-out, and
 // ablates discovery-tag-directed search against an exhaustive repository
 // scan (DESIGN.md §5).
+//
+// Fast-path trajectory (ISSUE 2): measures cold vs. warm prove() through
+// the SignatureCache + ProofCache layers — on a synthetic depth-4 graph and
+// on the Table-2 guard scenario — and writes BENCH_proof_engine.json
+// (schema documented in EXPERIMENTS.md).
 #include "bench_util.hpp"
 #include "drbac/engine.hpp"
+#include "drbac/proof_cache.hpp"
+#include "mail/scenario.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace psf;
 using drbac::Principal;
+
+// Raw-search options: every cache layer off. The C2 sweeps measure the
+// graph search itself; the fast-path measurements below layer the caches
+// back on.
+drbac::ProveOptions uncached_options() {
+  drbac::ProveOptions options;
+  options.use_proof_cache = false;
+  options.use_signature_cache = false;
+  options.parallel_verify = false;
+  return options;
+}
+
+void clear_caches(const drbac::Repository& repo) {
+  repo.proof_cache().clear();
+  drbac::SignatureCache::instance().clear();
+}
 
 // A world with a `depth`-hop grant chain for `user`, buried among
 // `distractors` unrelated credentials.
@@ -60,13 +83,116 @@ void reproduce() {
   }
   std::cout << "  shape: cost tracks chain depth, not repository size —\n"
             << "  the discovery-tag indexes keep search directed.\n";
+
+  // ---- Fast-path trajectory: BENCH_proof_engine.json ----
+  bench::Report report("proof_engine");
+
+  {
+    GraphWorld world(4, 1000);
+    drbac::Engine engine(&world.repo);
+    const Principal subject = Principal::of_entity(world.user);
+
+    const int cold_iters = bench::iterations(20);
+    const double cold_serial_us = bench::time_us(cold_iters, [&] {
+      clear_caches(world.repo);
+      drbac::ProveOptions options;
+      options.parallel_verify = false;
+      auto proof = engine.prove(subject, world.goal, 0, options);
+      benchmark::DoNotOptimize(proof);
+    });
+    const double cold_parallel_us = bench::time_us(cold_iters, [&] {
+      clear_caches(world.repo);
+      auto proof = engine.prove(subject, world.goal, 0);
+      benchmark::DoNotOptimize(proof);
+    });
+
+    clear_caches(world.repo);
+    (void)engine.prove(subject, world.goal, 0);  // warm both caches
+    const int warm_iters = bench::iterations(2000, 20);
+    const double warm_us = bench::time_us(warm_iters, [&] {
+      auto proof = engine.prove(subject, world.goal, 0);
+      benchmark::DoNotOptimize(proof);
+    });
+
+    // Signature cache only: the search runs every time, signatures are warm.
+    drbac::ProveOptions sig_only;
+    sig_only.use_proof_cache = false;
+    const double sig_only_us = bench::time_us(bench::iterations(200, 5), [&] {
+      auto proof = engine.prove(subject, world.goal, 0, sig_only);
+      benchmark::DoNotOptimize(proof);
+    });
+
+    report.add("graph_d4.prove.cold_serial_us", cold_serial_us, "us",
+               cold_iters);
+    report.add("graph_d4.prove.cold_parallel_us", cold_parallel_us, "us",
+               cold_iters);
+    report.add("graph_d4.prove.sigcache_only_us", sig_only_us, "us",
+               bench::iterations(200, 5));
+    report.add("graph_d4.prove.warm_us", warm_us, "us", warm_iters);
+    report.derived("graph_d4.warm_speedup",
+                   warm_us > 0 ? cold_serial_us / warm_us : 0.0);
+    report.derived("graph_d4.parallel_cold_speedup",
+                   cold_parallel_us > 0 ? cold_serial_us / cold_parallel_us
+                                        : 0.0);
+
+    std::cout << "\n  fast path (depth-4 chain, 1000 distractors):\n"
+              << "    cold serial   " << cold_serial_us << " us\n"
+              << "    cold parallel " << cold_parallel_us << " us\n"
+              << "    sigcache only " << sig_only_us << " us\n"
+              << "    warm          " << warm_us << " us  ("
+              << (warm_us > 0 ? cold_serial_us / warm_us : 0.0)
+              << "x vs cold)\n";
+  }
+
+  // Table-2 guard scenario (the acceptance target): Bob's client
+  // authorization, cold vs. warm, over the real 17-credential mail world.
+  {
+    mail::Scenario scenario = mail::build_scenario();
+    drbac::Repository& repo = scenario.psf->repository();
+    drbac::Engine engine(&repo);
+    const Principal bob = Principal::of_entity(scenario.bob);
+    const drbac::RoleRef member = scenario.ny->role("Member");
+
+    const int cold_iters = bench::iterations(20);
+    const double cold_us = bench::time_us(cold_iters, [&] {
+      clear_caches(repo);
+      drbac::ProveOptions options;
+      options.parallel_verify = false;
+      auto proof = engine.prove(bob, member, 0, options);
+      benchmark::DoNotOptimize(proof);
+    });
+
+    clear_caches(repo);
+    (void)engine.prove(bob, member, 0);
+    const int warm_iters = bench::iterations(2000, 20);
+    const double warm_us = bench::time_us(warm_iters, [&] {
+      auto proof = engine.prove(bob, member, 0);
+      benchmark::DoNotOptimize(proof);
+    });
+
+    report.add("table2_client.prove.cold_us", cold_us, "us", cold_iters);
+    report.add("table2_client.prove.warm_us", warm_us, "us", warm_iters);
+    report.derived("table2_client.warm_speedup",
+                   warm_us > 0 ? cold_us / warm_us : 0.0);
+
+    std::cout << "  fast path (Table-2 guard scenario, Bob -> Comp.NY.Member):\n"
+              << "    cold " << cold_us << " us, warm " << warm_us << " us  ("
+              << (warm_us > 0 ? cold_us / warm_us : 0.0) << "x)\n";
+  }
+
+  report.write();
 }
+
+// The C2 sweeps below run with every cache off: they measure the raw graph
+// search (the paper's §3.1 shape claims). The *Warm/Parallel benchmarks
+// measure the fast path.
 
 void BM_ProveByChainDepth(benchmark::State& state) {
   GraphWorld world(static_cast<int>(state.range(0)), 1000);
   drbac::Engine engine(&world.repo);
   for (auto _ : state) {
-    auto proof = engine.prove(Principal::of_entity(world.user), world.goal, 0);
+    auto proof = engine.prove(Principal::of_entity(world.user), world.goal, 0,
+                              uncached_options());
     benchmark::DoNotOptimize(proof);
   }
 }
@@ -76,7 +202,8 @@ void BM_ProveByRepositorySize(benchmark::State& state) {
   GraphWorld world(4, static_cast<int>(state.range(0)));
   drbac::Engine engine(&world.repo);
   for (auto _ : state) {
-    auto proof = engine.prove(Principal::of_entity(world.user), world.goal, 0);
+    auto proof = engine.prove(Principal::of_entity(world.user), world.goal, 0,
+                              uncached_options());
     benchmark::DoNotOptimize(proof);
   }
 }
@@ -86,7 +213,7 @@ void BM_ProveDirectedVsExhaustive(benchmark::State& state) {
   // Ablation: discovery tags on (directed index query) vs off (full scan).
   GraphWorld world(4, static_cast<int>(state.range(0)));
   drbac::Engine engine(&world.repo);
-  drbac::ProveOptions options;
+  drbac::ProveOptions options = uncached_options();
   options.use_discovery_tags = state.range(1) == 1;
   for (auto _ : state) {
     auto proof = engine.prove(Principal::of_entity(world.user), world.goal, 0,
@@ -106,12 +233,40 @@ void BM_FailingProofIsBounded(benchmark::State& state) {
   drbac::Engine engine(&world.repo);
   drbac::Entity stranger = drbac::Entity::create("stranger", world.rng);
   for (auto _ : state) {
-    auto proof =
-        engine.prove(Principal::of_entity(stranger), world.goal, 0);
+    auto proof = engine.prove(Principal::of_entity(stranger), world.goal, 0,
+                              uncached_options());
     benchmark::DoNotOptimize(proof);
   }
 }
 BENCHMARK(BM_FailingProofIsBounded);
+
+void BM_ProveWarm(benchmark::State& state) {
+  // Steady state of the fast path: every iteration is a ProofCache hit.
+  GraphWorld world(4, 1000);
+  drbac::Engine engine(&world.repo);
+  const Principal subject = Principal::of_entity(world.user);
+  (void)engine.prove(subject, world.goal, 0);
+  for (auto _ : state) {
+    auto proof = engine.prove(subject, world.goal, 0);
+    benchmark::DoNotOptimize(proof);
+  }
+}
+BENCHMARK(BM_ProveWarm);
+
+void BM_ProveColdParallelVerify(benchmark::State& state) {
+  // Cold proofs with (1) or without (0) the parallel signature prewarm.
+  GraphWorld world(8, 1000);
+  drbac::Engine engine(&world.repo);
+  const Principal subject = Principal::of_entity(world.user);
+  drbac::ProveOptions options;
+  options.parallel_verify = state.range(0) == 1;
+  for (auto _ : state) {
+    clear_caches(world.repo);
+    auto proof = engine.prove(subject, world.goal, 0, options);
+    benchmark::DoNotOptimize(proof);
+  }
+}
+BENCHMARK(BM_ProveColdParallelVerify)->Arg(0)->Arg(1);
 
 }  // namespace
 

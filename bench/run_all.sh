@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Run every benchmark binary — and only binaries — collecting stdout and the
+# BENCH_*.json snapshots into one output directory.
+#
+# The old EXPERIMENTS.md one-liner (`for b in build/bench/*; do $b; done`)
+# also "executed" CMakeLists.txt, CMakeFiles/, and any stray generator
+# artifact living in the bench build dir; this script filters to executable
+# regular files named bench_* and skips known non-binary extensions.
+#
+# Usage: bench/run_all.sh [build-dir] [out-dir]
+#   build-dir  defaults to "build"
+#   out-dir    defaults to "bench_out"; receives <bench>.txt logs and
+#              BENCH_*.json (via PSF_BENCH_JSON_DIR)
+# Environment: PSF_BENCH_SMOKE=1 propagates to the binaries (reduced
+# iterations, google-benchmark skipped) for a quick CI pass.
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-bench_out}"
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "error: $build_dir/bench not found (configure + build first)" >&2
+  exit 2
+fi
+
+mkdir -p "$out_dir"
+export PSF_BENCH_JSON_DIR="$out_dir"
+
+status=0
+ran=0
+for b in "$build_dir"/bench/bench_*; do
+  name="$(basename "$b")"
+  # Only executable regular files; some generators drop CMake artifacts,
+  # object dirs, or response files next to the binaries.
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  case "$name" in
+    *.cmake|*.txt|*.json|*.ninja|*.o|*.d) continue ;;
+  esac
+  echo "== $name =="
+  if "$b" >"$out_dir/$name.txt" 2>&1; then
+    ran=$((ran + 1))
+  else
+    echo "   FAILED (see $out_dir/$name.txt)" >&2
+    status=1
+  fi
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "error: no bench binaries found under $build_dir/bench" >&2
+  exit 2
+fi
+
+echo "ran $ran bench binaries; logs and BENCH_*.json in $out_dir/"
+exit $status

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "crypto/sha256.hpp"
 #include "drbac/attribute.hpp"
 
 namespace psf::drbac {
@@ -50,6 +51,13 @@ util::Bytes Delegation::payload() const {
 
 bool Delegation::verify_signature() const {
   return crypto::verify(issuer_key, payload(), signature);
+}
+
+std::string Delegation::content_hash() const {
+  util::Bytes data = payload();
+  util::append(data, signature.bytes);
+  const util::Bytes digest = crypto::sha256_bytes(data);
+  return std::string(digest.begin(), digest.end());
 }
 
 std::string Delegation::display() const {

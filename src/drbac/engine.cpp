@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <set>
 #include <sstream>
+#include <thread>
 
+#include "drbac/proof_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace psf::drbac {
 
@@ -19,6 +22,9 @@ struct EngineMetrics {
   obs::Counter& credentials_examined =
       obs::counter("psf.drbac.credentials.examined");
   obs::Counter& memo_hits = obs::counter("psf.drbac.proof_cache.memo_hits");
+  obs::Counter& prewarm_batches =
+      obs::counter("psf.drbac.parallel_verify.batches");
+  obs::Counter& prewarm_jobs = obs::counter("psf.drbac.parallel_verify.jobs");
   obs::Counter& validations = obs::counter("psf.drbac.validations");
   obs::Counter& validation_failures =
       obs::counter("psf.drbac.validation.failures");
@@ -56,10 +62,19 @@ struct ChainResult {
 };
 
 bool credential_usable(const Search& s, const Delegation& c) {
-  if (c.expired_at(s.now)) return false;
+  if (c.expired_at(s.now)) {
+    // Expiry is terminal (simulated time never rewinds): drop the cached
+    // verdict so dead credentials do not pin SignatureCache space.
+    if (s.options->use_signature_cache) {
+      SignatureCache::instance().invalidate(c);
+    }
+    return false;
+  }
   if (s.repo->is_revoked(c.serial)) return false;
-  if (!c.verify_signature()) return false;
-  return true;
+  const bool signature_ok = s.options->use_signature_cache
+                                ? verify_cached(c)
+                                : c.verify_signature();
+  return signature_ok;
 }
 
 // `truncated` is set when the subtree was cut short by the cycle guard or
@@ -175,6 +190,86 @@ std::optional<ChainResult> find_chain(Search& s, const Principal& subject,
   return std::nullopt;
 }
 
+// Shared pool for parallel signature prewarm. Workers only run pure
+// crypto::verify jobs (never prove()), so there is no re-entrancy deadlock
+// even when prove() itself is called from another pool's worker.
+util::ThreadPool& verify_pool() {
+  static util::ThreadPool pool(std::max(
+      2u, std::min(8u, std::thread::hardware_concurrency())));
+  return pool;
+}
+
+std::string proof_cache_key(const Principal& subject, const RoleRef& target,
+                            const ProveOptions& options) {
+  // Fingerprints are authoritative (entity names are display labels), and
+  // the two search-shaping options are part of the key: a dead end under
+  // depth 4 says nothing about depth 16, and tag-directed vs exhaustive
+  // search can discover different chains.
+  return subject.entity_fp + "." + subject.role + ">" + target.entity_fp +
+         "." + target.role + "#" + std::to_string(options.max_depth) +
+         (options.use_discovery_tags ? "t" : "x");
+}
+
+// Collect every credential reachable backwards from `target` (walking
+// role-subject edges, the same frontier the serial search will explore) and
+// verify the not-yet-cached signatures in parallel. Purely a SignatureCache
+// warmer: the subsequent serial search is what decides the proof, so result
+// ordering is deterministic by construction.
+void prewarm_signatures(const Repository& repo, const RoleRef& target,
+                        util::SimTime now, const ProveOptions& options) {
+  constexpr std::size_t kCandidateCap = 256;
+  std::set<std::string> visited;
+  std::vector<RoleRef> frontier{target};
+  visited.insert(target.entity_fp + "." + target.role);
+  std::vector<DelegationPtr> candidates;
+  for (std::size_t depth = 0;
+       depth < options.max_depth && !frontier.empty() &&
+       candidates.size() < kCandidateCap;
+       ++depth) {
+    std::vector<RoleRef> next;
+    for (const RoleRef& role : frontier) {
+      for (auto& c : repo.by_target(role, options.use_discovery_tags)) {
+        if (candidates.size() >= kCandidateCap) break;
+        candidates.push_back(c);
+        if (c->subject.is_role() &&
+            visited
+                .insert(c->subject.entity_fp + "." + c->subject.role)
+                .second) {
+          next.push_back(c->subject.as_role_ref());
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  SignatureCache& cache = SignatureCache::instance();
+  std::vector<DelegationPtr> to_verify;
+  for (auto& c : candidates) {
+    if (c->expired_at(now)) continue;
+    if (repo.is_revoked(c->serial)) continue;
+    if (cache.contains(*c)) continue;
+    to_verify.push_back(std::move(c));
+  }
+  if (to_verify.size() < 2) return;  // the serial path handles stragglers
+
+  // Payloads must outlive the jobs (workers read them by pointer).
+  std::vector<util::Bytes> payloads;
+  payloads.reserve(to_verify.size());
+  for (const auto& c : to_verify) payloads.push_back(c->payload());
+  std::vector<crypto::VerifyJob> jobs(to_verify.size());
+  for (std::size_t i = 0; i < to_verify.size(); ++i) {
+    jobs[i] = {&to_verify[i]->issuer_key, &payloads[i],
+               &to_verify[i]->signature};
+  }
+  const std::vector<std::uint8_t> results =
+      crypto::verify_batch(jobs, &verify_pool());
+  for (std::size_t i = 0; i < to_verify.size(); ++i) {
+    cache.store(*to_verify[i], results[i] != 0);
+  }
+  EngineMetrics::get().prewarm_batches.inc();
+  EngineMetrics::get().prewarm_jobs.inc(to_verify.size());
+}
+
 void dedup_by_serial(std::vector<DelegationPtr>& credentials) {
   std::set<std::uint64_t> seen;
   std::vector<DelegationPtr> out;
@@ -216,39 +311,87 @@ util::Result<Proof> Engine::prove(const Principal& subject,
   metrics.proofs_attempted.inc();
   obs::ScopedSpan span("drbac.prove");
   obs::ScopedTimerUs timer(metrics.prove_us);
-  Search search{repository_, now, &options, {}, {}, 0};
 
+  auto no_proof = [&] {
+    metrics.proofs_failed.inc();
+    return util::Result<Proof>::failure(
+        "no-proof", "no credential chain proves " + subject.display() +
+                        " is " + target.display());
+  };
+  auto unsatisfied = [&](const AttributeMap& attrs) {
+    metrics.proofs_failed.inc();
+    return util::Result<Proof>::failure(
+        "attributes-unsatisfied",
+        "chain found but attenuated attributes (" +
+            attributes_to_string(attrs) + ") do not satisfy requirement (" +
+            attributes_to_string(options.required) + ")");
+  };
+  auto to_proof = [&](std::vector<DelegationPtr> chain,
+                      std::vector<DelegationPtr> support,
+                      AttributeMap attributes) {
+    metrics.proofs_succeeded.inc();
+    Proof proof;
+    proof.subject = subject;
+    proof.target = target;
+    proof.effective_attributes = std::move(attributes);
+    proof.credentials = std::move(chain);
+    proof.support = std::move(support);
+    dedup_by_serial(proof.support);
+    proof.proved_at = now;
+    return util::Result<Proof>(std::move(proof));
+  };
+
+  // Fast path: an epoch-current memoized fragment answers without touching
+  // the graph. Expiry was re-checked by lookup(); requirements are
+  // re-checked here (the fragment is requirement-independent).
+  const std::string cache_key = proof_cache_key(subject, target, options);
+  const std::uint64_t epoch = repository_->epoch();
+  if (options.use_proof_cache) {
+    if (auto hit = repository_->proof_cache().lookup(cache_key, epoch, now)) {
+      if (!hit->success) return no_proof();
+      if (!satisfies(hit->attributes, options.required)) {
+        return unsatisfied(hit->attributes);
+      }
+      return to_proof(std::move(hit->chain), std::move(hit->support),
+                      std::move(hit->attributes));
+    }
+  }
+
+  // Cold path: fan independent signature verifications out across the
+  // worker pool, then run the (deterministic) serial search over warm
+  // verdicts.
+  if (options.parallel_verify && options.use_signature_cache) {
+    prewarm_signatures(*repository_, target, now, options);
+  }
+
+  Search search{repository_, now, &options, {}, {}, 0};
   bool truncated = false;
   auto chain =
       find_chain(search, subject, target, /*assignment=*/false, 0, truncated);
   metrics.search_depth.observe(
       static_cast<std::int64_t>(search.max_depth_seen));
-  if (!chain.has_value()) {
-    metrics.proofs_failed.inc();
-    return util::Result<Proof>::failure(
-        "no-proof", "no credential chain proves " + subject.display() +
-                        " is " + target.display());
-  }
-  if (!satisfies(chain->attributes, options.required)) {
-    metrics.proofs_failed.inc();
-    return util::Result<Proof>::failure(
-        "attributes-unsatisfied",
-        "chain found but attenuated attributes (" +
-            attributes_to_string(chain->attributes) +
-            ") do not satisfy requirement (" +
-            attributes_to_string(options.required) + ")");
-  }
-  metrics.proofs_succeeded.inc();
 
-  Proof proof;
-  proof.subject = subject;
-  proof.target = target;
-  proof.effective_attributes = std::move(chain->attributes);
-  proof.credentials = std::move(chain->chain);
-  proof.support = std::move(chain->support);
-  dedup_by_serial(proof.support);
-  proof.proved_at = now;
-  return proof;
+  // Memoize the outcome — dead ends too (with max_depth in the key a
+  // truncated failure is just as deterministic as a found chain) — unless
+  // the repository changed under the search, in which case the result may
+  // reflect a torn view and must not be cached as epoch-current.
+  if (options.use_proof_cache && repository_->epoch() == epoch) {
+    CachedChain entry;
+    entry.success = chain.has_value();
+    if (chain.has_value()) {
+      entry.chain = chain->chain;
+      entry.support = chain->support;
+      entry.attributes = chain->attributes;
+    }
+    repository_->proof_cache().insert(cache_key, epoch, std::move(entry));
+  }
+
+  if (!chain.has_value()) return no_proof();
+  if (!satisfies(chain->attributes, options.required)) {
+    return unsatisfied(chain->attributes);
+  }
+  return to_proof(std::move(chain->chain), std::move(chain->support),
+                  std::move(chain->attributes));
 }
 
 namespace {
@@ -283,7 +426,9 @@ bool validate_impl(const Repository* repository_, const Proof& proof,
   bool first = true;
   for (std::size_t i = 0; i < proof.credentials.size(); ++i) {
     const Delegation& c = *proof.credentials[i];
-    if (!c.verify_signature()) return false;
+    // Cached verify: revalidation (the heartbeat path) re-checks liveness
+    // facts below but pays for public-key crypto only on first sight.
+    if (!verify_cached(c)) return false;
     if (c.expired_at(now)) return false;
     if (repository_->is_revoked(c.serial)) return false;
     if (c.assignment) return false;  // main chain is grants only
@@ -303,7 +448,7 @@ bool validate_impl(const Repository* repository_, const Proof& proof,
     }
   }
   for (const auto& c : proof.support) {
-    if (!c->verify_signature()) return false;
+    if (!verify_cached(*c)) return false;
     if (c->expired_at(now)) return false;
     if (repository_->is_revoked(c->serial)) return false;
   }

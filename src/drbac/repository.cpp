@@ -24,6 +24,9 @@ void Repository::add(DelegationPtr credential) {
   credentials_.push_back(credential);
   by_target_[target_key(credential->target)].push_back(credential);
   by_subject_[subject_key(credential->subject)].push_back(credential);
+  // Bump after the indexes are updated: a proof search that read the old
+  // epoch and missed this credential caches under a now-stale epoch.
+  epoch_.fetch_add(1, std::memory_order_release);
   metrics.adds.inc();
   metrics.size.set(static_cast<std::int64_t>(credentials_.size()));
 }
@@ -68,10 +71,23 @@ std::uint64_t Repository::next_serial() { return next_serial_.fetch_add(1); }
 
 void Repository::revoke(std::uint64_t serial) {
   std::map<std::uint64_t, RevocationCallback> subscribers;
+  DelegationPtr revoked_credential;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!revoked_.insert(serial).second) return;  // already revoked
+    for (const auto& c : credentials_) {
+      if (c->serial == serial) {
+        revoked_credential = c;
+        break;
+      }
+    }
     subscribers = subscribers_;
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  // The credential can never be used again: drop its verification verdict
+  // so no cache layer retains a trace of it.
+  if (revoked_credential) {
+    SignatureCache::instance().invalidate(*revoked_credential);
   }
   RepoMetrics::get().revocations.inc();
   // Notify outside the lock so callbacks may re-enter the repository.
@@ -147,7 +163,9 @@ util::Result<Repository::MergeResult> Repository::merge_snapshot(
         snapshot.begin() + static_cast<std::ptrdiff_t>(pos + wire_len));
     pos += wire_len;
     auto decoded = decode_delegation(wire);
-    if (!decoded.ok() || !decoded.value()->verify_signature()) {
+    // Cached verify: replicas re-merging overlapping snapshots pay the
+    // Schnorr check once per distinct credential, not once per merge.
+    if (!decoded.ok() || !verify_cached(*decoded.value())) {
       ++result.rejected;
       continue;
     }

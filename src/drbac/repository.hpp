@@ -4,6 +4,13 @@
 // which index may serve it — "searchable from subject" / "searchable from
 // object". The repository is also the credentials' "home": it tracks
 // revocations and pushes notifications to validity monitors.
+//
+// Fast-path support (DESIGN.md "Proof-engine fast path"): the repository
+// carries a monotonically increasing *epoch* — bumped by every mutation
+// that can change a proof outcome (add, revoke, and therefore merge) — and
+// owns the ProofCache whose entries are gated on that epoch. Revoking a
+// credential also evicts its SignatureCache entry, so a revoked delegation
+// is never served from any cache.
 #pragma once
 
 #include <atomic>
@@ -15,6 +22,7 @@
 #include <vector>
 
 #include "drbac/credential.hpp"
+#include "drbac/proof_cache.hpp"
 
 namespace psf::drbac {
 
@@ -39,6 +47,23 @@ class Repository {
 
   /// Fresh serial for issuing (monotonic, process-wide unique).
   std::uint64_t next_serial();
+
+  // ---- Fast-path cache support ----
+
+  /// Mutation epoch: bumped *after* every add() and every effective
+  /// revoke() (merges bump through those). ProofCache entries recorded
+  /// under an older epoch are invalid. Reading the epoch before a search
+  /// and re-checking it before caching the result makes the cache safe
+  /// against concurrent mutation (a torn search view can only ever be
+  /// stored under an already-stale epoch).
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// The proof-fragment cache scoped to this repository's credentials.
+  /// Mutable through a const repository: caching is invisible to the
+  /// logical credential store.
+  ProofCache& proof_cache() const { return proof_cache_; }
 
   // ---- Revocation ("home" validation monitoring) ----
 
@@ -82,6 +107,8 @@ class Repository {
   std::map<std::uint64_t, RevocationCallback> subscribers_;
   std::uint64_t next_subscription_ = 1;
   std::atomic<std::uint64_t> next_serial_{1};
+  std::atomic<std::uint64_t> epoch_{1};
+  mutable ProofCache proof_cache_;
 };
 
 }  // namespace psf::drbac

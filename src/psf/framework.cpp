@@ -1,5 +1,6 @@
 #include "psf/framework.hpp"
 
+#include "drbac/proof_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "psf/cipher_wiring.hpp"
@@ -287,7 +288,10 @@ util::Result<ClientSession> Psf::request_impl(const ClientRequest& request) {
   // 1. Collect the client's credentials into the repository, then run the
   //    ACL (Table 4) — this is the single sign-on point.
   for (const auto& credential : request.credentials) {
-    if (credential->verify_signature()) repository_.add(credential);
+    if (!drbac::verify_cached(*credential)) continue;
+    if (presented_credentials_.insert(credential->content_hash()).second) {
+      repository_.add(credential);
+    }
   }
   auto decision = domain_guard->select_view(
       service.config.access_rules, service.config.default_view,

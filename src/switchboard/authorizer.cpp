@@ -1,5 +1,6 @@
 #include "switchboard/authorizer.hpp"
 
+#include "drbac/proof_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -29,9 +30,12 @@ util::Result<drbac::Proof> RoleAuthorizer::authorize(
     const std::vector<drbac::DelegationPtr>& credentials, util::SimTime now) {
   AuthorizerMetrics& metrics = AuthorizerMetrics::get();
   obs::ScopedSpan span("switchboard.authorize");
-  // Collect the presented credentials (verified) into the repository.
+  // Collect the presented credentials (verified) into the repository. A
+  // reconnecting peer re-presents the same credentials; the cached verify
+  // makes the re-check a hash lookup instead of a Schnorr verify, and the
+  // engine below hits the repository's proof cache when nothing changed.
   for (const auto& credential : credentials) {
-    if (!credential->verify_signature()) {
+    if (!drbac::verify_cached(*credential)) {
       metrics.denied.inc();
       return util::Result<drbac::Proof>::failure(
           "bad-credential",
