@@ -71,6 +71,54 @@ void reproduce() {
   std::cout << "  (pull is what makes the read correct; push is write-back\n"
             << "   traffic a read-only method does not need — the ablation\n"
             << "   below quantifies both.)\n";
+
+  // Delta coherence (BENCH_coherence.json): with field-level dirty tracking
+  // the steady-state image carries only the dirtied fields, so coherence
+  // bytes per op stop scaling with object size. Compare the cold (full) sync
+  // against the warm delta when a single small field is dirty.
+  bench::Report report("coherence");
+  std::cout << "  delta coherence: image bytes, cold full sync vs warm delta\n"
+            << "  (one small field dirty between calls):\n";
+  for (const int entries : {16, 128, 1024}) {
+    f.set_state_size(entries);
+    const std::string suffix = std::to_string(entries);
+    auto view = f.make_view(CacheManager::Policy::kPull);
+    auto* cache = dynamic_cast<CacheManager*>(view->hooks());
+    const util::Bytes cold = cache->extract_from_original(*f.original);
+    views::ImageFrame frame;
+    cache->merge_pull(*view, cold);
+    // Warm pull: dirty one small field, extract again — a delta now.
+    f.original->set_field("outbox",
+                          Value::list({Value::string("ping-" + suffix)}));
+    const util::Bytes warm = cache->extract_from_original(*f.original);
+    views::read_image_frame(warm, frame);
+    cache->merge_pull(*view, warm);
+    report.add("full_image_bytes_" + suffix,
+               static_cast<double>(cold.size()), "bytes");
+    report.add("delta_image_bytes_" + suffix,
+               static_cast<double>(warm.size()), "bytes");
+    report.derived("delta_reduction_" + suffix,
+                   static_cast<double>(cold.size()) /
+                       static_cast<double>(warm.size()));
+    std::cout << "    " << entries << " notes: full=" << cold.size()
+              << " B, delta=" << warm.size() << " B ("
+              << (frame.is_delta() ? "delta" : "full") << ")\n";
+  }
+  f.set_state_size(0);
+
+  // Wall-clock trajectory for the bracketed call itself.
+  for (const int entries : {16, 1024}) {
+    f.set_state_size(entries);
+    auto view = f.make_view(CacheManager::Policy::kPullPush);
+    const int iters = bench::iterations(entries >= 1024 ? 200 : 1000);
+    const double us = bench::time_us(iters, [&] {
+      view->call("getPhone", {Value::string("alice")});
+    });
+    report.add("view_call_" + std::to_string(entries) + "_notes", us, "us",
+               iters);
+  }
+  f.set_state_size(0);
+  report.write();
 }
 
 void BM_ViewCallByPolicy(benchmark::State& state) {

@@ -1,5 +1,7 @@
 // SwitchboardStream (paper reference [6]): secure bulk-transport throughput
 // by chunk size and payload size, against the raw seal/unseal floor.
+#include <tuple>
+
 #include "bench_util.hpp"
 #include "switchboard/stream.hpp"
 #include "util/rng.hpp"
@@ -47,6 +49,32 @@ void reproduce() {
   std::cout << "  every chunk rides the same ChaCha20+HMAC+replay-window\n"
             << "  machinery as RPC frames; suspension and liveness rules\n"
             << "  apply unchanged.\n";
+
+  // Perf trajectory (BENCH_stream.json): bulk throughput rides the same
+  // zero-copy seal/unseal path as RPC frames, so the trajectory doubles as
+  // a regression guard for the scratch-buffer plumbing.
+  bench::Report report("stream");
+  for (const auto& [label, payload_size, chunk_size] :
+       {std::tuple{"stream_64k_chunk1k", std::size_t{64 * 1024},
+                   std::size_t{1024}},
+        std::tuple{"stream_64k_chunk16k", std::size_t{64 * 1024},
+                   std::size_t{16 * 1024}},
+        std::tuple{"stream_1m_chunk16k", std::size_t{1 << 20},
+                   std::size_t{16 * 1024}}}) {
+    SwitchboardStream s(f.conn, chunk_size);
+    const util::Bytes payload = f.rng.next_bytes(payload_size);
+    const int iters = bench::iterations(payload_size >= (1 << 20) ? 50 : 200);
+    const double us = bench::time_us(iters, [&] {
+      s.send(Connection::End::kA, payload);
+      benchmark::DoNotOptimize(s.receive(Connection::End::kB, payload.size()));
+    });
+    report.add(label, us, "us", iters);
+    if (us > 0) {
+      report.derived(std::string(label) + "_mb_s",
+                     static_cast<double>(payload_size) / us);
+    }
+  }
+  report.write();
 }
 
 void BM_StreamSendByChunkSize(benchmark::State& state) {

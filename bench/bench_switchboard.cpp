@@ -106,6 +106,47 @@ void reproduce() {
   std::cout << "  revocation -> AuthorizationMonitor fired synchronously: "
             << (notified ? "yes" : "no")
             << " (vs SSL/TLS: never, until renegotiation)\n";
+
+  // Perf trajectory (BENCH_switchboard.json): the zero-copy frame path —
+  // streaming HMAC from keyed midstates, in-place ChaCha20, scratch-buffer
+  // reuse, O(1) replay bitmap — is tracked here across PRs.
+  bench::Report report("switchboard");
+  const int call_iters = bench::iterations(2000);
+  const double secure_us = bench::time_us(call_iters, [&] {
+    f.conn->call(Connection::End::kA, "mail", "getPhone",
+                 {Value::string("alice")});
+  });
+  report.add("secure_rpc_call", secure_us, "us", call_iters);
+  switchboard::RmiStub stub(&f.net, "client", &f.server_board, "mail");
+  const double rmi_us = bench::time_us(call_iters, [&] {
+    stub.call("getPhone", {Value::string("alice")});
+  });
+  report.add("plaintext_rmi_call", rmi_us, "us", call_iters);
+  for (const std::size_t size : {std::size_t{64}, std::size_t{1024},
+                                 std::size_t{16384}, std::size_t{262144}}) {
+    const util::Bytes payload = f.rng.next_bytes(size);
+    util::Bytes frame, plain;
+    const int iters = bench::iterations(size >= 262144 ? 200 : 2000);
+    const double us = bench::time_us(iters, [&] {
+      f.conn->seal_into(Connection::End::kA, payload.data(), payload.size(),
+                        frame);
+      auto r = f.conn->unseal_into(Connection::End::kB, frame, plain);
+      benchmark::DoNotOptimize(r);
+    });
+    report.add("seal_unseal_" + std::to_string(size), us, "us", iters);
+    if (us > 0) {
+      report.derived("seal_unseal_" + std::to_string(size) + "_mb_s",
+                     static_cast<double>(size) / us);
+    }
+  }
+  const double hb_us = bench::time_us(call_iters, [&] { f.conn->heartbeat(); });
+  report.add("heartbeat", hb_us, "us", call_iters);
+  if (secure_us > 0 && rmi_us > 0) {
+    report.derived("secure_over_rmi", secure_us / rmi_us);
+  }
+  report.write();
+  std::cout << "  call path: secure=" << secure_us << " us, rmi=" << rmi_us
+            << " us, heartbeat=" << hb_us << " us\n";
 }
 
 void BM_HandshakeFull(benchmark::State& state) {

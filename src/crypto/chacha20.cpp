@@ -1,5 +1,12 @@
 #include "crypto/chacha20.hpp"
 
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define PSF_CHACHA_X86 1
+#include <immintrin.h>
+#endif
+
 namespace psf::crypto {
 
 namespace {
@@ -22,6 +29,112 @@ inline std::uint32_t load_le32(const std::uint8_t* p) {
          static_cast<std::uint32_t>(p[2]) << 16 |
          static_cast<std::uint32_t>(p[3]) << 24;
 }
+
+void chacha20_xor_portable(const ChaChaKey& key, const ChaChaNonce& nonce,
+                           std::uint32_t counter, std::uint8_t* data,
+                           std::size_t len) {
+  std::size_t offset = 0;
+  while (offset < len) {
+    const auto block = chacha20_block(key, nonce, counter++);
+    const std::size_t take = std::min<std::size_t>(64, len - offset);
+    for (std::size_t i = 0; i < take; ++i) {
+      data[offset + i] ^= block[i];
+    }
+    offset += take;
+  }
+}
+
+#ifdef PSF_CHACHA_X86
+
+// SSSE3 block path: the four state rows live in one xmm register each; a
+// column round runs all four quarter-rounds at once, then lane rotations
+// re-align the rows for the diagonal round. The 16- and 8-bit rotates are
+// byte permutations (pshufb); 12 and 7 fall back to shift+or.
+__attribute__((target("ssse3")))
+void chacha20_xor_ssse3(const ChaChaKey& key, const ChaChaNonce& nonce,
+                        std::uint32_t counter, std::uint8_t* data,
+                        std::size_t len) {
+  const __m128i rot16 = _mm_set_epi8(13, 12, 15, 14, 9, 8, 11, 10,
+                                     5, 4, 7, 6, 1, 0, 3, 2);
+  const __m128i rot8 = _mm_set_epi8(14, 13, 12, 15, 10, 9, 8, 11,
+                                    6, 5, 4, 7, 2, 1, 0, 3);
+  const __m128i s0 = _mm_set_epi32(0x6b206574, 0x79622d32,
+                                   0x3320646e, 0x61707865);
+  const __m128i s1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(key.data()));
+  const __m128i s2 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(key.data() + 16));
+  __m128i s3 = _mm_set_epi32(
+      static_cast<int>(load_le32(nonce.data() + 8)),
+      static_cast<int>(load_le32(nonce.data() + 4)),
+      static_cast<int>(load_le32(nonce.data())), static_cast<int>(counter));
+  const __m128i one = _mm_set_epi32(0, 0, 0, 1);
+
+  while (len > 0) {
+    __m128i a = s0, b = s1, c = s2, d = s3;
+    for (int round = 0; round < 10; ++round) {
+      a = _mm_add_epi32(a, b);
+      d = _mm_shuffle_epi8(_mm_xor_si128(d, a), rot16);
+      c = _mm_add_epi32(c, d);
+      b = _mm_xor_si128(b, c);
+      b = _mm_or_si128(_mm_slli_epi32(b, 12), _mm_srli_epi32(b, 20));
+      a = _mm_add_epi32(a, b);
+      d = _mm_shuffle_epi8(_mm_xor_si128(d, a), rot8);
+      c = _mm_add_epi32(c, d);
+      b = _mm_xor_si128(b, c);
+      b = _mm_or_si128(_mm_slli_epi32(b, 7), _mm_srli_epi32(b, 25));
+
+      b = _mm_shuffle_epi32(b, _MM_SHUFFLE(0, 3, 2, 1));
+      c = _mm_shuffle_epi32(c, _MM_SHUFFLE(1, 0, 3, 2));
+      d = _mm_shuffle_epi32(d, _MM_SHUFFLE(2, 1, 0, 3));
+
+      a = _mm_add_epi32(a, b);
+      d = _mm_shuffle_epi8(_mm_xor_si128(d, a), rot16);
+      c = _mm_add_epi32(c, d);
+      b = _mm_xor_si128(b, c);
+      b = _mm_or_si128(_mm_slli_epi32(b, 12), _mm_srli_epi32(b, 20));
+      a = _mm_add_epi32(a, b);
+      d = _mm_shuffle_epi8(_mm_xor_si128(d, a), rot8);
+      c = _mm_add_epi32(c, d);
+      b = _mm_xor_si128(b, c);
+      b = _mm_or_si128(_mm_slli_epi32(b, 7), _mm_srli_epi32(b, 25));
+
+      b = _mm_shuffle_epi32(b, _MM_SHUFFLE(2, 1, 0, 3));
+      c = _mm_shuffle_epi32(c, _MM_SHUFFLE(1, 0, 3, 2));
+      d = _mm_shuffle_epi32(d, _MM_SHUFFLE(0, 3, 2, 1));
+    }
+    a = _mm_add_epi32(a, s0);
+    b = _mm_add_epi32(b, s1);
+    c = _mm_add_epi32(c, s2);
+    d = _mm_add_epi32(d, s3);
+
+    if (len >= 64) {
+      __m128i* p = reinterpret_cast<__m128i*>(data);
+      _mm_storeu_si128(p, _mm_xor_si128(_mm_loadu_si128(p), a));
+      _mm_storeu_si128(p + 1, _mm_xor_si128(_mm_loadu_si128(p + 1), b));
+      _mm_storeu_si128(p + 2, _mm_xor_si128(_mm_loadu_si128(p + 2), c));
+      _mm_storeu_si128(p + 3, _mm_xor_si128(_mm_loadu_si128(p + 3), d));
+      data += 64;
+      len -= 64;
+    } else {
+      alignas(16) std::uint8_t block[64];
+      _mm_store_si128(reinterpret_cast<__m128i*>(block), a);
+      _mm_store_si128(reinterpret_cast<__m128i*>(block + 16), b);
+      _mm_store_si128(reinterpret_cast<__m128i*>(block + 32), c);
+      _mm_store_si128(reinterpret_cast<__m128i*>(block + 48), d);
+      for (std::size_t i = 0; i < len; ++i) data[i] ^= block[i];
+      len = 0;
+    }
+    s3 = _mm_add_epi32(s3, one);
+  }
+}
+
+bool has_ssse3() {
+  static const bool supported = __builtin_cpu_supports("ssse3");
+  return supported;
+}
+
+#endif  // PSF_CHACHA_X86
 
 }  // namespace
 
@@ -62,18 +175,22 @@ std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
   return out;
 }
 
+void chacha20_xor_inplace(const ChaChaKey& key, const ChaChaNonce& nonce,
+                          std::uint32_t counter, std::uint8_t* data,
+                          std::size_t len) {
+#ifdef PSF_CHACHA_X86
+  if (has_ssse3()) {
+    chacha20_xor_ssse3(key, nonce, counter, data, len);
+    return;
+  }
+#endif
+  chacha20_xor_portable(key, nonce, counter, data, len);
+}
+
 util::Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
                          std::uint32_t counter, const util::Bytes& data) {
-  util::Bytes out(data.size());
-  std::size_t offset = 0;
-  while (offset < data.size()) {
-    const auto block = chacha20_block(key, nonce, counter++);
-    const std::size_t take = std::min<std::size_t>(64, data.size() - offset);
-    for (std::size_t i = 0; i < take; ++i) {
-      out[offset + i] = data[offset + i] ^ block[i];
-    }
-    offset += take;
-  }
+  util::Bytes out = data;
+  chacha20_xor_inplace(key, nonce, counter, out.data(), out.size());
   return out;
 }
 

@@ -16,6 +16,13 @@ using ChaChaNonce = std::array<std::uint8_t, 12>;
 util::Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
                          std::uint32_t counter, const util::Bytes& data);
 
+/// XOR the keystream over `data` in place — no output allocation. The
+/// Switchboard frame path encrypts/decrypts directly inside its scratch
+/// buffer with this form.
+void chacha20_xor_inplace(const ChaChaKey& key, const ChaChaNonce& nonce,
+                          std::uint32_t counter, std::uint8_t* data,
+                          std::size_t len);
+
 /// Raw 64-byte block function, exposed for tests against RFC 8439 vectors.
 std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
                                             const ChaChaNonce& nonce,

@@ -2,7 +2,7 @@
 
 namespace psf::crypto {
 
-Digest256 hmac_sha256(const util::Bytes& key, const util::Bytes& message) {
+HmacSha256::HmacSha256(const util::Bytes& key) {
   constexpr std::size_t kBlock = 64;
   util::Bytes k = key;
   if (k.size() > kBlock) {
@@ -10,22 +10,33 @@ Digest256 hmac_sha256(const util::Bytes& key, const util::Bytes& message) {
   }
   k.resize(kBlock, 0);
 
-  util::Bytes inner(kBlock);
-  util::Bytes outer(kBlock);
+  std::uint8_t inner_pad[kBlock];
+  std::uint8_t outer_pad[kBlock];
   for (std::size_t i = 0; i < kBlock; ++i) {
-    inner[i] = k[i] ^ 0x36;
-    outer[i] = k[i] ^ 0x5c;
+    inner_pad[i] = k[i] ^ 0x36;
+    outer_pad[i] = k[i] ^ 0x5c;
   }
+  inner_seed_.update(inner_pad, kBlock);
+  outer_seed_.update(outer_pad, kBlock);
+  inner_ = inner_seed_;
+}
 
-  Sha256 h_inner;
-  h_inner.update(inner);
-  h_inner.update(message);
-  const Digest256 inner_digest = h_inner.finish();
+Digest256 HmacSha256::final() {
+  const Digest256 inner_digest = inner_.finish();
+  Sha256 outer = outer_seed_;
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finish();
+}
 
-  Sha256 h_outer;
-  h_outer.update(outer);
-  h_outer.update(inner_digest.data(), inner_digest.size());
-  return h_outer.finish();
+void HmacSha256::final_into(std::uint8_t* out) {
+  const Digest256 d = final();
+  std::copy(d.begin(), d.end(), out);
+}
+
+Digest256 hmac_sha256(const util::Bytes& key, const util::Bytes& message) {
+  HmacSha256 mac(key);
+  mac.update(message);
+  return mac.final();
 }
 
 util::Bytes hmac_sha256_bytes(const util::Bytes& key,

@@ -1,11 +1,47 @@
 // HMAC-SHA-256 (RFC 2104). Used for channel frame authentication, heartbeat
 // replay protection, and deterministic nonce derivation in signing.
+//
+// Two APIs: the one-shot helpers below, and the streaming HmacSha256 class.
+// The streaming form exists for the Switchboard frame hot path: the key
+// schedule (pad derivation + the two pad compression blocks) is done once at
+// construction, and each MAC afterwards only costs the message blocks plus
+// one finalization block — callers keep a keyed seed object per direction
+// and copy it per frame (a small, allocation-free struct copy).
 #pragma once
 
 #include "crypto/sha256.hpp"
 #include "util/bytes.hpp"
 
 namespace psf::crypto {
+
+class HmacSha256 {
+ public:
+  /// Unkeyed; usable only after assignment from a keyed instance.
+  HmacSha256() = default;
+
+  /// Derive the inner/outer pad midstates from `key` (hashed first when
+  /// longer than the SHA-256 block size).
+  explicit HmacSha256(const util::Bytes& key);
+
+  void update(const std::uint8_t* data, std::size_t len) {
+    inner_.update(data, len);
+  }
+  void update(const util::Bytes& data) { update(data.data(), data.size()); }
+
+  /// Finish the MAC. The object is reusable after reset().
+  Digest256 final();
+
+  /// Write the 32-byte MAC directly at `out` (e.g. into a frame tail).
+  void final_into(std::uint8_t* out);
+
+  /// Rewind to the post-key state so the same object can MAC another message.
+  void reset() { inner_ = inner_seed_; }
+
+ private:
+  Sha256 inner_seed_;  // midstate after the ipad block
+  Sha256 outer_seed_;  // midstate after the opad block
+  Sha256 inner_;       // running inner hash
+};
 
 Digest256 hmac_sha256(const util::Bytes& key, const util::Bytes& message);
 

@@ -23,7 +23,7 @@ class Sha256 {
   Digest256 finish();
 
  private:
-  void process_block(const std::uint8_t* block);
+  void process_blocks(const std::uint8_t* data, std::size_t blocks);
 
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;

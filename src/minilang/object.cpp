@@ -1,5 +1,7 @@
 #include "minilang/object.hpp"
 
+#include <atomic>
+
 namespace psf::minilang {
 
 std::string binding_name(Binding b) {
@@ -102,9 +104,16 @@ std::vector<std::string> ClassRegistry::class_names() const {
   return out;
 }
 
+namespace {
+std::uint64_t next_instance_uid() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+}  // namespace
+
 Instance::Instance(std::shared_ptr<const ClassDef> cls,
                    const ClassRegistry* registry)
-    : cls_(std::move(cls)), registry_(registry) {
+    : cls_(std::move(cls)), registry_(registry), uid_(next_instance_uid()) {
   for (const FieldDef* f : registry_->all_fields(*cls_)) {
     fields_[f->name] = f->initial;
   }
@@ -124,10 +133,34 @@ void Instance::set_field(const std::string& name, Value value) {
     throw EvalError("no field '" + name + "' on " + cls_->name);
   }
   it->second = std::move(value);
+  field_versions_[name] = ++version_;
+  // A direct write invalidates any fingerprint recorded for the old value;
+  // drop it so a later in-place mutation of the new container is not masked.
+  field_fingerprints_.erase(name);
 }
 
 bool Instance::has_field(const std::string& name) const {
   return fields_.count(name) > 0;
+}
+
+std::uint64_t Instance::field_version(const std::string& name) const {
+  auto it = field_versions_.find(name);
+  return it == field_versions_.end() ? 0 : it->second;
+}
+
+void Instance::note_field_fingerprint(const std::string& name,
+                                      std::uint64_t fingerprint) const {
+  auto it = field_fingerprints_.find(name);
+  if (it == field_fingerprints_.end()) {
+    // First observation: record without bumping — the value is whatever the
+    // last set_field (or the initializer) produced, already versioned.
+    field_fingerprints_[name] = fingerprint;
+    return;
+  }
+  if (it->second != fingerprint) {
+    it->second = fingerprint;
+    field_versions_[name] = ++version_;
+  }
 }
 
 }  // namespace psf::minilang

@@ -139,6 +139,34 @@ class Instance : public CallTarget,
   bool has_field(const std::string& name) const;
   const ValueMap& fields() const { return fields_; }
 
+  // --- field-level dirty tracking (views delta coherence) ---
+  //
+  // Every set_field bumps a monotonic per-instance counter and stamps the
+  // written field with it, so a coherence peer that remembers the version it
+  // last merged can request exactly the fields dirtied since. Fields holding
+  // reference-semantics containers (lists/maps) can mutate *without* going
+  // through set_field — `push(notes, x)` writes through the shared pointer —
+  // so extractors additionally call note_field_fingerprint with a content
+  // fingerprint; a changed fingerprint bumps the field like a write would.
+
+  /// Stable per-process identity; peers use it to detect that "version N"
+  /// refers to a different object generation (restart, rewire) and fall
+  /// back to a full image.
+  std::uint64_t uid() const { return uid_; }
+
+  /// Monotonic mutation counter; 0 = untouched since construction.
+  std::uint64_t state_version() const { return version_; }
+
+  /// Version at which `name` was last written (0 = initial value only).
+  std::uint64_t field_version(const std::string& name) const;
+
+  /// Compare-and-bump for container fields: if `fingerprint` differs from
+  /// the one recorded for `name`, the field is stamped with a fresh version.
+  /// Const because it only *discovers* a mutation that already happened
+  /// through the shared container — extractors run it on const instances.
+  void note_field_fingerprint(const std::string& name,
+                              std::uint64_t fingerprint) const;
+
   void set_hooks(std::shared_ptr<MethodHooks> hooks) { hooks_ = std::move(hooks); }
   MethodHooks* hooks() const { return hooks_.get(); }
 
@@ -146,6 +174,10 @@ class Instance : public CallTarget,
   std::shared_ptr<const ClassDef> cls_;
   const ClassRegistry* registry_;
   ValueMap fields_;
+  std::uint64_t uid_;
+  mutable std::uint64_t version_ = 0;
+  mutable std::map<std::string, std::uint64_t> field_versions_;
+  mutable std::map<std::string, std::uint64_t> field_fingerprints_;
   std::shared_ptr<MethodHooks> hooks_;
 };
 

@@ -50,6 +50,28 @@ void encode_into(const Value& v, util::Bytes& out) {
   }
 }
 
+// Mirror of encode_into: the size-precompute pass. Must stay in lockstep
+// with the encoder so reserve(size_of(v)) is exact.
+std::size_t size_of(const Value& v) {
+  if (v.is_null() || v.is_bool()) return 1;
+  if (v.is_int()) return 1 + 8;
+  if (v.is_string()) return 1 + 4 + v.as_string().size();
+  if (v.is_bytes()) return 1 + 4 + v.as_bytes().size();
+  if (v.is_list()) {
+    std::size_t n = 1 + 4;
+    for (const auto& item : *v.as_list()) n += size_of(item);
+    return n;
+  }
+  if (v.is_map()) {
+    std::size_t n = 1 + 4;
+    for (const auto& [k, item] : *v.as_map()) n += 4 + k.size() + size_of(item);
+    return n;
+  }
+  throw EvalError("cannot serialize object reference of type " +
+                  v.as_object()->type_name() +
+                  " (use an rmi or switchboard interface instead)");
+}
+
 struct Reader {
   const util::Bytes& data;
   std::size_t pos = 0;
@@ -158,8 +180,15 @@ Value decode_one(Reader& r, int depth) {
 
 util::Bytes encode_value(const Value& value) {
   util::Bytes out;
+  out.reserve(size_of(value));
   encode_into(value, out);
   return out;
+}
+
+std::size_t encoded_size(const Value& value) { return size_of(value); }
+
+void encode_value_into(const Value& value, util::Bytes& out) {
+  encode_into(value, out);
 }
 
 util::Result<Value> decode_value(const util::Bytes& data) {
@@ -173,9 +202,21 @@ util::Result<Value> decode_value(const util::Bytes& data) {
 
 util::Bytes encode_values(const std::vector<Value>& values) {
   util::Bytes out;
+  out.reserve(encoded_values_size(values));
   util::put_u32_be(out, static_cast<std::uint32_t>(values.size()));
   for (const auto& v : values) encode_into(v, out);
   return out;
+}
+
+std::size_t encoded_values_size(const std::vector<Value>& values) {
+  std::size_t n = 4;
+  for (const auto& v : values) n += size_of(v);
+  return n;
+}
+
+void encode_values_into(const std::vector<Value>& values, util::Bytes& out) {
+  util::put_u32_be(out, static_cast<std::uint32_t>(values.size()));
+  for (const auto& v : values) encode_into(v, out);
 }
 
 util::Result<std::vector<Value>> decode_values(const util::Bytes& data) {

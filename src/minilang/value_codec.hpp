@@ -11,14 +11,33 @@
 
 namespace psf::minilang {
 
-/// Serialize; throws EvalError on object values.
+/// Serialize; throws EvalError on object values. Precomputes the encoded
+/// size so the result is built in a single allocation.
 util::Bytes encode_value(const Value& value);
+
+/// Exact wire size encode_value would produce; throws EvalError on object
+/// values. Lets callers size buffers (or charge network accounting, as
+/// RmiStub does) without materializing the encoding.
+std::size_t encoded_size(const Value& value);
+
+/// Append the encoding of `value` to `out` — the allocation-free form for
+/// callers assembling larger wire buffers (reserve with encoded_size first).
+void encode_value_into(const Value& value, util::Bytes& out);
 
 /// Deserialize; error on malformed input.
 util::Result<Value> decode_value(const util::Bytes& data);
 
-/// Convenience: encode several values (an argument list).
+/// Convenience: encode several values (an argument list). Single allocation,
+/// like encode_value.
 util::Bytes encode_values(const std::vector<Value>& values);
+
+/// Exact wire size encode_values would produce.
+std::size_t encoded_values_size(const std::vector<Value>& values);
+
+/// Append-form of encode_values (count prefix + each value); reserve with
+/// encoded_values_size first to keep the caller's buffer single-allocation.
+void encode_values_into(const std::vector<Value>& values, util::Bytes& out);
+
 util::Result<std::vector<Value>> decode_values(const util::Bytes& data);
 
 }  // namespace psf::minilang

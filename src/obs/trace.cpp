@@ -147,11 +147,15 @@ constexpr std::string_view kMagic = "TRC1";
 util::Bytes with_trace_header(SpanContext ctx, const util::Bytes& payload) {
   util::Bytes out;
   out.reserve(kTraceHeaderSize + payload.size());
+  append_trace_header(ctx, out);
+  util::append(out, payload);
+  return out;
+}
+
+void append_trace_header(SpanContext ctx, util::Bytes& out) {
   util::append(out, kMagic);
   util::put_u64_be(out, ctx.trace_id);
   util::put_u64_be(out, ctx.span_id);
-  util::append(out, payload);
-  return out;
 }
 
 bool strip_trace_header(const util::Bytes& wire, SpanContext& ctx,

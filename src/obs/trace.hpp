@@ -120,6 +120,10 @@ constexpr std::size_t kTraceHeaderSize = 4 + 8 + 8;  // "TRC1" + ids
 /// zero IDs so the receiver can frame-strip unconditionally.
 util::Bytes with_trace_header(SpanContext ctx, const util::Bytes& payload);
 
+/// Append just the header to `out` — for callers assembling the payload
+/// in place after it (the Switchboard scratch-buffer frame path).
+void append_trace_header(SpanContext ctx, util::Bytes& out);
+
 /// Split a wire buffer produced by with_trace_header(). Returns false (and
 /// leaves outputs untouched) when the magic is absent — the payload is then
 /// a legacy frame to be consumed as-is.

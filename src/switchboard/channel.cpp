@@ -23,24 +23,24 @@ Switchboard::Switchboard(std::string host, Network* network,
 
 void Switchboard::register_service(
     const std::string& name, std::shared_ptr<minilang::CallTarget> target) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   services_[name] = std::move(target);
 }
 
 std::shared_ptr<minilang::CallTarget> Switchboard::lookup(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = services_.find(name);
   return it == services_.end() ? nullptr : it->second;
 }
 
 void Switchboard::set_suite(AuthorizationSuite suite) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   suite_ = std::make_unique<AuthorizationSuite>(std::move(suite));
 }
 
 const AuthorizationSuite* Switchboard::suite() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return suite_.get();
 }
 
@@ -97,6 +97,12 @@ struct ChannelMetrics {
       obs::histogram("psf.switchboard.call.rtt_sim_ns");
   obs::Counter& replay_rejections =
       obs::counter("psf.switchboard.replay.rejections");
+  // Scratch-buffer telemetry for the zero-copy frame path: a "reuse" is a
+  // seal/unseal served entirely from existing buffer capacity; a "grow" is a
+  // (re)allocation. After warm-up, reuses should dominate.
+  obs::Counter& scratch_reuses =
+      obs::counter("psf.switchboard.scratch.reuses");
+  obs::Counter& scratch_grows = obs::counter("psf.switchboard.scratch.grows");
   obs::Counter& heartbeats = obs::counter("psf.switchboard.heartbeats");
   obs::Gauge& heartbeat_rtt_ns =
       obs::gauge("psf.switchboard.heartbeat.rtt_ns");
@@ -172,10 +178,13 @@ util::Result<std::shared_ptr<Connection>> Connection::establish(
   connection->proofs_[1] = std::move(proof_of_b).take();
   connection->cipher_keys_[0] = crypto::derive_channel_key(secret, "a2b");
   connection->cipher_keys_[1] = crypto::derive_channel_key(secret, "b2a");
-  connection->mac_keys_[0] =
-      crypto::hmac_sha256_bytes(secret, util::to_bytes("mac-a2b"));
-  connection->mac_keys_[1] =
-      crypto::hmac_sha256_bytes(secret, util::to_bytes("mac-b2a"));
+  // Key the HMAC midstates once: the per-direction MAC key's ipad/opad
+  // compression blocks are absorbed here, so each frame only streams its own
+  // bytes (saves two SHA-256 blocks per MAC on the hot path).
+  connection->mac_seeds_[0] = crypto::HmacSha256(
+      crypto::hmac_sha256_bytes(secret, util::to_bytes("mac-a2b")));
+  connection->mac_seeds_[1] = crypto::HmacSha256(
+      crypto::hmac_sha256_bytes(secret, util::to_bytes("mac-b2a")));
   connection->open_.store(true);
 
   // Continuous authorization: watch every credential both proofs rest on.
@@ -230,56 +239,88 @@ void Connection::install_monitor(End end) {
       });
 }
 
-util::Bytes Connection::seal(End sender, const util::Bytes& plaintext) {
+void Connection::seal_into(End sender, const std::uint8_t* plaintext,
+                           std::size_t len, util::Bytes& frame) {
+  // `plaintext` must not alias `frame` — the frame is rebuilt from scratch
+  // (only its capacity survives across calls).
   const int dir = index(sender);
   const std::uint64_t seq = ++send_seq_[dir];
-  const util::Bytes ciphertext = crypto::chacha20_xor(
-      cipher_keys_[dir], nonce_for(dir, seq), 1, plaintext);
-  util::Bytes frame;
+  const std::size_t total = kFrameOverhead + len;
+  ChannelMetrics& metrics = ChannelMetrics::get();
+  if (frame.capacity() < total) {
+    metrics.scratch_grows.inc();
+  } else {
+    metrics.scratch_reuses.inc();
+  }
+  frame.clear();
+  frame.reserve(total);
   util::put_u64_be(frame, seq);
-  util::append(frame, ciphertext);
-  util::Bytes mac_input = frame;
-  const util::Bytes mac = crypto::hmac_sha256_bytes(mac_keys_[dir], mac_input);
-  util::append(frame, mac);
+  frame.insert(frame.end(), plaintext, plaintext + len);
+  // Encrypt the plaintext where it sits in the frame, then MAC the frame
+  // bytes directly from a copied keyed midstate — no mac_input, body, or
+  // ciphertext temporaries.
+  crypto::chacha20_xor_inplace(cipher_keys_[dir], nonce_for(dir, seq), 1,
+                               frame.data() + 8, len);
+  crypto::HmacSha256 mac = mac_seeds_[dir];
+  mac.update(frame.data(), frame.size());
+  frame.resize(total);
+  mac.final_into(frame.data() + 8 + len);
+}
+
+util::Result<std::size_t> Connection::unseal_into(End receiver,
+                                                  const util::Bytes& frame,
+                                                  util::Bytes& plain) {
+  using Fail = util::Result<std::size_t>;
+  // Receiver decodes the *other* end's direction.
+  const int dir = index(other(receiver));
+  if (frame.size() < kFrameOverhead) return Fail::failure("frame", "short frame");
+  const std::uint64_t seq = util::get_u64_be(frame, 0);
+  const std::size_t body_len = frame.size() - 32;
+  // MAC check over seq|ciphertext in place; compare against the trailing tag
+  // without slicing it out.
+  crypto::HmacSha256 mac = mac_seeds_[dir];
+  mac.update(frame.data(), body_len);
+  const crypto::Digest256 expected = mac.final();
+  if (!util::equal_ct(frame.data() + body_len, expected.data(),
+                      expected.size())) {
+    return Fail::failure("frame", "MAC verification failed");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!recv_window_[dir].check_and_insert(seq)) {
+      ChannelMetrics::get().replay_rejections.inc();
+      return Fail::failure("replay", "replayed or stale frame (seq " +
+                                         std::to_string(seq) + ")");
+    }
+  }
+  const std::size_t len = frame.size() - kFrameOverhead;
+  ChannelMetrics& metrics = ChannelMetrics::get();
+  if (plain.capacity() < len) {
+    metrics.scratch_grows.inc();
+  } else {
+    metrics.scratch_reuses.inc();
+  }
+  plain.assign(frame.begin() + 8, frame.end() - 32);
+  crypto::chacha20_xor_inplace(cipher_keys_[dir], nonce_for(dir, seq), 1,
+                               plain.data(), len);
+  return util::Result<std::size_t>(len);
+}
+
+util::Bytes Connection::seal(End sender, const util::Bytes& plaintext) {
+  util::Bytes frame;
+  seal_into(sender, plaintext.data(), plaintext.size(), frame);
   return frame;
 }
 
 util::Result<util::Bytes> Connection::unseal(End receiver,
                                              const util::Bytes& frame) {
-  using Fail = util::Result<util::Bytes>;
-  // Receiver decodes the *other* end's direction.
-  const int dir = index(other(receiver));
-  if (frame.size() < kFrameOverhead) return Fail::failure("frame", "short frame");
-  const std::uint64_t seq = util::get_u64_be(frame, 0);
-  const util::Bytes body(frame.begin(), frame.end() - 32);
-  const util::Bytes mac(frame.end() - 32, frame.end());
-  const util::Bytes expected = crypto::hmac_sha256_bytes(mac_keys_[dir], body);
-  if (!util::equal_ct(mac, expected)) {
-    return Fail::failure("frame", "MAC verification failed");
+  util::Bytes plain;
+  auto unsealed = unseal_into(receiver, frame, plain);
+  if (!unsealed.ok()) {
+    return util::Result<util::Bytes>::failure(unsealed.error().code,
+                                              unsealed.error().message);
   }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const std::uint64_t low = recv_max_[dir] > kReplayWindow
-                                  ? recv_max_[dir] - kReplayWindow
-                                  : 0;
-    if (seq <= low || recv_seen_[dir].count(seq) > 0) {
-      ChannelMetrics::get().replay_rejections.inc();
-      return Fail::failure("replay", "replayed or stale frame (seq " +
-                                         std::to_string(seq) + ")");
-    }
-    recv_seen_[dir].insert(seq);
-    if (seq > recv_max_[dir]) recv_max_[dir] = seq;
-    // Prune entries that fell out of the window.
-    const std::uint64_t new_low = recv_max_[dir] > kReplayWindow
-                                      ? recv_max_[dir] - kReplayWindow
-                                      : 0;
-    while (!recv_seen_[dir].empty() && *recv_seen_[dir].begin() <= new_low) {
-      recv_seen_[dir].erase(recv_seen_[dir].begin());
-    }
-  }
-  const util::Bytes ciphertext(frame.begin() + 8, frame.end() - 32);
-  return crypto::chacha20_xor(cipher_keys_[dir], nonce_for(dir, seq), 1,
-                              ciphertext);
+  return util::Result<util::Bytes>(std::move(plain));
 }
 
 Value Connection::dispatch(End at, const util::Bytes& plaintext_request) {
@@ -313,25 +354,38 @@ Value Connection::call(End from, const std::string& service,
   ChannelMetrics& metrics = ChannelMetrics::get();
   obs::ScopedSpan span("switchboard.call");
 
-  // Request: encode, prepend trace context, seal, transfer, unseal, dispatch.
+  // Request: encode (trace header + values) straight into a reusable
+  // plaintext scratch, then seal into a reusable frame scratch. The buffers
+  // are thread_local so concurrent calls stay lock-free; their contents are
+  // never live across dispatch(), which may re-enter call() on this thread
+  // (chained replicas), so re-entrant use only resets capacity-warm buffers.
   // The trace header travels inside the sealed plaintext so the frame layout
   // (seq + ciphertext + hmac) is unchanged.
+  thread_local util::Bytes plain_buf;
+  thread_local util::Bytes frame_buf;
+  thread_local util::Bytes request_plain;
+
   std::vector<Value> request;
   request.reserve(args.size() + 2);
   request.push_back(Value::string(service));
   request.push_back(Value::string(method));
   for (auto& a : args) request.push_back(std::move(a));
-  const util::Bytes plaintext =
-      obs::with_trace_header(span.context(), minilang::encode_values(request));
-  const util::Bytes frame = seal(from, plaintext);
+  plain_buf.clear();
+  plain_buf.reserve(obs::kTraceHeaderSize +
+                    minilang::encoded_values_size(request));
+  obs::append_trace_header(span.context(), plain_buf);
+  minilang::encode_values_into(request, plain_buf);
+  seal_into(from, plain_buf.data(), plain_buf.size(), frame_buf);
+  const std::size_t request_frame_size = frame_buf.size();
 
   auto forward_time = boards_[index(from)]->network().transfer(
-      boards_[index(from)]->host(), boards_[index(to)]->host(), frame.size());
+      boards_[index(from)]->host(), boards_[index(to)]->host(),
+      frame_buf.size());
   if (!forward_time.has_value()) {
     close("network partition");
     throw EvalError("switchboard: network partition");
   }
-  auto unsealed = unseal(to, frame);
+  auto unsealed = unseal_into(to, frame_buf, plain_buf);
   if (!unsealed.ok()) {
     close("frame corruption: " + unsealed.error().message);
     throw EvalError("switchboard: " + unsealed.error().message);
@@ -340,10 +394,8 @@ Value Connection::call(End from, const std::string& service,
   // Receiving end: recover the caller's trace context so the dispatch span
   // links into the same trace even though it runs "on" the remote host.
   obs::SpanContext remote_context;
-  util::Bytes request_plain;
-  if (!obs::strip_trace_header(unsealed.value(), remote_context,
-                               request_plain)) {
-    request_plain = unsealed.value();
+  if (!obs::strip_trace_header(plain_buf, remote_context, request_plain)) {
+    request_plain = plain_buf;
   }
 
   Value result;
@@ -359,7 +411,8 @@ Value Connection::call(End from, const std::string& service,
   }
 
   // Response: ok flag + payload (or error text), sealed in the reverse
-  // direction.
+  // direction. The request's scratch buffers are dead by now (dispatch
+  // decoded everything out of them), so they are reused verbatim.
   std::vector<Value> response;
   response.push_back(Value::boolean(app_error.empty()));
   if (app_error.empty()) {
@@ -367,20 +420,24 @@ Value Connection::call(End from, const std::string& service,
   } else {
     response.push_back(Value::string(app_error));
   }
-  const util::Bytes response_frame = seal(to, minilang::encode_values(response));
+  plain_buf.clear();
+  plain_buf.reserve(minilang::encoded_values_size(response));
+  minilang::encode_values_into(response, plain_buf);
+  seal_into(to, plain_buf.data(), plain_buf.size(), frame_buf);
+  const std::size_t response_frame_size = frame_buf.size();
   auto back_time = boards_[index(to)]->network().transfer(
       boards_[index(to)]->host(), boards_[index(from)]->host(),
-      response_frame.size());
+      frame_buf.size());
   if (!back_time.has_value()) {
     close("network partition");
     throw EvalError("switchboard: network partition");
   }
-  auto response_plain = unseal(from, response_frame);
+  auto response_plain = unseal_into(from, frame_buf, plain_buf);
   if (!response_plain.ok()) {
     close("frame corruption: " + response_plain.error().message);
     throw EvalError("switchboard: " + response_plain.error().message);
   }
-  auto decoded = minilang::decode_values(response_plain.value());
+  auto decoded = minilang::decode_values(plain_buf);
   if (!decoded.ok() || decoded.value().size() != 2) {
     throw EvalError("switchboard: malformed response");
   }
@@ -389,13 +446,13 @@ Value Connection::call(End from, const std::string& service,
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.calls;
     stats_.frames += 2;
-    stats_.bytes += frame.size() + response_frame.size();
+    stats_.bytes += request_frame_size + response_frame_size;
     stats_.last_rtt = *forward_time + *back_time;
   }
   metrics.calls.inc();
   metrics.frames.inc(2);
   metrics.bytes.inc(
-      static_cast<std::int64_t>(frame.size() + response_frame.size()));
+      static_cast<std::int64_t>(request_frame_size + response_frame_size));
   metrics.call_rtt_sim_ns.observe(*forward_time + *back_time);
 
   if (!decoded.value()[0].as_bool()) {
@@ -413,12 +470,15 @@ void Connection::heartbeat() {
   // transfer times sum into a true round-trip estimate; earlier versions
   // doubled each direction in turn, so the stored RTT reflected only the
   // last probe and was wrong on asymmetric links.
+  thread_local util::Bytes payload;
+  thread_local util::Bytes frame;
+  thread_local util::Bytes plain;
   util::SimTime round_trip = 0;
   for (const End end : {End::kA, End::kB}) {
-    util::Bytes payload;
+    payload.clear();
     util::append(payload, "heartbeat|");
     util::put_u64_be(payload, static_cast<std::uint64_t>(now));
-    const util::Bytes frame = seal(end, payload);
+    seal_into(end, payload.data(), payload.size(), frame);
     auto t = boards_[index(end)]->network().transfer(
         boards_[index(end)]->host(), boards_[index(other(end))]->host(),
         frame.size());
@@ -426,17 +486,18 @@ void Connection::heartbeat() {
       close("liveness lost: no route");
       return;
     }
-    auto unsealed = unseal(other(end), frame);
+    auto unsealed = unseal_into(other(end), frame, plain);
     if (!unsealed.ok()) {
       close("heartbeat corruption: " + unsealed.error().message);
       return;
     }
     round_trip += *t;
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.heartbeats;
   }
+  // One locked section for the whole probe (both directions counted at
+  // once) instead of three separate lock acquisitions per heartbeat.
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    stats_.heartbeats += 2;
     stats_.last_rtt = round_trip;
     stats_.last_heartbeat_rtt = round_trip;
   }
@@ -539,13 +600,14 @@ RmiStub::RmiStub(Network* network, std::string from_host, Switchboard* remote,
       service_(std::move(service)) {}
 
 Value RmiStub::call(const std::string& method, std::vector<Value> args) {
-  // Marshal a copy for wire accounting; the dispatch below still needs the
-  // live arguments.
-  std::vector<Value> request;
-  request.push_back(Value::string(method));
-  for (const auto& a : args) request.push_back(a);
-  const util::Bytes payload = minilang::encode_values(request);
-  if (!network_->transfer(from_host_, remote_->host(), payload.size())
+  // Wire accounting without marshalling: the request size is the value-list
+  // count prefix plus the method name and each live argument's encoded size
+  // (no throwaway request vector, no cloned args, no encoded buffer).
+  // encoded_size throws the same EvalError encode_values would on object
+  // arguments, preserving RMI-style serialization failures.
+  std::size_t payload_size = 4 + minilang::encoded_size(Value::string(method));
+  for (const auto& a : args) payload_size += minilang::encoded_size(a);
+  if (!network_->transfer(from_host_, remote_->host(), payload_size)
            .has_value()) {
     throw EvalError("rmi: no route to " + remote_->host());
   }
@@ -555,10 +617,10 @@ Value RmiStub::call(const std::string& method, std::vector<Value> args) {
                     remote_->host());
   }
   Value result = target->call(method, std::move(args));
-  // Response transfer: marshal the result for accounting purposes; objects
+  // Response transfer: size the result for accounting purposes; objects
   // cannot cross (RMI-style serialization failure).
-  const util::Bytes response = minilang::encode_value(result);
-  if (!network_->transfer(remote_->host(), from_host_, response.size())
+  const std::size_t response_size = minilang::encoded_size(result);
+  if (!network_->transfer(remote_->host(), from_host_, response_size)
            .has_value()) {
     throw EvalError("rmi: no route back from " + remote_->host());
   }

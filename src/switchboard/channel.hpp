@@ -23,15 +23,17 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
+#include <shared_mutex>
 #include <string>
 
 #include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
 #include "drbac/engine.hpp"
 #include "minilang/value.hpp"
 #include "minilang/value_codec.hpp"
 #include "switchboard/authorizer.hpp"
 #include "switchboard/network.hpp"
+#include "switchboard/replay_window.hpp"
 #include "util/rng.hpp"
 #include "util/sim_clock.hpp"
 
@@ -67,7 +69,9 @@ class Switchboard {
   std::string host_;
   Network* network_;
   std::shared_ptr<util::Clock> clock_;
-  mutable std::mutex mutex_;
+  // Reader-writer lock: lookup()/suite() sit on every RPC dispatch and only
+  // read, so they take shared locks; registration (rare) takes exclusive.
+  mutable std::shared_mutex mutex_;
   std::map<std::string, std::shared_ptr<minilang::CallTarget>> services_;
   std::unique_ptr<AuthorizationSuite> suite_;
 };
@@ -132,7 +136,19 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// layered transports (SwitchboardStream).
   Switchboard& board(End end) const { return *boards_[end == End::kA ? 0 : 1]; }
 
-  // --- exposed for tests: raw frame sealing with replay protection ---
+  // --- raw frame sealing with replay protection ---
+  //
+  // The zero-copy forms build/verify the frame in a caller-owned buffer
+  // (capacity reused across calls): seal_into encrypts the plaintext in
+  // place inside the frame and MACs the frame bytes directly (streaming
+  // HMAC over spans — no mac_input/body/ciphertext temporaries); unseal_into
+  // verifies the MAC over the frame, then decrypts into `plain` in place.
+  // seal/unseal are thin allocating wrappers kept for tests and one-shot
+  // callers. Wire format is unchanged: seq(8) | ciphertext | hmac(32).
+  void seal_into(End sender, const std::uint8_t* plaintext, std::size_t len,
+                 util::Bytes& frame);
+  util::Result<std::size_t> unseal_into(End receiver, const util::Bytes& frame,
+                                        util::Bytes& plain);
   util::Bytes seal(End sender, const util::Bytes& plaintext);
   util::Result<util::Bytes> unseal(End receiver, const util::Bytes& frame);
 
@@ -149,13 +165,13 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::atomic<bool> suspended_[2] = {false, false};
 
   crypto::ChaChaKey cipher_keys_[2];  // [0]=A->B, [1]=B->A
-  util::Bytes mac_keys_[2];
+  // Keyed HMAC midstates (key schedule done once at establish); each frame
+  // copies the seed and streams over the frame bytes.
+  crypto::HmacSha256 mac_seeds_[2];
   std::atomic<std::uint64_t> send_seq_[2] = {0, 0};
-  // Replay protection per direction: sliding window of recently seen
-  // sequence numbers (concurrent calls may deliver frames out of order).
-  static constexpr std::uint64_t kReplayWindow = 4096;
-  std::uint64_t recv_max_[2] = {0, 0};
-  std::set<std::uint64_t> recv_seen_[2];
+  // Replay protection per direction: O(1) sliding bitmap (concurrent calls
+  // may deliver frames out of order). Guarded by mutex_.
+  ReplayWindow recv_window_[2];
 
   std::atomic<bool> open_{false};
   mutable std::mutex mutex_;

@@ -1,0 +1,73 @@
+// Sliding-window replay protection for sealed channel frames (one instance
+// per direction). Replaces the original std::set<uint64_t> bookkeeping: a
+// fixed 4096-entry bitmap gives O(1) check-and-insert with zero per-frame
+// allocation, the same discipline IPsec/DTLS anti-replay windows use.
+//
+// Semantics (identical to the set-based predecessor):
+//   - sequence numbers start at 1; seq 0 is always rejected
+//   - a frame is fresh iff its seq is in (max_seen - kSize, max_seen] and
+//     not yet recorded, or ahead of max_seen (which slides the window)
+//   - anything at or below max_seen - kSize is stale, even if never seen
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace psf::switchboard {
+
+class ReplayWindow {
+ public:
+  /// Window width in sequence numbers; also the bitmap size.
+  static constexpr std::uint64_t kSize = 4096;
+
+  /// Record `seq` if it is fresh. Returns false on replayed, stale, or zero
+  /// sequence numbers; true when the frame should be accepted.
+  bool check_and_insert(std::uint64_t seq) {
+    if (seq == 0) return false;
+    if (seq > max_seen_) {
+      const std::uint64_t advance = seq - max_seen_;
+      if (advance >= kSize) {
+        // Jumped a full window ahead: every old bit falls out of range.
+        std::fill(std::begin(bits_), std::end(bits_), 0);
+      } else {
+        for (std::uint64_t s = max_seen_ + 1; s <= seq; ++s) clear_bit(s);
+      }
+      max_seen_ = seq;
+      set_bit(seq);
+      return true;
+    }
+    if (max_seen_ - seq >= kSize) return false;  // fell off the window
+    if (test_bit(seq)) return false;             // duplicate
+    set_bit(seq);
+    return true;
+  }
+
+  /// Highest sequence number accepted so far (0 = none yet).
+  std::uint64_t max_seen() const { return max_seen_; }
+
+  /// Would check_and_insert(seq) succeed? (No state change.)
+  bool fresh(std::uint64_t seq) const {
+    if (seq == 0) return false;
+    if (seq > max_seen_) return true;
+    if (max_seen_ - seq >= kSize) return false;
+    return !test_bit(seq);
+  }
+
+ private:
+  static constexpr std::uint64_t kWords = kSize / 64;
+
+  void set_bit(std::uint64_t seq) {
+    bits_[(seq % kSize) / 64] |= 1ull << (seq % 64);
+  }
+  void clear_bit(std::uint64_t seq) {
+    bits_[(seq % kSize) / 64] &= ~(1ull << (seq % 64));
+  }
+  bool test_bit(std::uint64_t seq) const {
+    return (bits_[(seq % kSize) / 64] >> (seq % 64)) & 1ull;
+  }
+
+  std::uint64_t max_seen_ = 0;
+  std::uint64_t bits_[kWords] = {};
+};
+
+}  // namespace psf::switchboard

@@ -20,12 +20,15 @@ void SwitchboardStream::send(Connection::End from, const util::Bytes& data) {
   const Connection::End to =
       from == Connection::End::kA ? Connection::End::kB : Connection::End::kA;
 
+  // Zero-copy chunk loop: each chunk is sealed straight out of `data` (no
+  // per-chunk slice) into a frame scratch whose capacity is reused across
+  // the whole transfer; the unsealed payload lands in a second scratch.
+  thread_local util::Bytes frame;
+  thread_local util::Bytes plain;
   std::size_t offset = 0;
   while (offset < data.size() || data.empty()) {
     const std::size_t take = std::min(chunk_size_, data.size() - offset);
-    util::Bytes chunk(data.begin() + static_cast<std::ptrdiff_t>(offset),
-                      data.begin() + static_cast<std::ptrdiff_t>(offset + take));
-    const util::Bytes frame = connection_->seal(from, chunk);
+    connection_->seal_into(from, data.data() + offset, take, frame);
     // Charge the wire: the stream rides the same hosts as the RPC traffic.
     if (!connection_->board(from)
              .network()
@@ -35,7 +38,7 @@ void SwitchboardStream::send(Connection::End from, const util::Bytes& data) {
       connection_->close("network partition");
       throw EvalError("stream: network partition");
     }
-    auto unsealed = connection_->unseal(to, frame);
+    auto unsealed = connection_->unseal_into(to, frame, plain);
     if (!unsealed.ok()) {
       connection_->close("stream corruption: " + unsealed.error().message);
       throw EvalError("stream: " + unsealed.error().message);
@@ -43,8 +46,7 @@ void SwitchboardStream::send(Connection::End from, const util::Bytes& data) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       auto& queue = inbound_[to == Connection::End::kA ? 0 : 1];
-      queue.insert(queue.end(), unsealed.value().begin(),
-                   unsealed.value().end());
+      queue.insert(queue.end(), plain.begin(), plain.end());
       ++stats_.chunks;
       stats_.payload_bytes += take;
       stats_.wire_bytes += frame.size();

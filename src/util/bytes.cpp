@@ -79,8 +79,12 @@ std::uint64_t get_u64_be(const Bytes& src, std::size_t offset) {
 
 bool equal_ct(const Bytes& a, const Bytes& b) {
   if (a.size() != b.size()) return false;
+  return equal_ct(a.data(), b.data(), a.size());
+}
+
+bool equal_ct(const std::uint8_t* a, const std::uint8_t* b, std::size_t len) {
   std::uint8_t diff = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  for (std::size_t i = 0; i < len; ++i) diff |= a[i] ^ b[i];
   return diff == 0;
 }
 

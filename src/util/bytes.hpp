@@ -43,4 +43,8 @@ std::uint64_t get_u64_be(const Bytes& src, std::size_t offset);
 /// Constant-time-ish equality (length leak only); for MAC comparison.
 bool equal_ct(const Bytes& a, const Bytes& b);
 
+/// Raw-pointer form for comparing spans inside larger buffers (e.g. a MAC
+/// tail within a sealed frame) without slicing out copies.
+bool equal_ct(const std::uint8_t* a, const std::uint8_t* b, std::size_t len);
+
 }  // namespace psf::util

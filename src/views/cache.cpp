@@ -1,5 +1,8 @@
 #include "views/cache.hpp"
 
+#include <algorithm>
+#include <string_view>
+
 #include "minilang/interp.hpp"
 #include "minilang/value_codec.hpp"
 #include "obs/metrics.hpp"
@@ -21,6 +24,14 @@ struct CacheMetrics {
   obs::Histogram& pull_wait_us = obs::histogram("psf.views.cache.pull_wait_us");
   obs::Histogram& push_wait_us = obs::histogram("psf.views.cache.push_wait_us");
   obs::Histogram& image_bytes = obs::histogram("psf.views.cache.image_bytes");
+  // Delta coherence (psf.views.cache.delta.*): how often the delta path is
+  // taken, how much it carries, and when it falls back to full images.
+  obs::Counter& delta_images = obs::counter("psf.views.cache.delta.images");
+  obs::Counter& delta_fields = obs::counter("psf.views.cache.delta.fields");
+  obs::Counter& delta_full_syncs =
+      obs::counter("psf.views.cache.delta.full_syncs");
+  obs::Histogram& delta_bytes =
+      obs::histogram("psf.views.cache.delta.bytes");
   static CacheMetrics& get() {
     static CacheMetrics m;
     return m;
@@ -98,38 +109,232 @@ std::shared_ptr<CacheManager> attach_cache_manager(
   return manager;
 }
 
+util::Bytes CacheManager::extract_from_original(Instance& original) {
+  if (pull_uid_ == original.uid()) {
+    // Same epoch as the last merged pull: only the fields dirtied since.
+    return instance_image_since(original, pull_version_);
+  }
+  // First sync or epoch change (uid mismatch): full framed image.
+  ++stats_.full_syncs;
+  return instance_image_framed(original);
+}
+
+void CacheManager::merge_pull(Instance& view, const util::Bytes& image) {
+  ImageFrame frame;
+  if (apply_instance_image(view, image, &frame)) {
+    if (frame.is_delta()) {
+      ++stats_.delta_pulls;
+    } else if (pull_uid_ != 0) {
+      ++stats_.full_syncs;  // remote epoch change forced a full resync
+    }
+    pull_uid_ = frame.uid;
+    pull_version_ = frame.to_version;
+  }
+}
+
+util::Bytes CacheManager::extract_push(Instance& view) {
+  util::Bytes image;
+  if (push_synced_) {
+    image = instance_image_since(view, push_version_);
+    ++stats_.delta_pushes;
+  } else {
+    image = instance_image_framed(view);
+    ++stats_.full_syncs;
+  }
+  // Extraction itself can advance the version (container fingerprints), so
+  // the staged sync point is read *after* the image is built; committed by
+  // note_push_applied() once the merge into the original succeeds.
+  pending_push_version_ = view.state_version();
+  return image;
+}
+
 namespace {
+
 bool is_wiring_field_name(const std::string& name) {
   return name == "cacheManager" || name.ends_with("_rmi") ||
          name.ends_with("_switch");
 }
-}  // namespace
 
-util::Bytes instance_image(const Instance& instance) {
-  minilang::ValueMap image;
+constexpr std::string_view kImageMagic = "VDI1";
+constexpr std::size_t kImageHeaderSize = 4 + 8 + 8 + 8;
+
+std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* data,
+                    std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return fnv1a(h, buf, sizeof(buf));
+}
+
+std::uint64_t fingerprint_into(std::uint64_t h, const Value& v) {
+  if (v.is_null()) return fnv1a_u64(h, 1);
+  if (v.is_bool()) return fnv1a_u64(h, v.as_bool() ? 3 : 2);
+  if (v.is_int()) {
+    return fnv1a_u64(fnv1a_u64(h, 4), static_cast<std::uint64_t>(v.as_int()));
+  }
+  if (v.is_string()) {
+    const std::string& s = v.as_string();
+    return fnv1a(fnv1a_u64(fnv1a_u64(h, 5), s.size()),
+                 reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+  if (v.is_bytes()) {
+    const util::Bytes& b = v.as_bytes();
+    return fnv1a(fnv1a_u64(fnv1a_u64(h, 6), b.size()), b.data(), b.size());
+  }
+  if (v.is_list()) {
+    h = fnv1a_u64(fnv1a_u64(h, 7), v.as_list()->size());
+    for (const auto& item : *v.as_list()) h = fingerprint_into(h, item);
+    return h;
+  }
+  if (v.is_map()) {
+    h = fnv1a_u64(fnv1a_u64(h, 8), v.as_map()->size());
+    for (const auto& [k, item] : *v.as_map()) {
+      h = fnv1a(fnv1a_u64(h, k.size()),
+                reinterpret_cast<const std::uint8_t*>(k.data()), k.size());
+      h = fingerprint_into(h, item);
+    }
+    return h;
+  }
+  // Objects never enter images; identity is enough for a fingerprint.
+  return fnv1a_u64(fnv1a_u64(h, 9),
+                   reinterpret_cast<std::uintptr_t>(v.as_object().get()));
+}
+
+/// Refresh the dirty-tracking fingerprints of every serializable container
+/// field. Containers mutate in place through their shared pointers without
+/// set_field, so every extract runs this first — a changed fingerprint bumps
+/// the field's version exactly like a write would, which keeps delta images
+/// honest. The invariant "every extract primes" also means a first full sync
+/// records the baseline every later delta is diffed against.
+void prime_container_fingerprints(const Instance& instance) {
   for (const auto& [name, value] : instance.fields()) {
     if (is_wiring_field_name(name) || value.is_object()) continue;
-    image[name] = value;
+    if (!value.is_list() && !value.is_map()) continue;
+    instance.note_field_fingerprint(name,
+                                    fingerprint_into(0xcbf29ce484222325ULL,
+                                                     value));
   }
-  util::Bytes encoded = minilang::encode_value(Value::map(std::move(image)));
+}
+
+/// Shared tail of every extract: serialize `image`, optionally framed.
+util::Bytes encode_image(minilang::ValueMap image, const Instance& instance,
+                         bool framed, std::uint64_t from_version,
+                         std::size_t* field_count) {
+  if (field_count != nullptr) *field_count = image.size();
+  const Value map = Value::map(std::move(image));
+  util::Bytes encoded;
+  if (framed) {
+    encoded.reserve(kImageHeaderSize + minilang::encoded_size(map));
+    util::append(encoded, kImageMagic);
+    util::put_u64_be(encoded, instance.uid());
+    util::put_u64_be(encoded, from_version);
+    util::put_u64_be(encoded, instance.state_version());
+    minilang::encode_value_into(map, encoded);
+  } else {
+    encoded = minilang::encode_value(map);
+  }
   CacheMetrics& metrics = CacheMetrics::get();
   metrics.extracts.inc();
   metrics.image_bytes.observe(static_cast<std::int64_t>(encoded.size()));
   return encoded;
 }
 
-void merge_instance_image(Instance& instance, const util::Bytes& image) {
-  if (image.empty()) return;
+}  // namespace
+
+std::uint64_t fingerprint_value(const Value& value) {
+  return fingerprint_into(0xcbf29ce484222325ULL, value);  // FNV offset basis
+}
+
+util::Bytes instance_image(const Instance& instance) {
+  prime_container_fingerprints(instance);
+  minilang::ValueMap image;
+  for (const auto& [name, value] : instance.fields()) {
+    if (is_wiring_field_name(name) || value.is_object()) continue;
+    image[name] = value;
+  }
+  return encode_image(std::move(image), instance, /*framed=*/false, 0,
+                      nullptr);
+}
+
+util::Bytes instance_image_framed(const Instance& instance) {
+  prime_container_fingerprints(instance);
+  minilang::ValueMap image;
+  for (const auto& [name, value] : instance.fields()) {
+    if (is_wiring_field_name(name) || value.is_object()) continue;
+    image[name] = value;
+  }
+  CacheMetrics::get().delta_full_syncs.inc();
+  return encode_image(std::move(image), instance, /*framed=*/true, 0,
+                      nullptr);
+}
+
+util::Bytes instance_image_since(const Instance& instance,
+                                 std::uint64_t since_version) {
+  if (since_version == 0) return instance_image_framed(instance);
+  prime_container_fingerprints(instance);
+  minilang::ValueMap image;
+  for (const auto& [name, value] : instance.fields()) {
+    if (is_wiring_field_name(name) || value.is_object()) continue;
+    if (instance.field_version(name) <= since_version) continue;
+    image[name] = value;
+  }
+  std::size_t fields = 0;
+  util::Bytes encoded = encode_image(std::move(image), instance,
+                                     /*framed=*/true, since_version, &fields);
+  CacheMetrics& metrics = CacheMetrics::get();
+  metrics.delta_images.inc();
+  metrics.delta_fields.inc(static_cast<std::int64_t>(fields));
+  metrics.delta_bytes.observe(static_cast<std::int64_t>(encoded.size()));
+  return encoded;
+}
+
+bool read_image_frame(const util::Bytes& image, ImageFrame& frame) {
+  if (image.size() < kImageHeaderSize ||
+      !std::equal(kImageMagic.begin(), kImageMagic.end(), image.begin())) {
+    return false;
+  }
+  frame.uid = util::get_u64_be(image, 4);
+  frame.from_version = util::get_u64_be(image, 12);
+  frame.to_version = util::get_u64_be(image, 20);
+  return true;
+}
+
+bool apply_instance_image(Instance& instance, const util::Bytes& image,
+                          ImageFrame* frame) {
+  if (frame != nullptr) *frame = ImageFrame{};
+  if (image.empty()) return false;
   CacheMetrics::get().merges.inc();
-  auto decoded = minilang::decode_value(image);
+  ImageFrame header;
+  const bool framed = read_image_frame(image, header);
+  if (frame != nullptr && framed) *frame = header;
+  util::Result<Value> decoded =
+      framed ? minilang::decode_value(util::Bytes(
+                   image.begin() + static_cast<std::ptrdiff_t>(kImageHeaderSize),
+                   image.end()))
+             : minilang::decode_value(image);
   if (!decoded.ok() || !decoded.value().is_map()) {
     throw minilang::EvalError("mergeImage: malformed image");
   }
   for (const auto& [name, value] : *decoded.value().as_map()) {
-    if (instance.has_field(name) && !is_wiring_field_name(name)) {
-      instance.set_field(name, value);
-    }
+    if (!instance.has_field(name) || is_wiring_field_name(name)) continue;
+    // Idempotent apply: only write fields that actually changed, so a pull
+    // does not dirty the receiver and echo every field back on its next
+    // push (delta amplification).
+    if (instance.get_field(name).equals(value)) continue;
+    instance.set_field(name, value);
   }
+  return framed;
+}
+
+void merge_instance_image(Instance& instance, const util::Bytes& image) {
+  apply_instance_image(instance, image, nullptr);
 }
 
 Value ImageEndpoint::call(const std::string& method,
@@ -141,6 +346,17 @@ Value ImageEndpoint::call(const std::string& method,
   auto* cache = dynamic_cast<CacheManager*>(target_->hooks());
   if (method == "extractImageFromView" || method == "extractImageFromObj") {
     if (cache != nullptr) cache->acquire_image(*target_);
+    if (args.size() == 2) {
+      // Delta request: (uid, version) is the caller's pull sync point. Serve
+      // a delta only inside the same epoch and never from the future;
+      // anything else gets a framed full image the caller resyncs from.
+      const auto uid = static_cast<std::uint64_t>(args[0].as_int());
+      const auto since = static_cast<std::uint64_t>(args[1].as_int());
+      if (uid == target_->uid() && since <= target_->state_version()) {
+        return Value::bytes(instance_image_since(*target_, since));
+      }
+      return Value::bytes(instance_image_framed(*target_));
+    }
     return Value::bytes(instance_image(*target_));
   }
   if (method == "mergeImageIntoView" || method == "mergeImageIntoObj") {

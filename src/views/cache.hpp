@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "minilang/object.hpp"
 
@@ -43,11 +44,56 @@ class CacheManager : public minilang::MethodHooks {
   void acquire_image(minilang::Instance& self);
   void release_image(minilang::Instance& self);
 
+  /// True while this manager is driving a coherence bracket. The VIG default
+  /// natives use it to tell a bracket-driven invocation (delta tracking
+  /// applies) from a direct external call (legacy peer-agnostic image).
+  bool in_coherence() const { return in_coherence_; }
+
+  // --- delta coherence (used by the VIG default coherence natives) ---
+  //
+  // The manager remembers, per peer direction, the sync point reached by the
+  // last successful exchange: (uid, state_version) of the original for
+  // pulls, and the view's own state_version for pushes. Within an epoch
+  // (same uid), subsequent images carry only the fields dirtied since that
+  // version; a first sync or a uid change (restart, rewire) falls back to a
+  // framed full image.
+
+  /// Pull-side extract against a *local* original: a delta image when this
+  /// manager is in sync with `original`'s epoch, a framed full otherwise.
+  util::Bytes extract_from_original(minilang::Instance& original);
+
+  /// Sync point to send with a *remote* delta pull request (uid, version);
+  /// (0, 0) before the first sync.
+  std::pair<std::uint64_t, std::uint64_t> pull_sync() const {
+    return {pull_uid_, pull_version_};
+  }
+
+  /// Does the remote original's endpoint accept delta requests? Starts
+  /// optimistic; cleared after the first rejection so every later pull goes
+  /// straight to the legacy full-image call.
+  bool peer_supports_delta() const { return peer_supports_delta_; }
+  void note_peer_rejects_delta() { peer_supports_delta_ = false; }
+
+  /// Apply a pulled image (legacy full, framed full, or delta) into the
+  /// view, advancing the pull sync point when the image is framed.
+  void merge_pull(minilang::Instance& view, const util::Bytes& image);
+
+  /// Push-side extract of the view's own state: delta since the last
+  /// *applied* push, framed full on the first push. The new sync point is
+  /// staged and only committed by note_push_applied(), so a failed push
+  /// cannot silently drop updates.
+  util::Bytes extract_push(minilang::Instance& view);
+  void note_push_applied() { push_version_ = pending_push_version_; push_synced_ = true; }
+
   struct Stats {
     std::uint64_t acquires = 0;
     std::uint64_t releases = 0;
     std::uint64_t pulls = 0;   // images fetched from the original
     std::uint64_t pushes = 0;  // images written back
+    std::uint64_t delta_pulls = 0;   // pulls satisfied by a delta image
+    std::uint64_t delta_pushes = 0;  // pushes carrying a delta image
+    std::uint64_t full_syncs = 0;    // framed full images (first sync or
+                                     // epoch fallback), either direction
   };
   const Stats& stats() const { return stats_; }
 
@@ -56,6 +102,17 @@ class CacheManager : public minilang::MethodHooks {
   minilang::Value original_;
   Stats stats_;
   bool in_coherence_ = false;  // re-entrancy guard
+
+  // Pull epoch: the original's (uid, state_version) as of the last merged
+  // pull. uid 0 = never synced (instance uids start at 1).
+  std::uint64_t pull_uid_ = 0;
+  std::uint64_t pull_version_ = 0;
+  bool peer_supports_delta_ = true;
+
+  // Push epoch: the view's own state_version as of the last applied push.
+  bool push_synced_ = false;
+  std::uint64_t push_version_ = 0;
+  std::uint64_t pending_push_version_ = 0;
 };
 
 /// Wire a freshly instantiated view to its original object: installs a
@@ -66,10 +123,52 @@ std::shared_ptr<CacheManager> attach_cache_manager(
 
 /// Snapshot an instance's serializable state (all fields except wiring
 /// fields — cacheManager, *_rmi, *_switch — and object references) as an
-/// image; the byte[] the paper's coherence methods exchange.
+/// image; the byte[] the paper's coherence methods exchange. This legacy
+/// form is a plain encoded map, byte-identical to pre-delta releases.
 util::Bytes instance_image(const minilang::Instance& instance);
 
-/// Apply an image: set every matching non-wiring field.
+// --- framed images (delta coherence wire format) ---
+//
+// A framed image prefixes the encoded field map with
+//   magic "VDI1" (4) | uid (8, BE) | from_version (8) | to_version (8)
+// so the receiver can track the sender's epoch. from_version == 0 marks a
+// full image (every serializable field); from_version > 0 marks a delta
+// carrying only fields dirtied in (from_version, to_version]. The magic
+// byte 'V' (0x56) never collides with a plain map encoding (tag 0x07), so
+// merge_instance_image accepts all three forms.
+
+/// Header of a framed image.
+struct ImageFrame {
+  std::uint64_t uid = 0;
+  std::uint64_t from_version = 0;  // 0 = full image
+  std::uint64_t to_version = 0;
+  bool is_delta() const { return from_version != 0; }
+};
+
+/// Parse a framed header; returns false for legacy plain images.
+bool read_image_frame(const util::Bytes& image, ImageFrame& frame);
+
+/// Full image framed with the instance's (uid, state_version).
+util::Bytes instance_image_framed(const minilang::Instance& instance);
+
+/// Delta image: only fields dirtied after `since_version` (framed with
+/// from_version = since_version). Callers must have confirmed the uid.
+util::Bytes instance_image_since(const minilang::Instance& instance,
+                                 std::uint64_t since_version);
+
+/// Structural content hash used to detect in-place container mutation
+/// (lists/maps mutate through their shared pointers without set_field).
+std::uint64_t fingerprint_value(const minilang::Value& value);
+
+/// Apply an image (any form): set every matching non-wiring field whose
+/// value actually changed — the equality check keeps a pull from dirtying
+/// the receiver and echoing every pulled field back on the next push. If
+/// `frame` is non-null it receives the parsed header; returns true when the
+/// image was framed.
+bool apply_instance_image(minilang::Instance& instance,
+                          const util::Bytes& image, ImageFrame* frame);
+
+/// Apply an image (legacy entry point; forwards to apply_instance_image).
 void merge_instance_image(minilang::Instance& instance,
                           const util::Bytes& image);
 

@@ -137,18 +137,36 @@ MethodDef make_native(const std::string& name, std::vector<std::string> params,
   return m;
 }
 
+/// The CacheManager driving the current coherence bracket, or nullptr for a
+/// direct external invocation (which must keep the legacy, peer-agnostic
+/// image behaviour — delta sync state belongs to the bracket's peer only).
+CacheManager* coherence_cache_of(Instance& self) {
+  auto* cache = dynamic_cast<CacheManager*>(self.hooks());
+  return cache != nullptr && cache->in_coherence() ? cache : nullptr;
+}
+
 std::vector<MethodDef> default_coherence_methods() {
   std::vector<MethodDef> out;
   out.push_back(make_native(
       "extractImageFromView", {},
       [](Instance& self, std::vector<Value>) {
+        // Push-side extract: a delta of the view's own dirty fields since
+        // the last applied push when the manager drives the bracket.
+        if (CacheManager* cache = coherence_cache_of(self)) {
+          return Value::bytes(cache->extract_push(self));
+        }
         return Value::bytes(instance_image(self));
       },
       "/* VIG default: encode the view's serializable fields */"));
   out.push_back(make_native(
       "mergeImageIntoView", {"image"},
       [](Instance& self, std::vector<Value> args) {
-        merge_instance_image(self, args[0].as_bytes());
+        // Pull-side apply: advance the pull sync point when bracketed.
+        if (CacheManager* cache = coherence_cache_of(self)) {
+          cache->merge_pull(self, args[0].as_bytes());
+        } else {
+          merge_instance_image(self, args[0].as_bytes());
+        }
         return Value::null();
       },
       "/* VIG default: decode image and update matching fields */"));
@@ -157,11 +175,29 @@ std::vector<MethodDef> default_coherence_methods() {
       [](Instance& self, std::vector<Value>) {
         Value original = original_of(self);
         if (original.is_null()) return Value::bytes({});
+        CacheManager* cache = coherence_cache_of(self);
         auto instance =
             std::dynamic_pointer_cast<Instance>(original.as_object());
         if (instance == nullptr) {
-          // Remote original: fetch its image through the stub protocol.
+          // Remote original: ask for a delta since our sync point. Peers
+          // that predate the delta protocol reject the two extra arguments;
+          // remember the rejection and use the legacy full fetch from then
+          // on.
+          if (cache != nullptr && cache->peer_supports_delta()) {
+            const auto [uid, version] = cache->pull_sync();
+            try {
+              return original.as_object()->call(
+                  "extractImageFromView",
+                  {Value::integer(static_cast<std::int64_t>(uid)),
+                   Value::integer(static_cast<std::int64_t>(version))});
+            } catch (const minilang::EvalError&) {
+              cache->note_peer_rejects_delta();
+            }
+          }
           return original.as_object()->call("extractImageFromView", {});
+        }
+        if (cache != nullptr) {
+          return Value::bytes(cache->extract_from_original(*instance));
         }
         return Value::bytes(instance_image(*instance));
       },
@@ -171,13 +207,17 @@ std::vector<MethodDef> default_coherence_methods() {
       [](Instance& self, std::vector<Value> args) {
         Value original = original_of(self);
         if (original.is_null()) return Value::null();
+        CacheManager* cache = coherence_cache_of(self);
         auto instance =
             std::dynamic_pointer_cast<Instance>(original.as_object());
         if (instance == nullptr) {
           original.as_object()->call("mergeImageIntoView", {args[0]});
-          return Value::null();
+        } else {
+          merge_instance_image(*instance, args[0].as_bytes());
         }
-        merge_instance_image(*instance, args[0].as_bytes());
+        // The push reached the original: commit the staged sync point so
+        // the next push can be a delta.
+        if (cache != nullptr) cache->note_push_applied();
         return Value::null();
       },
       "/* VIG default: write shared fields back into the original */"));

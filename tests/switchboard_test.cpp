@@ -8,6 +8,7 @@
 #include "switchboard/authorizer.hpp"
 #include "switchboard/channel.hpp"
 #include "switchboard/network.hpp"
+#include "switchboard/replay_window.hpp"
 #include "views/cache.hpp"
 #include "views/vig.hpp"
 
@@ -413,6 +414,86 @@ TEST(Stubs, RmiStubChargesNetwork) {
   const auto before = w.net.stats("client-host", "server-host").messages;
   stub.call("getPhone", {Value::string("x")});
   EXPECT_EQ(w.net.stats("client-host", "server-host").messages, before + 2);
+}
+
+// ---------------------------------------------------------- ReplayWindow
+
+TEST(ReplayWindowTest, BasicAcceptAndDuplicate) {
+  ReplayWindow win;
+  EXPECT_FALSE(win.check_and_insert(0));  // seq 0 is never valid
+  EXPECT_TRUE(win.check_and_insert(1));
+  EXPECT_FALSE(win.check_and_insert(1));  // duplicate
+  EXPECT_TRUE(win.check_and_insert(3));   // gap is fine
+  EXPECT_TRUE(win.check_and_insert(2));   // late arrival inside the window
+  EXPECT_FALSE(win.check_and_insert(2));  // duplicate within window
+  EXPECT_EQ(win.max_seen(), 3u);
+}
+
+TEST(ReplayWindowTest, StaleSequenceRejected) {
+  ReplayWindow win;
+  const std::uint64_t head = ReplayWindow::kSize + 100;
+  EXPECT_TRUE(win.check_and_insert(head));
+  // Exactly kSize behind the head has fallen off the window — stale even
+  // though it was never seen.
+  EXPECT_FALSE(win.check_and_insert(head - ReplayWindow::kSize));
+  // One inside the boundary is still acceptable.
+  EXPECT_TRUE(win.check_and_insert(head - ReplayWindow::kSize + 1));
+}
+
+TEST(ReplayWindowTest, EvictionAtWindowBoundary) {
+  ReplayWindow win;
+  // Fill seqs 1..kSize, then slide by one: seq kSize+1 reuses the bitmap
+  // slot of seq 1, which must have been evicted, while seq 2 (still in
+  // range but already recorded) stays a duplicate.
+  for (std::uint64_t s = 1; s <= ReplayWindow::kSize; ++s) {
+    ASSERT_TRUE(win.check_and_insert(s)) << s;
+  }
+  EXPECT_TRUE(win.check_and_insert(ReplayWindow::kSize + 1));
+  EXPECT_FALSE(win.check_and_insert(1));  // now stale
+  EXPECT_FALSE(win.check_and_insert(2));  // in range, already seen
+  EXPECT_FALSE(win.check_and_insert(ReplayWindow::kSize + 1));  // duplicate
+}
+
+TEST(ReplayWindowTest, FarAheadJumpClearsWindow) {
+  ReplayWindow win;
+  for (std::uint64_t s = 1; s <= 10; ++s) win.check_and_insert(s);
+  // Jump several windows ahead: all old bits must be wiped, and the fresh
+  // in-window range behind the new head must be accepted exactly once.
+  const std::uint64_t head = 10 * ReplayWindow::kSize;
+  EXPECT_TRUE(win.check_and_insert(head));
+  EXPECT_EQ(win.max_seen(), head);
+  EXPECT_TRUE(win.check_and_insert(head - 1));
+  EXPECT_FALSE(win.check_and_insert(head - 1));
+  EXPECT_FALSE(win.check_and_insert(10));  // ancient seq stays dead
+  // The slot seq 5 used to occupy is reused by head - kSize + 5's hash
+  // position; a fresh in-window seq mapping there must not be mistaken for
+  // a replay after the wipe.
+  EXPECT_TRUE(win.check_and_insert(head - ReplayWindow::kSize + 5));
+}
+
+TEST(ReplayWindowTest, ConnectionRejectsReplayedAndStaleFrames) {
+  // End-to-end through the sealed channel: replaying a captured frame and
+  // delivering one that has aged out of the window must both fail closed.
+  ChannelWorld w;
+  auto conn = w.connect();
+  const util::Bytes payload = util::to_bytes("frame");
+  const util::Bytes first = conn->seal(Connection::End::kA, payload);
+  ASSERT_TRUE(conn->unseal(Connection::End::kB, first).ok());
+  auto replay = conn->unseal(Connection::End::kB, first);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.error().code, "replay");
+
+  // Age the captured frame out: push the window kSize frames ahead.
+  util::Bytes stale = conn->seal(Connection::End::kA, payload);
+  for (std::uint64_t i = 0; i < ReplayWindow::kSize; ++i) {
+    ASSERT_TRUE(
+        conn->unseal(Connection::End::kB, conn->seal(Connection::End::kA,
+                                                     payload))
+            .ok());
+  }
+  auto aged = conn->unseal(Connection::End::kB, stale);
+  ASSERT_FALSE(aged.ok());
+  EXPECT_EQ(aged.error().code, "replay");
 }
 
 }  // namespace
