@@ -1,5 +1,6 @@
 #include "drbac/repository.hpp"
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace psf::drbac {
@@ -26,7 +27,12 @@ void Repository::add(DelegationPtr credential) {
   by_subject_[subject_key(credential->subject)].push_back(credential);
   // Bump after the indexes are updated: a proof search that read the old
   // epoch and missed this credential caches under a now-stale epoch.
-  epoch_.fetch_add(1, std::memory_order_release);
+  const std::uint64_t epoch =
+      epoch_.fetch_add(1, std::memory_order_release) + 1;
+  obs::journal::emit(obs::journal::Subsystem::kDrbac,
+                     obs::journal::kDrEpochBump, epoch, credential->serial,
+                     /*kind=*/0,
+                     reinterpret_cast<std::uintptr_t>(this));
   metrics.adds.inc();
   metrics.size.set(static_cast<std::int64_t>(credentials_.size()));
 }
@@ -82,7 +88,12 @@ void Repository::revoke(std::uint64_t serial) {
       }
     }
     subscribers = subscribers_;
-    epoch_.fetch_add(1, std::memory_order_release);
+    const std::uint64_t epoch =
+        epoch_.fetch_add(1, std::memory_order_release) + 1;
+    obs::journal::emit(obs::journal::Subsystem::kDrbac,
+                       obs::journal::kDrEpochBump, epoch, serial,
+                       /*kind=*/1,
+                       reinterpret_cast<std::uintptr_t>(this));
   }
   // The credential can never be used again: drop its verification verdict
   // so no cache layer retains a trace of it.

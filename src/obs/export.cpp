@@ -192,6 +192,34 @@ std::string format_trace(const std::vector<SpanRecord>& spans,
   return os.str();
 }
 
+std::string journal_to_json(const std::vector<journal::Event>& events) {
+  std::ostringstream os;
+  os << "{\n  \"context\": {\n"
+     << "    \"exporter\": \"psf::obs\",\n"
+     << "    \"schema\": \"journal-v1\",\n"
+     << "    \"event_count\": " << events.size() << "\n"
+     << "  },\n  \"events\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const journal::Event& e = events[i];
+    os << "    {\"t_ns\": " << e.t_ns << ", \"thread\": " << e.thread
+       << ", \"subsystem\": ";
+    json_escape(os, journal::subsystem_name(e.subsystem));
+    os << ", \"event\": ";
+    json_escape(os, journal::event_name(e.subsystem, e.code));
+    os << ", \"args\": [";
+    for (int a = 0; a < 4; ++a) {
+      if (a != 0) os << ", ";
+      os << "\"" << hex_id(e.args[a]) << "\"";
+    }
+    os << "], \"trace_id\": \"" << hex_id(e.trace_id) << "\", \"span_id\": \""
+       << hex_id(e.span_id) << "\"}";
+    if (i + 1 < events.size()) os << ",";
+    os << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
 std::string dump_prometheus() {
   return to_prometheus_text(Registry::instance().snapshot());
 }

@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -32,6 +33,10 @@ std::string spans_to_json(const std::vector<SpanRecord>& spans);
 /// parents, with durations. Returns "" when the trace has no spans.
 std::string format_trace(const std::vector<SpanRecord>& spans,
                          TraceId trace_id);
+
+/// `{"context": {...}, "events": [{"subsystem": ..., "event": ..., ...}, ...]}`
+/// Args and IDs are fixed-width hex strings, same convention as spans_to_json.
+std::string journal_to_json(const std::vector<journal::Event>& events);
 
 /// Convenience snapshot-and-export of the process-wide registry/collector.
 std::string dump_prometheus();

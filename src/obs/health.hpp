@@ -1,0 +1,96 @@
+// Health plane (ISSUE 4 tentpole, health half): a process-wide registry of
+// named health checks, each a closure reporting OK / DEGRADED / FAILING with
+// a human-readable reason, rolled up into one node status (the worst check
+// wins). Checks are registered by the layer that owns the signal —
+// Switchboard registers one per live connection, HeartbeatDriver one per
+// driven heartbeat, install_builtin_checks() derives the rest from the
+// metrics registry (journal/span drop rates, cache hit-rate floors,
+// revocation-monitor lag) — and removed via their token when the owner goes
+// away. report() never blocks a hot path: checks read atomics and snapshots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psf::obs {
+
+enum class HealthLevel { kOk = 0, kDegraded = 1, kFailing = 2 };
+
+const char* health_level_name(HealthLevel level);
+
+struct CheckResult {
+  HealthLevel level = HealthLevel::kOk;
+  std::string reason;  // empty for OK is fine; always set when not OK
+
+  static CheckResult ok(std::string reason = "") {
+    return {HealthLevel::kOk, std::move(reason)};
+  }
+  static CheckResult degraded(std::string reason) {
+    return {HealthLevel::kDegraded, std::move(reason)};
+  }
+  static CheckResult failing(std::string reason) {
+    return {HealthLevel::kFailing, std::move(reason)};
+  }
+};
+
+struct HealthReport {
+  struct Entry {
+    std::string name;
+    CheckResult result;
+  };
+  HealthLevel overall = HealthLevel::kOk;  // worst entry (OK when empty)
+  std::vector<Entry> entries;              // sorted by name
+};
+
+class HealthRegistry {
+ public:
+  using Check = std::function<CheckResult()>;
+  using Token = std::uint64_t;  // 0 is never a live token
+
+  /// The process-wide registry (what the Introspect component serves).
+  static HealthRegistry& instance();
+
+  HealthRegistry() = default;
+  HealthRegistry(const HealthRegistry&) = delete;
+  HealthRegistry& operator=(const HealthRegistry&) = delete;
+
+  /// Register a named check. Names need not be unique (two connections
+  /// between the same hosts each get their own row); the token identifies
+  /// the registration.
+  Token add(std::string name, Check check);
+  void remove(Token token);
+
+  /// Run every check and roll up. A check that throws reports FAILING with
+  /// the exception text — a health probe must never take the node down.
+  HealthReport report() const;
+
+  std::size_t size() const;
+  void clear();  // tests
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t next_token_ = 1;
+  std::map<Token, std::pair<std::string, Check>> checks_;
+};
+
+/// Register the standard process-derived checks on the global registry
+/// (idempotent):
+///   obs.journal.drop-rate      journal overwrites vs emitted
+///   obs.spans.drop-rate        span-collector evictions vs recorded
+///   drbac.sigcache.hit-rate    SignatureCache floor (needs >=100 lookups)
+///   drbac.proofcache.hit-rate  ProofCache floor (needs >=100 lookups)
+///   switchboard.revocation-lag suspensions not yet revalidated
+void install_builtin_checks();
+
+/// JSON document: {"status": "ok|degraded|failing", "checks": [...]}.
+std::string health_to_json(const HealthReport& report);
+
+/// Human-readable multi-line rendering (obsd_query, examples).
+std::string health_to_text(const HealthReport& report);
+
+}  // namespace psf::obs

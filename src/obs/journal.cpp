@@ -1,0 +1,306 @@
+#include "obs/journal.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace psf::obs::journal {
+
+namespace {
+
+// Ring size per thread. 4096 * 64 B = 256 KiB per writer thread — deep
+// enough to hold the interesting window around a fault, small enough that a
+// pool of worker threads stays cheap.
+constexpr std::size_t kRingCapacity = 4096;
+static_assert((kRingCapacity & (kRingCapacity - 1)) == 0,
+              "ring indexing relies on a power-of-two capacity");
+
+std::atomic<bool> g_enabled{true};
+
+struct JournalMetrics {
+  Counter& events = counter("psf.obs.journal.events");
+  Counter& dropped = counter("psf.obs.journal.dropped");
+  Counter& drains = counter("psf.obs.journal.drains");
+  static JournalMetrics& get() {
+    static JournalMetrics m;
+    return m;
+  }
+};
+
+/// One thread's ring. The owning thread is the only writer; drainers read
+/// concurrently using the head re-check protocol in snapshot_into().
+struct ThreadRing {
+  // Monotonic write position. slot(i) = slots[i & (kRingCapacity-1)].
+  // Written with release so a drainer's acquire load sees completed slots.
+  alignas(64) std::atomic<std::uint64_t> head{0};
+  std::array<Event, kRingCapacity> slots;
+  std::uint32_t thread_number = 0;
+
+  void snapshot_into(std::vector<Event>& out) const {
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    const std::uint64_t begin = h > kRingCapacity ? h - kRingCapacity : 0;
+    const std::size_t first = out.size();
+    out.reserve(first + static_cast<std::size_t>(h - begin));
+    for (std::uint64_t i = begin; i < h; ++i) {
+      out.push_back(slots[i & (kRingCapacity - 1)]);
+    }
+    // Writers kept going during the copy: any slot whose index is now older
+    // than head' - capacity may have been overwritten mid-read (torn).
+    // Discard exactly those from the front of what we copied.
+    const std::uint64_t h2 = head.load(std::memory_order_acquire);
+    const std::uint64_t safe_begin = h2 > kRingCapacity ? h2 - kRingCapacity : 0;
+    if (safe_begin > begin) {
+      const std::size_t torn =
+          static_cast<std::size_t>(std::min(safe_begin - begin, h - begin));
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(first),
+                out.begin() + static_cast<std::ptrdiff_t>(first + torn));
+    }
+  }
+};
+
+/// Registry of every ring ever created. Rings are kept alive by shared_ptr
+/// after their threads exit so late drains still see their events.
+struct RingRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::uint32_t next_thread_number = 0;
+
+  static RingRegistry& get() {
+    static RingRegistry* r = new RingRegistry();  // never destroyed
+    return *r;
+  }
+};
+
+ThreadRing& local_ring() {
+  thread_local std::shared_ptr<ThreadRing> ring = [] {
+    auto created = std::make_shared<ThreadRing>();
+    RingRegistry& registry = RingRegistry::get();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    created->thread_number = registry.next_thread_number++;
+    registry.rings.push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Terminate-handler chain state.
+std::terminate_handler g_previous_terminate = nullptr;
+std::atomic<bool> g_terminate_installed{false};
+
+[[noreturn]] void terminate_with_dump() {
+  write_fault_dump(std::cerr);
+  if (const char* path = std::getenv("PSF_JOURNAL_FAULT_DUMP");
+      path != nullptr && *path != '\0') {
+    dump(path);
+  }
+  if (g_previous_terminate != nullptr) g_previous_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+std::uint64_t tag(std::string_view name) {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+void emit(Subsystem subsystem, std::uint16_t code, std::uint64_t a0,
+          std::uint64_t a1, std::uint64_t a2, std::uint64_t a3) {
+#ifdef PSF_OBS_NO_JOURNAL
+  (void)subsystem; (void)code; (void)a0; (void)a1; (void)a2; (void)a3;
+  return;
+#else
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  ThreadRing& ring = local_ring();
+  const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
+  Event& slot = ring.slots[h & (kRingCapacity - 1)];
+  const SpanContext ctx = current_context();
+  slot.t_ns = steady_now_ns();
+  slot.trace_id = ctx.trace_id;
+  slot.span_id = ctx.span_id;
+  slot.args[0] = a0;
+  slot.args[1] = a1;
+  slot.args[2] = a2;
+  slot.args[3] = a3;
+  slot.thread = ring.thread_number;
+  slot.subsystem = static_cast<std::uint16_t>(subsystem);
+  slot.code = code;
+  ring.head.store(h + 1, std::memory_order_release);
+  JournalMetrics& metrics = JournalMetrics::get();
+  metrics.events.inc();
+  if (h >= kRingCapacity) metrics.dropped.inc();  // overwrote the oldest slot
+#endif
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::vector<Event> drain() {
+  std::vector<Event> merged;
+  {
+    RingRegistry& registry = RingRegistry::get();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (const auto& ring : registry.rings) ring->snapshot_into(merged);
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Event& a, const Event& b) { return a.t_ns < b.t_ns; });
+  JournalMetrics::get().drains.inc();
+  return merged;
+}
+
+std::vector<Event> tail(std::size_t n) {
+  std::vector<Event> merged = drain();
+  if (merged.size() > n) {
+    merged.erase(merged.begin(),
+                 merged.end() - static_cast<std::ptrdiff_t>(n));
+  }
+  return merged;
+}
+
+std::uint64_t emitted() { return JournalMetrics::get().events.value(); }
+std::uint64_t dropped() { return JournalMetrics::get().dropped.value(); }
+
+void reset() {
+  RingRegistry& registry = RingRegistry::get();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& ring : registry.rings) {
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+// --------------------------------------------------------------- formatting
+
+std::string subsystem_name(std::uint16_t subsystem) {
+  switch (static_cast<Subsystem>(subsystem)) {
+    case Subsystem::kObs: return "Obs";
+    case Subsystem::kSwitchboard: return "Switchboard";
+    case Subsystem::kDrbac: return "dRBAC";
+    case Subsystem::kViews: return "Views";
+    case Subsystem::kPsf: return "PSF";
+  }
+  return std::to_string(subsystem);
+}
+
+std::string event_name(std::uint16_t subsystem, std::uint16_t code) {
+  switch (static_cast<Subsystem>(subsystem)) {
+    case Subsystem::kSwitchboard:
+      switch (code) {
+        case kSwEstablish: return "establish";
+        case kSwEstablishFailed: return "establish-failed";
+        case kSwTeardown: return "teardown";
+        case kSwReplayReject: return "replay-reject";
+        case kSwHeartbeatMiss: return "heartbeat-miss";
+        case kSwRevocation: return "revocation";
+        case kSwSuspend: return "suspend";
+        case kSwRevalidate: return "revalidate";
+      }
+      break;
+    case Subsystem::kDrbac:
+      switch (code) {
+        case kDrEpochBump: return "epoch-bump";
+      }
+      break;
+    case Subsystem::kViews:
+      switch (code) {
+        case kViFullImageFallback: return "full-image-fallback";
+        case kViVigGenerate: return "vig-generate";
+      }
+      break;
+    case Subsystem::kPsf:
+      switch (code) {
+        case kPsRequestOk: return "request-ok";
+        case kPsRequestFailed: return "request-failed";
+      }
+      break;
+    case Subsystem::kObs:
+      switch (code) {
+        case kObFaultDump: return "fault-dump";
+      }
+      break;
+  }
+  return std::to_string(code);
+}
+
+namespace {
+void append_hex(std::ostringstream& os, std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  os << "0x";
+  bool started = false;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const unsigned nibble = (v >> shift) & 0xF;
+    if (!started && nibble == 0 && shift != 0) continue;
+    started = true;
+    os << digits[nibble];
+  }
+}
+}  // namespace
+
+std::string format_event(const Event& event) {
+  std::ostringstream os;
+  os << "t=" << event.t_ns << " thread=" << event.thread << " ["
+     << subsystem_name(event.subsystem) << "/"
+     << event_name(event.subsystem, event.code) << "]";
+  for (const std::uint64_t a : event.args) {
+    os << ' ';
+    append_hex(os, a);
+  }
+  if (event.trace_id != 0) {
+    os << " trace=";
+    append_hex(os, event.trace_id);
+    os << "/";
+    append_hex(os, event.span_id);
+  }
+  return os.str();
+}
+
+void write_events(std::ostream& os, const std::vector<Event>& events) {
+  for (const Event& event : events) os << format_event(event) << "\n";
+}
+
+bool dump(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const std::vector<Event> events = drain();
+  out << "# psf journal dump: " << events.size() << " events ("
+      << dropped() << " older events overwritten)\n";
+  write_events(out, events);
+  emit(Subsystem::kObs, kObFaultDump, events.size());
+  return true;
+}
+
+void write_fault_dump(std::ostream& os, std::size_t max_events) {
+  const std::vector<Event> events = tail(max_events);
+  os << "==== psf flight recorder (" << events.size() << " newest events, "
+     << emitted() << " emitted, " << dropped() << " overwritten) ====\n";
+  write_events(os, events);
+  os << "==== end flight recorder ====" << std::endl;
+}
+
+void install_terminate_handler() {
+  bool expected = false;
+  if (!g_terminate_installed.compare_exchange_strong(expected, true)) return;
+  g_previous_terminate = std::set_terminate(&terminate_with_dump);
+}
+
+}  // namespace psf::obs::journal

@@ -82,6 +82,15 @@ std::vector<SpanRecord> SpanCollector::snapshot() const {
   return out;
 }
 
+std::vector<SpanRecord> SpanCollector::spans_for_trace(TraceId trace_id) const {
+  std::vector<SpanRecord> out;
+  if (trace_id == 0) return out;
+  for (SpanRecord& record : snapshot()) {
+    if (record.trace_id == trace_id) out.push_back(std::move(record));
+  }
+  return out;
+}
+
 std::uint64_t SpanCollector::recorded() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return recorded_;

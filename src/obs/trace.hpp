@@ -57,6 +57,9 @@ class SpanCollector {
   void record(SpanRecord record);
   /// Oldest-first copy of the retained spans.
   std::vector<SpanRecord> snapshot() const;
+  /// The retained spans belonging to one trace, oldest-first — the filter
+  /// behind Introspect.spans_for_trace. trace_id 0 matches nothing.
+  std::vector<SpanRecord> spans_for_trace(TraceId trace_id) const;
 
   std::uint64_t recorded() const;  // total ever recorded
   std::uint64_t dropped() const;   // evicted by the ring bound

@@ -1,6 +1,7 @@
 #include "psf/framework.hpp"
 
 #include "drbac/proof_cache.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "psf/cipher_wiring.hpp"
@@ -266,6 +267,19 @@ util::Result<ClientSession> Psf::request(const ClientRequest& request) {
   obs::ScopedTimerUs timer(metrics.request_us);
   auto result = request_impl(request);
   (result.ok() ? metrics.requests_ok : metrics.requests_failed).inc();
+  if (result.ok()) {
+    obs::journal::emit(obs::journal::Subsystem::kPsf,
+                       obs::journal::kPsRequestOk,
+                       obs::journal::tag(request.service),
+                       obs::journal::tag(request.client_node),
+                       obs::journal::tag(result.value().view_name));
+  } else {
+    obs::journal::emit(obs::journal::Subsystem::kPsf,
+                       obs::journal::kPsRequestFailed,
+                       obs::journal::tag(request.service),
+                       obs::journal::tag(request.client_node),
+                       obs::journal::tag(result.error().code));
+  }
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include "crypto/dh.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/health.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -108,6 +110,7 @@ struct ChannelMetrics {
       obs::gauge("psf.switchboard.heartbeat.rtt_ns");
   obs::Counter& suspensions = obs::counter("psf.switchboard.suspensions");
   obs::Counter& revalidations = obs::counter("psf.switchboard.revalidations");
+  obs::Counter& teardowns = obs::counter("psf.switchboard.teardowns");
   static ChannelMetrics& get() {
     static ChannelMetrics m;
     return m;
@@ -126,6 +129,10 @@ util::Result<std::shared_ptr<Connection>> Connection::establish(
   auto fail = [&](const char* code, std::string message) {
     timer.cancel();
     metrics.handshake_failures.inc();
+    obs::journal::emit(obs::journal::Subsystem::kSwitchboard,
+                       obs::journal::kSwEstablishFailed,
+                       obs::journal::tag(a.host()), obs::journal::tag(b.host()),
+                       obs::journal::tag(code));
     return Fail::failure(code, std::move(message));
   };
 
@@ -208,10 +215,35 @@ util::Result<std::shared_ptr<Connection>> Connection::establish(
   connection->stats_.handshake_time = elapsed;
   metrics.handshakes.inc();
   metrics.handshake_sim_ns.observe(elapsed);
+  obs::journal::emit(obs::journal::Subsystem::kSwitchboard,
+                     obs::journal::kSwEstablish, obs::journal::tag(a.host()),
+                     obs::journal::tag(b.host()),
+                     static_cast<std::uint64_t>(elapsed));
+
+  // Per-connection health row. The weak_ptr keeps the check safe against a
+  // probe racing connection destruction (the destructor also removes it).
+  std::weak_ptr<Connection> weak = connection;
+  connection->health_token_ = obs::HealthRegistry::instance().add(
+      "switchboard.conn." + a.host() + "-" + b.host(), [weak] {
+        auto conn = weak.lock();
+        if (conn == nullptr) return obs::CheckResult::ok("connection gone");
+        if (!conn->open()) {
+          return obs::CheckResult::failing("closed: " + conn->close_reason());
+        }
+        if (conn->suspended(End::kA) || conn->suspended(End::kB)) {
+          return obs::CheckResult::degraded(
+              "end suspended pending revalidation");
+        }
+        return obs::CheckResult::ok("open");
+      });
   return util::Result<std::shared_ptr<Connection>>(std::move(connection));
 }
 
-Connection::~Connection() = default;
+Connection::~Connection() {
+  if (health_token_ != 0) {
+    obs::HealthRegistry::instance().remove(health_token_);
+  }
+}
 
 void Connection::install_monitor(End end) {
   const int i = index(end);
@@ -227,6 +259,9 @@ void Connection::install_monitor(End end) {
       [this, end](const drbac::Proof&, std::uint64_t serial) {
         suspended_[index(end)].store(true);
         ChannelMetrics::get().suspensions.inc();
+        obs::journal::emit(obs::journal::Subsystem::kSwitchboard,
+                           obs::journal::kSwRevocation, serial,
+                           static_cast<std::uint64_t>(index(end)));
         std::function<void(End, const std::string&)> listener;
         {
           std::lock_guard<std::mutex> lock(mutex_);
@@ -289,6 +324,9 @@ util::Result<std::size_t> Connection::unseal_into(End receiver,
     std::lock_guard<std::mutex> lock(mutex_);
     if (!recv_window_[dir].check_and_insert(seq)) {
       ChannelMetrics::get().replay_rejections.inc();
+      obs::journal::emit(obs::journal::Subsystem::kSwitchboard,
+                         obs::journal::kSwReplayReject, seq,
+                         static_cast<std::uint64_t>(dir));
       return Fail::failure("replay", "replayed or stale frame (seq " +
                                          std::to_string(seq) + ")");
     }
@@ -483,11 +521,21 @@ void Connection::heartbeat() {
         boards_[index(end)]->host(), boards_[index(other(end))]->host(),
         frame.size());
     if (!t.has_value()) {
+      obs::journal::emit(obs::journal::Subsystem::kSwitchboard,
+                         obs::journal::kSwHeartbeatMiss,
+                         obs::journal::tag(boards_[0]->host()),
+                         obs::journal::tag(boards_[1]->host()),
+                         obs::journal::tag("no-route"));
       close("liveness lost: no route");
       return;
     }
     auto unsealed = unseal_into(other(end), frame, plain);
     if (!unsealed.ok()) {
+      obs::journal::emit(obs::journal::Subsystem::kSwitchboard,
+                         obs::journal::kSwHeartbeatMiss,
+                         obs::journal::tag(boards_[0]->host()),
+                         obs::journal::tag(boards_[1]->host()),
+                         obs::journal::tag("corruption"));
       close("heartbeat corruption: " + unsealed.error().message);
       return;
     }
@@ -515,6 +563,10 @@ void Connection::heartbeat() {
     drbac::Engine engine(repo);
     if (!engine.validate(proofs_[i], now) && !suspended_[i].load()) {
       suspended_[i].store(true);
+      obs::journal::emit(obs::journal::Subsystem::kSwitchboard,
+                         obs::journal::kSwSuspend,
+                         static_cast<std::uint64_t>(i),
+                         obs::journal::tag("proof-invalid"));
       std::function<void(End, const std::string&)> listener;
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -535,6 +587,9 @@ bool Connection::revalidate(End end) {
   proofs_[i] = std::move(proof).take();
   suspended_[i].store(false);
   ChannelMetrics::get().revalidations.inc();
+  obs::journal::emit(obs::journal::Subsystem::kSwitchboard,
+                     obs::journal::kSwRevalidate,
+                     static_cast<std::uint64_t>(i));
   install_monitor(end);
   std::function<void(End, const std::string&)> listener;
   {
@@ -548,6 +603,12 @@ bool Connection::revalidate(End end) {
 void Connection::close(const std::string& reason) {
   bool was_open = open_.exchange(false);
   if (!was_open) return;
+  ChannelMetrics::get().teardowns.inc();
+  obs::journal::emit(obs::journal::Subsystem::kSwitchboard,
+                     obs::journal::kSwTeardown,
+                     obs::journal::tag(boards_[0]->host()),
+                     obs::journal::tag(boards_[1]->host()),
+                     obs::journal::tag(reason));
   std::lock_guard<std::mutex> lock(mutex_);
   close_reason_ = reason;
 }

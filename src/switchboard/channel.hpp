@@ -174,6 +174,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   ReplayWindow recv_window_[2];
 
   std::atomic<bool> open_{false};
+  // Health-plane registration ("switchboard.conn.<a>-<b>"), made at establish
+  // and removed by the destructor. 0 = never registered.
+  std::uint64_t health_token_ = 0;
   mutable std::mutex mutex_;
   std::string close_reason_;
   std::function<void(End, const std::string&)> listener_;

@@ -1,13 +1,46 @@
 #include "switchboard/heartbeat.hpp"
 
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 
 namespace psf::switchboard {
 
+namespace {
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
 HeartbeatDriver::HeartbeatDriver(std::shared_ptr<Connection> connection,
                                  std::chrono::milliseconds period)
     : connection_(std::move(connection)),
-      thread_([this, period] { loop(period); }) {}
+      beat_state_(std::make_shared<BeatState>()),
+      thread_([this, period] { loop(period); }) {
+  beat_state_->period_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(period).count();
+  beat_state_->last_beat_ns.store(steady_now_ns());
+  // Health-plane staleness row: a driver that has not beaten in a few periods
+  // means the beat thread is wedged or the connection probe is hanging.
+  const auto state = beat_state_;
+  health_token_ = obs::HealthRegistry::instance().add(
+      "switchboard.heartbeat." + connection_->board(Connection::End::kA).host() +
+          "-" + connection_->board(Connection::End::kB).host(),
+      [state] {
+        if (state->stopped.load()) return obs::CheckResult::ok("stopped");
+        const std::int64_t age =
+            steady_now_ns() - state->last_beat_ns.load();
+        const std::int64_t period_ns = state->period_ns;
+        if (period_ns <= 0) return obs::CheckResult::ok("not started");
+        const std::string reason =
+            "last beat " + std::to_string(age / 1000000) + " ms ago (period " +
+            std::to_string(period_ns / 1000000) + " ms)";
+        if (age > 10 * period_ns) return obs::CheckResult::failing(reason);
+        if (age > 3 * period_ns) return obs::CheckResult::degraded(reason);
+        return obs::CheckResult::ok(reason);
+      });
+}
 
 HeartbeatDriver::~HeartbeatDriver() {
   stop();
@@ -18,6 +51,11 @@ void HeartbeatDriver::stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopped_.store(true);
+  }
+  beat_state_->stopped.store(true);
+  if (health_token_ != 0) {
+    obs::HealthRegistry::instance().remove(health_token_);
+    health_token_ = 0;
   }
   cv_.notify_all();
 }
@@ -31,9 +69,11 @@ void HeartbeatDriver::loop(std::chrono::milliseconds period) {
     lock.unlock();
     connection_->heartbeat();
     beats_.fetch_add(1);
+    beat_state_->last_beat_ns.store(steady_now_ns());
     obs::counter("psf.switchboard.heartbeat.driver.beats").inc();
     if (!connection_->open()) {
       stopped_.store(true);
+      beat_state_->stopped.store(true);
       lock.lock();
       return;
     }

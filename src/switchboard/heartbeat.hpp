@@ -32,7 +32,17 @@ class HeartbeatDriver {
  private:
   void loop(std::chrono::milliseconds period);
 
+  // Shared with the health-plane staleness check so a probe can outlive the
+  // driver without touching freed memory.
+  struct BeatState {
+    std::atomic<std::int64_t> last_beat_ns{0};  // steady clock
+    std::atomic<bool> stopped{false};
+    std::int64_t period_ns = 0;
+  };
+
   std::shared_ptr<Connection> connection_;
+  std::shared_ptr<BeatState> beat_state_;
+  std::uint64_t health_token_ = 0;
   std::atomic<std::uint64_t> beats_{0};
   std::atomic<bool> stopped_{false};
   std::mutex mutex_;

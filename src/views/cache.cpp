@@ -5,6 +5,7 @@
 
 #include "minilang/interp.hpp"
 #include "minilang/value_codec.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace psf::views {
@@ -271,8 +272,12 @@ util::Bytes instance_image_framed(const Instance& instance) {
     image[name] = value;
   }
   CacheMetrics::get().delta_full_syncs.inc();
-  return encode_image(std::move(image), instance, /*framed=*/true, 0,
-                      nullptr);
+  util::Bytes framed = encode_image(std::move(image), instance,
+                                    /*framed=*/true, 0, nullptr);
+  obs::journal::emit(obs::journal::Subsystem::kViews,
+                     obs::journal::kViFullImageFallback, instance.uid(),
+                     framed.size());
+  return framed;
 }
 
 util::Bytes instance_image_since(const Instance& instance,

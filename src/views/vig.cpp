@@ -7,6 +7,7 @@
 #include "minilang/interp.hpp"
 #include "minilang/parser.hpp"
 #include "minilang/value_codec.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "views/cache.hpp"
@@ -552,6 +553,9 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
   registry_->register_class(view);
   ++stats_.generated;
   metrics.generated.inc();
+  obs::journal::emit(obs::journal::Subsystem::kViews,
+                     obs::journal::kViVigGenerate, obs::journal::tag(def.name),
+                     obs::journal::tag(def.represents));
   return view;
 }
 

@@ -1,15 +1,20 @@
 // obs_dump: run the mail case study as a representative workload, then dump
 // the process-wide observability state.
 //
-//   obs_dump            Prometheus text exposition (default, same as --text)
-//   obs_dump --json     metrics snapshot in the BENCH_*.json convention
-//   obs_dump --spans    span ring buffer as JSON
-//   obs_dump --trace    human-readable tree of one cross-host trace
+//   obs_dump                Prometheus text exposition (default)
+//   obs_dump --prometheus   same, spelled out (--text is the legacy alias)
+//   obs_dump --json         metrics snapshot in the BENCH_*.json convention
+//   obs_dump --spans        span ring buffer as JSON
+//   obs_dump --journal      flight-recorder event journal as JSON
+//   obs_dump --trace        human-readable tree of one cross-host trace
+//
+// Unknown arguments exit 2.
 #include <iostream>
 #include <string>
 
 #include "mail/scenario.hpp"
 #include "obs/export.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -46,18 +51,21 @@ void run_workload() {
 }
 
 int usage() {
-  std::cerr << "usage: obs_dump [--text|--json|--spans|--trace]\n";
+  std::cerr
+      << "usage: obs_dump [--prometheus|--text|--json|--spans|--journal|"
+         "--trace]\n";
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string mode = "--text";
+  std::string mode = "--prometheus";
   if (argc > 2) return usage();
   if (argc == 2) mode = argv[1];
-  if (mode != "--text" && mode != "--json" && mode != "--spans" &&
-      mode != "--trace") {
+  if (mode == "--text") mode = "--prometheus";  // legacy spelling
+  if (mode != "--prometheus" && mode != "--json" && mode != "--spans" &&
+      mode != "--journal" && mode != "--trace") {
     return usage();
   }
 
@@ -65,6 +73,8 @@ int main(int argc, char** argv) {
 
   if (mode == "--json") {
     std::cout << psf::obs::dump_json() << "\n";
+  } else if (mode == "--journal") {
+    std::cout << psf::obs::journal_to_json(psf::obs::journal::drain()) << "\n";
   } else if (mode == "--spans") {
     std::cout << psf::obs::spans_to_json(
                      psf::obs::SpanCollector::instance().snapshot())

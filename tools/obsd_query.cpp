@@ -1,0 +1,180 @@
+// obsd_query: remote introspection client for the view-served observability
+// surface (ISSUE 4 tentpole, part c).
+//
+// Builds the mail scenario, runs a representative workload on it, installs
+// the Introspect service on ny-server, then queries it *remotely* — the
+// query client runs on ny-pc and every byte travels through an
+// authenticated, sealed Switchboard connection into a VIG-generated view of
+// the Introspect component.
+//
+//   obsd_query [--as admin|viewer|anonymous] [metrics|health|journal [n]|
+//               spans [trace-id]|all]
+//
+//   --as admin      holds Admin.Monitor: full surface (default)
+//   --as viewer     holds Admin.Viewer: metrics+health view only; the deep
+//                   methods do not exist on the generated view class
+//   --as anonymous  no Admin credential: the ACL denies the request
+//
+// Unknown arguments exit 2; denied access or failed queries exit 1.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mail/scenario.hpp"
+#include "obs/journal.hpp"
+#include "obs/trace.hpp"
+#include "psf/introspect.hpp"
+
+namespace {
+
+using psf::framework::ClientRequest;
+using psf::mail::Scenario;
+using psf::minilang::Value;
+
+int usage() {
+  std::cerr << "usage: obsd_query [--as admin|viewer|anonymous] "
+               "[metrics|health|journal [n]|spans [trace-id]|all]\n";
+  return 2;
+}
+
+// Same representative workload as obs_dump: three clients, RPC + coherence
+// traffic, heartbeats, and a revocation, so the journal/spans have real
+// content for the introspection surface to report.
+void run_workload(Scenario& s) {
+  psf::framework::Psf& psf = *s.psf;
+  auto alice = psf.request(s.request_for(s.alice, Scenario::kNyPc));
+  auto bob = psf.request(s.request_for(s.bob, Scenario::kSdPc));
+  auto charlie = psf.request(s.request_for(s.charlie, Scenario::kSePc));
+  alice.value().view->call("addMeeting", {Value::string("bob")});
+  bob.value().view->call(
+      "sendMessage",
+      {psf::mail::make_message("bob", "alice", "hi", "lunch?")});
+  charlie.value().view->call("getPhone", {Value::string("alice")});
+  alice.value().connection->heartbeat();
+  bob.value().connection->heartbeat();
+  psf.repository().revoke(s.cred(11)->serial);
+  try {
+    bob.value().view->call("getPhone", {Value::string("alice")});
+  } catch (const psf::minilang::EvalError&) {
+    // Expected: the revocation suspended Bob's end.
+  }
+}
+
+std::string latest_dispatch_trace_hex() {
+  const auto spans = psf::obs::SpanCollector::instance().snapshot();
+  for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+    if (it->name == "switchboard.dispatch") {
+      char buffer[17];
+      std::snprintf(buffer, sizeof(buffer), "%016llx",
+                    static_cast<unsigned long long>(it->trace_id));
+      return buffer;
+    }
+  }
+  return "0";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string role = "admin";
+  std::string command = "all";
+  std::string argument;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--as") {
+      if (i + 1 >= args.size()) return usage();
+      role = args[++i];
+    } else if (args[i] == "metrics" || args[i] == "health" ||
+               args[i] == "journal" || args[i] == "spans" ||
+               args[i] == "all") {
+      command = args[i];
+      if ((command == "journal" || command == "spans") &&
+          i + 1 < args.size()) {
+        argument = args[++i];
+      }
+    } else {
+      return usage();
+    }
+  }
+  if (role != "admin" && role != "viewer" && role != "anonymous") {
+    return usage();
+  }
+
+  Scenario s = psf::mail::build_scenario();
+  psf::framework::Psf& psf = *s.psf;
+
+  psf::framework::IntrospectOptions options;
+  options.node = Scenario::kNyServer;
+  auto installed = psf::framework::install_introspection(psf, options);
+  if (!installed.ok()) {
+    std::cerr << "install_introspection: " << installed.error().message
+              << "\n";
+    return 1;
+  }
+
+  run_workload(s);
+
+  // Operator principals, credentialed in the Admin domain.
+  psf::framework::Guard* admin_guard = psf.guard(options.domain);
+  ClientRequest request;
+  request.client_node = Scenario::kNyPc;  // remote from the introspected node
+  request.service = options.service_name;
+  if (role == "admin") {
+    request.identity = admin_guard->create_principal("Operator");
+    request.credentials = {admin_guard->grant(
+        psf::drbac::Principal::of_entity(request.identity), "Monitor")};
+  } else if (role == "viewer") {
+    request.identity = admin_guard->create_principal("Auditor");
+    request.credentials = {admin_guard->grant(
+        psf::drbac::Principal::of_entity(request.identity), "Viewer")};
+  } else {
+    request.identity = psf::drbac::Entity::create("Nobody", psf.rng());
+  }
+
+  auto session = psf.request(request);
+  if (!session.ok()) {
+    std::cerr << "request denied: " << session.error().message << "\n";
+    return 1;
+  }
+  std::cerr << "connected: view " << session.value().view_name << " on "
+            << session.value().client_node << " -> "
+            << session.value().provider_node << " (switchboard)\n";
+  auto& view = *session.value().view;
+
+  auto query = [&](const std::string& method,
+                   std::vector<Value> call_args) -> int {
+    try {
+      const Value out = view.call(method, std::move(call_args));
+      std::cout << out.as_string() << "\n";
+      return 0;
+    } catch (const psf::minilang::EvalError& e) {
+      std::cerr << method << ": denied by view (" << e.what() << ")\n";
+      return 1;
+    }
+  };
+
+  int rc = 0;
+  const std::int64_t tail_n =
+      argument.empty() ? 64 : std::strtoll(argument.c_str(), nullptr, 10);
+  const std::string trace_hex =
+      argument.empty() ? latest_dispatch_trace_hex() : argument;
+  if (command == "metrics" || command == "all") {
+    if (command == "all") std::cout << "==== metrics ====\n";
+    rc |= query("metrics_snapshot", {});
+  }
+  if (command == "health" || command == "all") {
+    if (command == "all") std::cout << "==== health ====\n";
+    rc |= query("health", {});
+  }
+  if (command == "journal" || command == "all") {
+    if (command == "all") std::cout << "==== journal ====\n";
+    rc |= query("journal_tail", {Value::integer(tail_n)});
+  }
+  if (command == "spans" || command == "all") {
+    if (command == "all") std::cout << "==== spans ====\n";
+    rc |= query("spans_for_trace", {Value::string(trace_hex)});
+  }
+  return rc;
+}
