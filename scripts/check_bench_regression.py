@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""CI bench regression gate.
+
+Compares BENCH_*.json snapshots (bench_util.hpp psf-bench-v1 schema) against
+the committed baselines in bench/baselines.json and fails if any gated metric
+regresses beyond its tolerance.
+
+Metric paths are "<bench>/measurements/<name>" or "<bench>/derived/<key>".
+For direction "lower" (latencies) the measured value must be at most
+baseline * (1 + tolerance); for "higher" (ratios, throughput) it must be at
+least baseline * (1 - tolerance).
+
+Usage: check_bench_regression.py --bench-dir bench_out \
+           [--baselines bench/baselines.json]
+Exit status: 0 = all gated metrics within tolerance, 1 = regression or a
+gated metric/snapshot is missing, 2 = bad arguments / malformed input.
+"""
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_snapshots(bench_dir):
+    snapshots = {}
+    for path in sorted(glob.glob(os.path.join(bench_dir, "BENCH_*.json"))):
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except json.JSONDecodeError as e:
+            sys.exit(f"malformed snapshot {path}: {e}")
+        if doc.get("schema") != "psf-bench-v1":
+            sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+        snapshots[doc["bench"]] = doc
+    return snapshots
+
+
+def lookup(snapshots, metric_path):
+    parts = metric_path.split("/")
+    if len(parts) != 3 or parts[1] not in ("measurements", "derived"):
+        sys.exit(f"bad metric path {metric_path!r} "
+                 "(want <bench>/measurements|derived/<name>)")
+    bench, kind, name = parts
+    doc = snapshots.get(bench)
+    if doc is None:
+        return None
+    if kind == "derived":
+        return doc["derived"].get(name)
+    for m in doc["measurements"]:
+        if m["name"] == name:
+            return m["value"]
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench-dir", required=True,
+                        help="directory holding BENCH_*.json snapshots")
+    parser.add_argument("--baselines", default="bench/baselines.json")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baselines) as f:
+            baselines = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"cannot load baselines {args.baselines}: {e}")
+    if baselines.get("schema") != "psf-bench-baselines-v1":
+        sys.exit(f"{args.baselines}: unexpected schema")
+
+    snapshots = load_snapshots(args.bench_dir)
+    failures = []
+    for metric_path, gate in baselines["metrics"].items():
+        baseline = gate["baseline"]
+        tolerance = gate["tolerance"]
+        direction = gate["direction"]
+        value = lookup(snapshots, metric_path)
+        if value is None:
+            failures.append(f"{metric_path}: metric missing from snapshots")
+            continue
+        if direction == "lower":
+            limit = baseline * (1 + tolerance)
+            ok = value <= limit
+            verdict = f"value {value} <= limit {limit:.3f}"
+        elif direction == "higher":
+            limit = baseline * (1 - tolerance)
+            ok = value >= limit
+            verdict = f"value {value} >= limit {limit:.3f}"
+        else:
+            sys.exit(f"{metric_path}: bad direction {direction!r}")
+        status = "ok" if ok else "REGRESSION"
+        print(f"{status:>10}  {metric_path}: {verdict} "
+              f"(baseline {baseline}, tolerance {tolerance:.0%})")
+        if not ok:
+            failures.append(f"{metric_path}: {verdict} FAILED")
+
+    if failures:
+        print(f"\n{len(failures)} gated metric(s) regressed:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baselines['metrics'])} gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,270 @@
+#include "analysis/model.hpp"
+
+#include <algorithm>
+
+#include "analysis/ast_scan.hpp"
+#include "minilang/interp.hpp"
+#include "minilang/parser.hpp"
+
+namespace psf::analysis {
+
+using minilang::Binding;
+using minilang::ClassRegistry;
+using minilang::InterfaceDef;
+using minilang::MethodDef;
+using minilang::Visibility;
+using views::MethodSpec;
+using views::ViewDefinition;
+
+namespace {
+
+bool is_builtin(const std::string& name) {
+  const auto& builtins = minilang::builtin_names();
+  return std::find(builtins.begin(), builtins.end(), name) != builtins.end();
+}
+
+}  // namespace
+
+ViewModel build_view_model(const ViewDefinition& def,
+                           const ClassRegistry& registry, bool auto_coherence,
+                           DiagnosticSink& sink) {
+  ViewModel model;
+  auto span = [&](const std::string& where, std::size_t line = 0) {
+    return Span{def.name, where, line};
+  };
+
+  model.represented = registry.find_class(def.represents);
+  if (model.represented == nullptr) {
+    sink.error("PSA001", span("represented object"),
+               "class '" + def.represents + "' is not known",
+               "check the <Represents name=.../> rule");
+    return model;  // nothing else is checkable without the original
+  }
+  model.chain = registry.chain(*model.represented);
+  for (const auto& cls : model.chain) {
+    for (const auto& f : cls->fields) model.represented_fields.insert(f.name);
+  }
+  model.removed.insert(def.removed_methods.begin(), def.removed_methods.end());
+
+  auto add_method = [&](MethodModel m, const std::string& where) {
+    if (model.method_index.count(m.name) > 0) {
+      sink.error("PSA005", span(where), "defined more than once",
+                 "remove the duplicate MSign/MBody pair");
+      return;
+    }
+    model.method_index[m.name] = model.methods.size();
+    model.methods.push_back(std::move(m));
+  };
+
+  // ---- (1) interfaces: local copies and remote stubs (vig.cpp order) ----
+  std::set<std::string> removal_used;
+  for (const auto& restriction : def.interfaces) {
+    const InterfaceDef* iface = registry.find_interface(restriction.name);
+    if (iface == nullptr) {
+      sink.error("PSA002", span("interface " + restriction.name),
+                 "interface is not known",
+                 "declare the interface or remove the <Interface> rule");
+      continue;
+    }
+    bool implemented = false;
+    for (const auto& cls : model.chain) {
+      if (std::find(cls->interfaces.begin(), cls->interfaces.end(),
+                    restriction.name) != cls->interfaces.end()) {
+        implemented = true;
+        break;
+      }
+    }
+    if (!implemented) {
+      sink.error("PSA003", span("interface " + restriction.name),
+                 "represented object '" + def.represents +
+                     "' does not implement it",
+                 "views may only restrict interfaces of the original object");
+      continue;
+    }
+    model.exposed_interfaces.insert(restriction.name);
+    model.bindings[restriction.name] = restriction.binding;
+
+    for (const auto& sig : iface->methods) {
+      if (model.removed.count(sig.name) > 0) {
+        removal_used.insert(sig.name);
+        continue;
+      }
+      if (restriction.binding == Binding::kLocal) {
+        const MethodDef* impl =
+            registry.resolve_method(*model.represented, sig.name);
+        if (impl == nullptr) {
+          sink.error("PSA004", span("interface " + restriction.name),
+                     "method '" + sig.name + "' has no implementation in '" +
+                         def.represents + "'",
+                     "implement it on the represented object or bind the "
+                     "interface as rmi/switchboard");
+          continue;
+        }
+        MethodModel m;
+        m.name = sig.name;
+        m.params = sig.params;
+        m.origin = MethodModel::Origin::kCopiedLocal;
+        m.interface_name = restriction.name;
+        m.binding = restriction.binding;
+        m.visibility = impl->visibility;
+        m.body = impl->is_native ? nullptr : &impl->body;
+        add_method(std::move(m), "method " + sig.name);
+      } else {
+        MethodModel m;
+        m.name = sig.name;
+        m.params = sig.params;
+        m.origin = MethodModel::Origin::kStub;
+        m.interface_name = restriction.name;
+        m.binding = restriction.binding;
+        add_method(std::move(m), "method " + sig.name);
+      }
+    }
+    if (restriction.binding != Binding::kLocal) {
+      model.wiring_fields.insert(
+          views::stub_field_name(restriction.name, restriction.binding));
+    }
+  }
+
+  // ---- (2) added and customized methods from the XML ----
+  auto splice = [&](const MethodSpec& spec, bool customize) {
+    if (customize &&
+        registry.resolve_method(*model.represented, spec.name) == nullptr) {
+      sink.error("PSA006", span("method " + spec.name),
+                 "customizes a method that does not exist on '" +
+                     def.represents + "'",
+                 "move it to <Adds_Methods> or fix the method name");
+      return;
+    }
+    auto parsed = minilang::parse_block_source(spec.body);
+    if (!parsed.ok()) {
+      sink.error("PSA007", span("method " + spec.name),
+                 "body does not parse: " + parsed.error().message,
+                 "correct the MBody code");
+      return;
+    }
+    MethodModel m;
+    m.name = spec.name;
+    m.params = spec.params;
+    m.origin = customize ? MethodModel::Origin::kCustomized
+                         : MethodModel::Origin::kAdded;
+    m.owned_body = std::make_shared<std::vector<minilang::StmtPtr>>(
+        std::move(parsed).take());
+    m.body = m.owned_body.get();
+    if (customize) {
+      // Replace the interface-pass copy/stub, keeping its exposure metadata.
+      auto it = model.method_index.find(spec.name);
+      if (it != model.method_index.end()) {
+        MethodModel& existing = model.methods[it->second];
+        m.interface_name = existing.interface_name;
+        m.binding = existing.binding;
+        existing = std::move(m);
+        return;
+      }
+    }
+    add_method(std::move(m), "method " + spec.name);
+  };
+  for (const auto& spec : def.added_methods) splice(spec, /*customize=*/false);
+  for (const auto& spec : def.customized_methods) {
+    splice(spec, /*customize=*/true);
+  }
+
+  for (const auto& name : model.removed) {
+    if (removal_used.count(name) == 0) {
+      sink.error("PSA008", span("removed method " + name),
+                 "does not name a method of any restricted interface",
+                 "fix the name or drop the <Method> entry under "
+                 "<Removes_Methods>");
+    }
+  }
+
+  if (model.method_index.count("constructor") == 0) {
+    sink.error("PSA009", span("constructor"), "view defines no constructor",
+               "add an MSign/MBody pair for 'constructor(...)' under "
+               "<Adds_Methods>");
+  }
+
+  for (const char* name : views::kCoherenceMethods) {
+    if (model.method_index.count(name) > 0) continue;
+    if (auto_coherence) {
+      MethodModel m;
+      m.name = name;
+      if (std::string(name) == "mergeImageIntoView" ||
+          std::string(name) == "mergeImageIntoObj") {
+        m.params = {"image"};
+      }
+      m.origin = MethodModel::Origin::kCoherenceDefault;
+      add_method(std::move(m), std::string("method ") + name);
+    } else {
+      sink.error("PSA011", span(std::string("method ") + name),
+                 "cache-coherence method is missing",
+                 "provide it under <Adds_Methods> or enable auto_coherence");
+    }
+  }
+
+  // ---- (3) fields ----
+  for (const auto& field : def.added_fields) {
+    if (model.wiring_fields.count(field.name) > 0) {
+      sink.error("PSA010", span("field " + field.name),
+                 "added field collides with a stub field",
+                 "rename the field in <Adds_Fields>");
+      continue;
+    }
+    model.added_fields.insert(field.name);
+    model.view_fields.insert(field.name);
+  }
+  model.wiring_fields.insert("cacheManager");
+  model.view_fields.insert(model.wiring_fields.begin(),
+                           model.wiring_fields.end());
+
+  // Deep members: interface methods of the represented chain the view does
+  // not expose (and does not redefine itself).
+  for (const auto& cls : model.chain) {
+    for (const auto& iface_name : cls->interfaces) {
+      if (model.exposed_interfaces.count(iface_name) > 0) continue;
+      const InterfaceDef* iface = registry.find_interface(iface_name);
+      if (iface == nullptr) continue;
+      for (const auto& sig : iface->methods) {
+        if (model.method_index.count(sig.name) == 0) {
+          model.deep_method_names.insert(sig.name);
+        }
+      }
+    }
+  }
+
+  // ---- (4) VIG's on-use copy mechanics: fields copied because a body uses
+  // them, methods copied because a body calls them (indexed loop — copies
+  // append). No diagnostics here; the field-reachability pass reports what
+  // failed to resolve.
+  for (std::size_t i = 0; i < model.methods.size(); ++i) {
+    const MethodModel& m = model.methods[i];
+    if (m.body == nullptr) continue;
+    for (const Ref& ref : free_refs(*m.body, m.params)) {
+      if (ref.kind == Ref::Kind::kVar) {
+        if (model.view_fields.count(ref.name) > 0) continue;
+        if (model.represented_fields.count(ref.name) > 0) {
+          model.view_fields.insert(ref.name);  // copied from the chain
+        }
+      } else {
+        if (is_builtin(ref.name) || model.method_index.count(ref.name) > 0) {
+          continue;
+        }
+        const MethodDef* impl =
+            registry.resolve_method(*model.represented, ref.name);
+        if (impl == nullptr) continue;  // reachability pass reports it
+        MethodModel copy;
+        copy.name = impl->name;
+        copy.params = impl->params;
+        copy.origin = MethodModel::Origin::kCopiedTransitive;
+        copy.visibility = impl->visibility;
+        copy.body = impl->is_native ? nullptr : &impl->body;
+        model.method_index[copy.name] = model.methods.size();
+        model.methods.push_back(std::move(copy));
+      }
+    }
+  }
+
+  model.valid = true;
+  return model;
+}
+
+}  // namespace psf::analysis

@@ -1,0 +1,94 @@
+// Resolved view model: what the view class *will* look like after VIG
+// generation — copied interface methods, remote stubs, spliced XML methods,
+// default or custom coherence handlers, transitively copied helpers, and the
+// final field set. build_view_model() performs the structural validation
+// (the checks vig.cpp used to run inline, now with stable PSA00x codes) and
+// the semantic passes then reason over the model without re-deriving VIG's
+// generation mechanics.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "minilang/object.hpp"
+#include "views/view_def.hpp"
+
+namespace psf::analysis {
+
+struct MethodModel {
+  enum class Origin {
+    kCopiedLocal,        // copied from the represented chain (local binding)
+    kStub,               // synthesized rmi/switchboard forwarding stub
+    kAdded,              // spliced from <Adds_Methods>
+    kCustomized,         // spliced from <Customizes_Methods>
+    kCoherenceDefault,   // VIG-synthesized default coherence handler
+    kCopiedTransitive,   // copied because a view method calls it
+  };
+
+  std::string name;
+  std::vector<std::string> params;
+  Origin origin = Origin::kAdded;
+  std::string interface_name;  // declaring *exposed* interface, "" otherwise
+  minilang::Binding binding = minilang::Binding::kLocal;
+  minilang::Visibility visibility = minilang::Visibility::kPublic;
+
+  /// Parsed body; nullptr for stubs, natives, and default coherence
+  /// handlers (they have no analyzable minilang source).
+  const std::vector<minilang::StmtPtr>* body = nullptr;
+  /// Storage for bodies the model parsed itself (XML splices).
+  std::shared_ptr<std::vector<minilang::StmtPtr>> owned_body;
+
+  bool user_written() const {
+    return origin == Origin::kAdded || origin == Origin::kCustomized;
+  }
+};
+
+struct ViewModel {
+  /// Null when <Represents> names an unknown class (analysis stops there).
+  std::shared_ptr<const minilang::ClassDef> represented;
+  std::vector<std::shared_ptr<const minilang::ClassDef>> chain;
+
+  std::vector<MethodModel> methods;            // deterministic build order
+  std::map<std::string, std::size_t> method_index;
+
+  std::set<std::string> view_fields;        // added + stubs + cacheManager +
+                                            // fields copied because used
+  std::set<std::string> wiring_fields;      // stub fields + cacheManager
+  std::set<std::string> added_fields;       // from <Adds_Fields>
+  std::set<std::string> represented_fields; // all fields along the chain
+
+  std::set<std::string> exposed_interfaces;          // resolved restrictions
+  std::map<std::string, minilang::Binding> bindings; // per exposed interface
+  std::set<std::string> removed;                     // <Removes_Methods>
+
+  /// Methods declared by interfaces the represented chain implements but the
+  /// view does not expose — the "deep" members a restricted view must not
+  /// reach back into.
+  std::set<std::string> deep_method_names;
+
+  /// False when structural errors prevent body-level analysis (unknown
+  /// represented class); passes should bail out quietly.
+  bool valid = false;
+
+  const MethodModel* find(const std::string& name) const {
+    auto it = method_index.find(name);
+    return it == method_index.end() ? nullptr : &methods[it->second];
+  }
+  bool is_view_method(const std::string& name) const {
+    return method_index.count(name) > 0;
+  }
+};
+
+/// Build the model, reporting structural diagnostics (PSA001-PSA011) into
+/// `sink`. `auto_coherence` mirrors VigOptions::auto_coherence: when false,
+/// missing coherence methods are errors instead of synthesized defaults.
+ViewModel build_view_model(const views::ViewDefinition& def,
+                           const minilang::ClassRegistry& registry,
+                           bool auto_coherence, DiagnosticSink& sink);
+
+}  // namespace psf::analysis

@@ -1,0 +1,129 @@
+// Coherence-completeness pass (PSA060/PSA061/PSA062).
+//
+// A view whose author supplies a *custom* extractImageFromView takes over
+// the wire image from VIG's field-walking default — so every field a
+// coherence-wrapped method mutates had better appear in that body, or the
+// mutation silently never reaches the original (PSA060). Extract handlers
+// are snapshots and should not themselves mutate view state (PSA061). And
+// nothing outside the constructor may reassign the wiring fields (stub
+// fields, cacheManager): a rebound stub mid-flight bypasses the deployment
+// infrastructure entirely (PSA062).
+#include <set>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/ast_scan.hpp"
+
+namespace psf::analysis {
+
+namespace {
+
+bool is_coherence_name(const std::string& name) {
+  for (const char* m : views::kCoherenceMethods) {
+    if (name == m) return true;
+  }
+  return false;
+}
+
+/// Fields of the view this body writes: plain assignments plus builtin
+/// container mutations (push/pop/put/remove on a field-held list/map).
+std::set<std::string> mutated_fields(const MethodModel& m,
+                                     const ViewModel& model) {
+  std::set<std::string> out;
+  const std::set<std::string> locals = local_decls(*m.body);
+  auto is_field = [&](const std::string& name) {
+    if (locals.count(name) > 0) return false;
+    for (const auto& p : m.params) {
+      if (p == name) return false;
+    }
+    return model.view_fields.count(name) > 0;
+  };
+  for (const AssignRef& a : ident_assignments(*m.body)) {
+    if (is_field(a.name)) out.insert(a.name);
+  }
+  for (const MutationRef& mu : container_mutations(*m.body)) {
+    if (is_field(mu.target)) out.insert(mu.target);
+  }
+  return out;
+}
+
+class CoherencePass final : public Pass {
+ public:
+  std::string_view name() const override { return "coherence"; }
+
+  void run(const AnalysisInput& input, DiagnosticSink& sink) const override {
+    const ViewModel& model = input.model;
+
+    // ---- PSA062: wiring fields are constructor-only. ----
+    for (const MethodModel& m : model.methods) {
+      if (!m.user_written() || m.body == nullptr) continue;
+      if (m.name == "constructor") continue;
+      for (const AssignRef& a : ident_assignments(*m.body)) {
+        if (model.wiring_fields.count(a.name) == 0) continue;
+        const std::set<std::string> locals = local_decls(*m.body);
+        if (locals.count(a.name) > 0) continue;
+        sink.error("PSA062", Span{input.def.name, "method " + m.name, a.line},
+                   "assigns to wiring field '" + a.name +
+                       "'; stub and cacheManager fields are bound by the "
+                       "deployment infrastructure",
+                   "remove the assignment (only the constructor may bind "
+                   "wiring fields)");
+      }
+    }
+
+    // ---- PSA061: extract handlers must not mutate view state. ----
+    const MethodModel* extract_view = model.find("extractImageFromView");
+    const MethodModel* extract_obj = model.find("extractImageFromObj");
+    for (const MethodModel* extract : {extract_view, extract_obj}) {
+      if (extract == nullptr || !extract->user_written() ||
+          extract->body == nullptr) {
+        continue;
+      }
+      for (const std::string& field : mutated_fields(*extract, model)) {
+        sink.warning("PSA061",
+                     Span{input.def.name, "method " + extract->name},
+                     "coherence extract method mutates view field '" + field +
+                         "'; extract handlers should be read-only snapshots",
+                     "move the mutation into a merge handler or a regular "
+                     "method");
+      }
+    }
+
+    // ---- PSA060: a custom push-side extract must cover every field the
+    // view's wrapped methods mutate, or those mutations never sync. ----
+    if (extract_view == nullptr || !extract_view->user_written() ||
+        extract_view->body == nullptr) {
+      return;
+    }
+    const std::set<std::string> extracted =
+        referenced_idents(*extract_view->body);
+    std::set<std::string> reported;
+    for (const MethodModel& m : model.methods) {
+      if (m.body == nullptr || m.name == "constructor" ||
+          is_coherence_name(m.name)) {
+        continue;
+      }
+      for (const std::string& field : mutated_fields(m, model)) {
+        if (model.wiring_fields.count(field) > 0) continue;
+        if (extracted.count(field) > 0) continue;
+        if (!reported.insert(field).second) continue;
+        sink.warning("PSA060",
+                     Span{input.def.name, "method extractImageFromView"},
+                     "custom extract never mentions field '" + field +
+                         "', but method '" + m.name +
+                         "' mutates it; the mutation will not reach the "
+                         "original",
+                     "include the field in the extracted image (or rely on "
+                     "the default extract)");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void register_coherence_passes(PassRegistry& registry) {
+  registry.add(std::make_unique<CoherencePass>());
+}
+
+}  // namespace psf::analysis

@@ -1,0 +1,80 @@
+// Credential-flow lint (PSA070).
+//
+// Table 4 maps roles to views; a row whose role no delegation chain in the
+// repository can prove is a dead ACL entry — every client falls through to
+// the default view, which is almost always a deploy-wiring mistake (the
+// Guard never issued the grant, or the role name in the ACL is wrong).
+//
+// Provability here is the deploy-time question "could *anyone* prove this
+// role", so it is deliberately generous: discovery tags are ignored,
+// signatures and expiry are not checked (the proof engine enforces those at
+// request time), and a role is provable iff some delegation targets it whose
+// subject is a plain entity or another provable role.
+#include <set>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "drbac/repository.hpp"
+
+namespace psf::analysis {
+
+namespace {
+
+bool role_provable(const drbac::Repository& repository,
+                   const drbac::RoleRef& role, std::set<std::string>& visiting) {
+  const std::string key = role.entity_fp + "." + role.role;
+  if (!visiting.insert(key).second) return false;  // cycle: no base grant
+  for (const auto& credential : repository.by_target(role, /*honor_tags=*/false)) {
+    if (credential == nullptr || repository.is_revoked(credential->serial)) {
+      continue;
+    }
+    if (!credential->subject.is_role()) return true;  // grounded in an entity
+    if (role_provable(repository, credential->subject.as_role_ref(),
+                      visiting)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class CredentialFlowPass final : public Pass {
+ public:
+  std::string_view name() const override { return "credential-flow"; }
+
+  void run(const AnalysisInput& input, DiagnosticSink& sink) const override {
+    if (input.security == nullptr || input.security->repository == nullptr) {
+      return;  // standalone analysis has no deployment wiring to check
+    }
+    for (const AccessRule& rule : input.security->rules) {
+      if (rule.view_name != input.def.name) continue;
+      std::set<std::string> visiting;
+      if (role_provable(*input.security->repository, rule.role, visiting)) {
+        continue;
+      }
+      sink.warning("PSA070", Span{input.def.name, "access rule"},
+                   "view is gated on role '" + rule.role.display() +
+                       "' that no delegation chain in the repository can "
+                       "prove",
+                   "issue a delegation granting the role, or fix the role "
+                   "name in the ACL");
+    }
+  }
+};
+
+}  // namespace
+
+// One registration point for the built-in passes, in the order their
+// diagnostics should appear (dataflow first — they restate VIG's own rules —
+// then member consistency, coherence, and the deploy-wiring lint).
+void register_dataflow_passes(PassRegistry& registry);
+void register_member_passes(PassRegistry& registry);
+void register_coherence_passes(PassRegistry& registry);
+
+void register_builtin_passes(PassRegistry& registry) {
+  register_dataflow_passes(registry);
+  register_member_passes(registry);
+  register_coherence_passes(registry);
+  registry.add(std::make_unique<CredentialFlowPass>());
+}
+
+}  // namespace psf::analysis

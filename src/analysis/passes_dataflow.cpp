@@ -1,0 +1,118 @@
+// Body-level dataflow passes.
+//
+// field-reachability (PSA020/PSA021) is the paper's §4.3 VIG rule — "a new
+// method uses a variable that is not defined in the original object or the
+// method" — re-stated over the resolved model with precise spans: every free
+// variable must resolve to a view field or a represented-chain field, and
+// every bare call to a builtin, a view method, or a represented-chain
+// method.
+//
+// use-before-init (PSA030/PSA031) covers the gap the reachability rule
+// leaves open: minilang frames are function-scoped and `var` takes effect
+// when executed, so a name read before its `var` statement either resolves
+// to a same-named field (legal but almost certainly unintended shadowing —
+// PSA031 warning) or faults at run time on the executed path (PSA030 error).
+#include <algorithm>
+#include <set>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/ast_scan.hpp"
+#include "minilang/interp.hpp"
+
+namespace psf::analysis {
+
+namespace {
+
+bool is_builtin(const std::string& name) {
+  const auto& builtins = minilang::builtin_names();
+  return std::find(builtins.begin(), builtins.end(), name) != builtins.end();
+}
+
+class FieldReachabilityPass final : public Pass {
+ public:
+  std::string_view name() const override { return "field-reachability"; }
+
+  void run(const AnalysisInput& input, DiagnosticSink& sink) const override {
+    const ViewModel& model = input.model;
+    for (const MethodModel& m : model.methods) {
+      if (m.body == nullptr) continue;
+      const std::set<std::string> locals = local_decls(*m.body);
+      std::set<std::string> reported_vars;
+      std::set<std::string> reported_calls;
+      for (const Ref& ref : free_refs(*m.body, m.params)) {
+        if (ref.kind == Ref::Kind::kVar) {
+          if (model.view_fields.count(ref.name) > 0) continue;
+          if (model.represented_fields.count(ref.name) > 0) continue;
+          // Declared later in the body: the use-before-init pass owns it.
+          if (locals.count(ref.name) > 0) continue;
+          if (!reported_vars.insert(ref.name).second) continue;
+          sink.error("PSA020",
+                     Span{input.def.name, "method " + m.name, ref.line},
+                     "uses variable '" + ref.name +
+                         "' that is not defined in the original object or "
+                         "the method",
+                     "declare it with 'var', add it under <Adds_Fields>, or "
+                     "fix the name");
+        } else {
+          if (is_builtin(ref.name)) continue;
+          if (model.is_view_method(ref.name)) continue;
+          if (!reported_calls.insert(ref.name).second) continue;
+          sink.error("PSA021",
+                     Span{input.def.name, "method " + m.name, ref.line},
+                     "calls method '" + ref.name +
+                         "' that exists neither on the view nor on '" +
+                         input.def.represents + "'",
+                     "add the method or correct the call");
+        }
+      }
+    }
+  }
+};
+
+class UseBeforeInitPass final : public Pass {
+ public:
+  std::string_view name() const override { return "use-before-init"; }
+
+  void run(const AnalysisInput& input, DiagnosticSink& sink) const override {
+    const ViewModel& model = input.model;
+    for (const MethodModel& m : model.methods) {
+      if (m.body == nullptr) continue;
+      const std::set<std::string> locals = local_decls(*m.body);
+      std::set<std::string> reported;
+      // free_refs reports a var exactly when it has not been declared yet
+      // at the point of use — so a free occurrence of a name that IS a
+      // local of this body is a textbook use-before-`var`.
+      for (const Ref& ref : free_refs(*m.body, m.params)) {
+        if (ref.kind != Ref::Kind::kVar) continue;
+        if (locals.count(ref.name) == 0) continue;
+        if (!reported.insert(ref.name).second) continue;
+        const bool shadows = model.view_fields.count(ref.name) > 0 ||
+                             model.represented_fields.count(ref.name) > 0;
+        if (shadows) {
+          sink.warning("PSA031",
+                       Span{input.def.name, "method " + m.name, ref.line},
+                       "reads '" + ref.name + "' before its 'var' " +
+                           "declaration; until then the name resolves to "
+                           "the field of the same name",
+                       "rename the local or move the 'var' above the first "
+                       "use");
+        } else {
+          sink.error("PSA030",
+                     Span{input.def.name, "method " + m.name, ref.line},
+                     "local variable '" + ref.name +
+                         "' is used before its 'var' declaration",
+                     "move the 'var' above the first use");
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void register_dataflow_passes(PassRegistry& registry) {
+  registry.add(std::make_unique<FieldReachabilityPass>());
+  registry.add(std::make_unique<UseBeforeInitPass>());
+}
+
+}  // namespace psf::analysis

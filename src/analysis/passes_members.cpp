@@ -1,0 +1,177 @@
+// Member-level consistency passes.
+//
+// dead-members (PSA035/PSA036): an added field or method that no exposed
+// entry point (interface method, customization, constructor, coherence
+// handler) can reach is dead weight the XML author probably meant to wire
+// up. Liveness is an over-approximating call-graph walk: member calls on
+// any receiver keep a name live, so `this.helper()` never misflags.
+//
+// exposure (PSA040/PSA041/PSA042): the view's own code must not reach past
+// its restriction — calling a method the definition removes (PSA040),
+// calling a "deep" method declared only by interfaces the view does not
+// expose (PSA041; VIG would silently copy it in, widening the view's
+// behaviour past what the restriction advertises), or a customization
+// attached to an rmi/switchboard interface touching local-only state that
+// will not exist at the remote binding (PSA042).
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/ast_scan.hpp"
+#include "minilang/interp.hpp"
+
+namespace psf::analysis {
+
+namespace {
+
+bool is_builtin(const std::string& name) {
+  const auto& builtins = minilang::builtin_names();
+  return std::find(builtins.begin(), builtins.end(), name) != builtins.end();
+}
+
+bool is_coherence_name(const std::string& name) {
+  for (const char* m : views::kCoherenceMethods) {
+    if (name == m) return true;
+  }
+  return false;
+}
+
+bool is_entry_point(const MethodModel& m) {
+  return !m.interface_name.empty() || m.name == "constructor" ||
+         is_coherence_name(m.name) ||
+         m.origin == MethodModel::Origin::kCustomized ||
+         m.origin == MethodModel::Origin::kCoherenceDefault;
+}
+
+class DeadMembersPass final : public Pass {
+ public:
+  std::string_view name() const override { return "dead-members"; }
+
+  void run(const AnalysisInput& input, DiagnosticSink& sink) const override {
+    const ViewModel& model = input.model;
+
+    // Seed with the entry points, then close over the call graph.
+    std::set<std::string> live;
+    std::vector<const MethodModel*> frontier;
+    for (const MethodModel& m : model.methods) {
+      if (is_entry_point(m)) {
+        live.insert(m.name);
+        frontier.push_back(&m);
+      }
+    }
+    std::set<std::string> used_fields;
+    while (!frontier.empty()) {
+      const MethodModel* m = frontier.back();
+      frontier.pop_back();
+      if (m->body == nullptr) continue;
+      for (const std::string& ident : referenced_idents(*m->body)) {
+        used_fields.insert(ident);
+      }
+      for (const std::string& callee : called_names(*m->body)) {
+        if (live.count(callee) > 0) continue;
+        const MethodModel* target = model.find(callee);
+        if (target == nullptr) continue;
+        live.insert(callee);
+        frontier.push_back(target);
+      }
+    }
+
+    for (const MethodModel& m : model.methods) {
+      if (m.origin != MethodModel::Origin::kAdded) continue;
+      if (is_entry_point(m) || live.count(m.name) > 0) continue;
+      sink.warning("PSA036", Span{input.def.name, "method " + m.name},
+                   "added method is not part of any restricted interface and "
+                   "is never called by a reachable view method",
+                   "expose it through an interface, call it, or remove it");
+    }
+    for (const std::string& field : model.added_fields) {
+      if (used_fields.count(field) > 0) continue;
+      sink.warning("PSA035", Span{input.def.name, "field " + field},
+                   "added field is never used by any reachable view method",
+                   "reference it or drop it from <Adds_Fields>");
+    }
+  }
+};
+
+class ExposurePass final : public Pass {
+ public:
+  std::string_view name() const override { return "exposure"; }
+
+  void run(const AnalysisInput& input, DiagnosticSink& sink) const override {
+    const ViewModel& model = input.model;
+    for (const MethodModel& m : model.methods) {
+      // Only the XML author's own code is held to the restriction; methods
+      // VIG copies from the represented chain keep the original's internal
+      // call structure by design.
+      if (!m.user_written() || m.body == nullptr) continue;
+
+      std::set<std::string> reported;
+      for (const Ref& ref : free_refs(*m.body, m.params)) {
+        if (ref.kind != Ref::Kind::kCall) continue;
+        // Builtins win name resolution (the Auditor view removes `remove`
+        // while its bodies still use the builtin of that name).
+        if (is_builtin(ref.name)) continue;
+        if (!reported.insert(ref.name).second) continue;
+        if (model.removed.count(ref.name) > 0) {
+          sink.error("PSA040",
+                     Span{input.def.name, "method " + m.name, ref.line},
+                     "calls method '" + ref.name +
+                         "' that the view removes from its interfaces",
+                     "drop the call or do not remove the method");
+        } else if (model.deep_method_names.count(ref.name) > 0) {
+          sink.error("PSA041",
+                     Span{input.def.name, "method " + m.name, ref.line},
+                     "calls method '" + ref.name +
+                         "' that is declared only by interfaces the view "
+                         "does not expose",
+                     "expose the declaring interface under <Restricts> or "
+                     "drop the call");
+        }
+      }
+
+      // Remote-bound customizations run against the stub wiring; state that
+      // only exists on the locally generated class cannot be there.
+      if (m.origin == MethodModel::Origin::kCustomized &&
+          m.binding != minilang::Binding::kLocal) {
+        for (const Ref& ref : free_refs(*m.body, m.params)) {
+          if (ref.kind == Ref::Kind::kVar) {
+            if (model.represented_fields.count(ref.name) > 0 &&
+                model.added_fields.count(ref.name) == 0) {
+              sink.error(
+                  "PSA042",
+                  Span{input.def.name, "method " + m.name, ref.line},
+                  "customization of " + minilang::binding_name(m.binding) +
+                      "-bound '" + m.interface_name +
+                      "' references represented field '" + ref.name +
+                      "' that only exists on the local copy",
+                  "route the access through an exposed interface method");
+            }
+          } else if (!is_builtin(ref.name)) {
+            const MethodModel* callee = model.find(ref.name);
+            if (callee != nullptr &&
+                callee->visibility == minilang::Visibility::kPrivate) {
+              sink.error(
+                  "PSA042",
+                  Span{input.def.name, "method " + m.name, ref.line},
+                  "customization of " + minilang::binding_name(m.binding) +
+                      "-bound '" + m.interface_name +
+                      "' calls private method '" + ref.name +
+                      "' of the represented object",
+                  "call a public interface method instead");
+            }
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void register_member_passes(PassRegistry& registry) {
+  registry.add(std::make_unique<DeadMembersPass>());
+  registry.add(std::make_unique<ExposurePass>());
+}
+
+}  // namespace psf::analysis

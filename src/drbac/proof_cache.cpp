@@ -53,7 +53,7 @@ bool SignatureCache::verify(const Delegation& credential) {
   const std::string key = credential.content_hash();
   Shard& shard = shard_for(key);
   {
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    std::shared_lock lock(shard.mutex);
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       metrics.sig_hits.inc();
@@ -63,7 +63,7 @@ bool SignatureCache::verify(const Delegation& credential) {
   const bool valid = credential.verify_signature();
   metrics.sig_misses.inc();
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    std::unique_lock lock(shard.mutex);
     if (shard.entries.size() >= kMaxEntriesPerShard) {
       metrics.sig_evictions.inc(shard.entries.size());
       shard.entries.clear();
@@ -76,14 +76,14 @@ bool SignatureCache::verify(const Delegation& credential) {
 bool SignatureCache::contains(const Delegation& credential) const {
   const std::string key = credential.content_hash();
   const Shard& shard = shard_for(key);
-  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  std::shared_lock lock(shard.mutex);
   return shard.entries.count(key) > 0;
 }
 
 void SignatureCache::store(const Delegation& credential, bool valid) {
   const std::string key = credential.content_hash();
   Shard& shard = shard_for(key);
-  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  std::unique_lock lock(shard.mutex);
   if (shard.entries.size() >= kMaxEntriesPerShard) {
     CacheMetrics::get().sig_evictions.inc(shard.entries.size());
     shard.entries.clear();
@@ -94,7 +94,7 @@ void SignatureCache::store(const Delegation& credential, bool valid) {
 void SignatureCache::invalidate(const Delegation& credential) {
   const std::string key = credential.content_hash();
   Shard& shard = shard_for(key);
-  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  std::unique_lock lock(shard.mutex);
   if (shard.entries.erase(key) > 0) {
     CacheMetrics::get().sig_invalidations.inc();
   }
@@ -102,7 +102,7 @@ void SignatureCache::invalidate(const Delegation& credential) {
 
 void SignatureCache::clear() {
   for (Shard& shard : shards_) {
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    std::unique_lock lock(shard.mutex);
     shard.entries.clear();
   }
 }
@@ -110,7 +110,7 @@ void SignatureCache::clear() {
 std::size_t SignatureCache::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    std::shared_lock lock(shard.mutex);
     total += shard.entries.size();
   }
   return total;
@@ -127,7 +127,7 @@ std::optional<CachedChain> ProofCache::lookup(const std::string& key,
   enum class Stale { kNo, kEpoch, kExpiry };
   Stale stale = Stale::kNo;
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    std::shared_lock lock(mutex_);
     auto it = entries_.find(key);
     if (it == entries_.end()) {
       metrics.proof_misses.inc();
@@ -155,7 +155,7 @@ std::optional<CachedChain> ProofCache::lookup(const std::string& key,
                           : metrics.proof_expiries)
       .inc();
   metrics.proof_misses.inc();
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   // Re-check epoch under the exclusive lock: a concurrent search may have
   // refreshed the entry since we decided it was stale.
   auto it = entries_.find(key);
@@ -170,19 +170,19 @@ std::optional<CachedChain> ProofCache::lookup(const std::string& key,
 
 void ProofCache::insert(const std::string& key, std::uint64_t epoch,
                         CachedChain chain) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   Entry& entry = entries_[key];
   entry.epoch = epoch;
   entry.chain = std::move(chain);
 }
 
 void ProofCache::clear() {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   entries_.clear();
 }
 
 std::size_t ProofCache::size() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::shared_lock lock(mutex_);
   return entries_.size();
 }
 

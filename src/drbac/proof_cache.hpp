@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "drbac/credential.hpp"
+#include "util/lock_rank.hpp"
 #include "util/sim_clock.hpp"
 
 namespace psf::drbac {
@@ -76,7 +77,8 @@ class SignatureCache {
   static constexpr std::size_t kMaxEntriesPerShard = 1 << 15;
 
   struct Shard {
-    mutable std::shared_mutex mutex;
+    mutable util::RankedMutex<std::shared_mutex> mutex{
+        util::LockRank::kSignatureCache, "drbac.sigcache.shard"};
     std::unordered_map<std::string, bool> entries;  // content hash -> valid
   };
   Shard& shard_for(const std::string& content_hash);
@@ -123,7 +125,8 @@ class ProofCache {
     std::uint64_t epoch = 0;
     CachedChain chain;
   };
-  mutable std::shared_mutex mutex_;
+  mutable util::RankedMutex<std::shared_mutex> mutex_{
+      util::LockRank::kProofCache, "drbac.proofcache"};
   std::unordered_map<std::string, Entry> entries_;
 };
 

@@ -21,7 +21,7 @@ struct RepoMetrics {
 
 void Repository::add(DelegationPtr credential) {
   RepoMetrics& metrics = RepoMetrics::get();
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   credentials_.push_back(credential);
   by_target_[target_key(credential->target)].push_back(credential);
   by_subject_[subject_key(credential->subject)].push_back(credential);
@@ -40,7 +40,7 @@ void Repository::add(DelegationPtr credential) {
 std::vector<DelegationPtr> Repository::by_target(const RoleRef& target,
                                                  bool honor_tags) const {
   RepoMetrics::get().lookups.inc();
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   std::vector<DelegationPtr> out;
   auto it = by_target_.find(target_key(target));
   if (it == by_target_.end()) return out;
@@ -53,7 +53,7 @@ std::vector<DelegationPtr> Repository::by_target(const RoleRef& target,
 std::vector<DelegationPtr> Repository::by_subject(const Principal& subject,
                                                   bool honor_tags) const {
   RepoMetrics::get().lookups.inc();
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   std::vector<DelegationPtr> out;
   auto it = by_subject_.find(subject_key(subject));
   if (it == by_subject_.end()) return out;
@@ -64,12 +64,12 @@ std::vector<DelegationPtr> Repository::by_subject(const Principal& subject,
 }
 
 std::vector<DelegationPtr> Repository::all() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return credentials_;
 }
 
 std::size_t Repository::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return credentials_.size();
 }
 
@@ -79,7 +79,7 @@ void Repository::revoke(std::uint64_t serial) {
   std::map<std::uint64_t, RevocationCallback> subscribers;
   DelegationPtr revoked_credential;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     if (!revoked_.insert(serial).second) return;  // already revoked
     for (const auto& c : credentials_) {
       if (c->serial == serial) {
@@ -106,19 +106,19 @@ void Repository::revoke(std::uint64_t serial) {
 }
 
 bool Repository::is_revoked(std::uint64_t serial) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return revoked_.count(serial) > 0;
 }
 
 std::uint64_t Repository::subscribe(RevocationCallback callback) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   const std::uint64_t id = next_subscription_++;
   subscribers_[id] = std::move(callback);
   return id;
 }
 
 void Repository::unsubscribe(std::uint64_t subscription_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   subscribers_.erase(subscription_id);
 }
 
@@ -126,7 +126,7 @@ util::Bytes Repository::snapshot() const {
   std::vector<DelegationPtr> credentials;
   std::set<std::uint64_t> revoked;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     credentials = credentials_;
     revoked = revoked_;
   }
@@ -161,7 +161,7 @@ util::Result<Repository::MergeResult> Repository::merge_snapshot(
   MergeResult result;
   std::set<std::uint64_t> known;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     for (const auto& c : credentials_) known.insert(c->serial);
   }
   for (std::uint32_t i = 0; i < credential_count; ++i) {

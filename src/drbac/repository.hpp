@@ -18,6 +18,8 @@
 #include <functional>
 #include <map>
 #include <mutex>
+
+#include "util/lock_rank.hpp"
 #include <set>
 #include <vector>
 
@@ -99,7 +101,8 @@ class Repository {
     return p.entity_fp + "." + p.role;
   }
 
-  mutable std::mutex mutex_;
+  mutable util::RankedMutex<std::mutex> mutex_{
+      util::LockRank::kRepository, "drbac.repository"};
   std::vector<DelegationPtr> credentials_;
   std::map<std::string, std::vector<DelegationPtr>> by_target_;
   std::map<std::string, std::vector<DelegationPtr>> by_subject_;

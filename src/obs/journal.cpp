@@ -40,12 +40,58 @@ struct JournalMetrics {
 
 /// One thread's ring. The owning thread is the only writer; drainers read
 /// concurrently using the head re-check protocol in snapshot_into().
+///
+/// Slots are stored as relaxed atomic words, not Event objects: after
+/// wraparound the owner overwrites a slot a drainer may be copying. The
+/// head re-check below discards those slots *logically*, but the concurrent
+/// access itself must also be race-free — hence word-sized atomics. Relaxed
+/// per-word ordering is enough: the single writer keeps each word
+/// internally consistent, and the release head publish orders completed
+/// slots for the acquire load in snapshot_into().
 struct ThreadRing {
-  // Monotonic write position. slot(i) = slots[i & (kRingCapacity-1)].
+  static constexpr std::size_t kWordsPerEvent = 8;
+  static_assert(sizeof(Event) == kWordsPerEvent * sizeof(std::uint64_t),
+                "Event must pack into exactly eight 64-bit ring words");
+
+  // Monotonic write position. slot(i) = words[(i & (kRingCapacity-1)) * 8].
   // Written with release so a drainer's acquire load sees completed slots.
   alignas(64) std::atomic<std::uint64_t> head{0};
-  std::array<Event, kRingCapacity> slots;
+  std::array<std::atomic<std::uint64_t>, kRingCapacity * kWordsPerEvent> words;
   std::uint32_t thread_number = 0;
+
+  void store_slot(std::uint64_t index, const Event& event) {
+    const std::size_t base = (index & (kRingCapacity - 1)) * kWordsPerEvent;
+    words[base + 0].store(static_cast<std::uint64_t>(event.t_ns),
+                          std::memory_order_relaxed);
+    words[base + 1].store(event.trace_id, std::memory_order_relaxed);
+    words[base + 2].store(event.span_id, std::memory_order_relaxed);
+    for (std::size_t a = 0; a < 4; ++a) {
+      words[base + 3 + a].store(event.args[a], std::memory_order_relaxed);
+    }
+    words[base + 7].store(
+        static_cast<std::uint64_t>(event.thread) |
+            (static_cast<std::uint64_t>(event.subsystem) << 32) |
+            (static_cast<std::uint64_t>(event.code) << 48),
+        std::memory_order_relaxed);
+  }
+
+  Event load_slot(std::uint64_t index) const {
+    const std::size_t base = (index & (kRingCapacity - 1)) * kWordsPerEvent;
+    Event event;
+    event.t_ns = static_cast<std::int64_t>(
+        words[base + 0].load(std::memory_order_relaxed));
+    event.trace_id = words[base + 1].load(std::memory_order_relaxed);
+    event.span_id = words[base + 2].load(std::memory_order_relaxed);
+    for (std::size_t a = 0; a < 4; ++a) {
+      event.args[a] = words[base + 3 + a].load(std::memory_order_relaxed);
+    }
+    const std::uint64_t packed =
+        words[base + 7].load(std::memory_order_relaxed);
+    event.thread = static_cast<std::uint32_t>(packed & 0xFFFFFFFFu);
+    event.subsystem = static_cast<std::uint16_t>((packed >> 32) & 0xFFFFu);
+    event.code = static_cast<std::uint16_t>(packed >> 48);
+    return event;
+  }
 
   void snapshot_into(std::vector<Event>& out) const {
     const std::uint64_t h = head.load(std::memory_order_acquire);
@@ -53,7 +99,7 @@ struct ThreadRing {
     const std::size_t first = out.size();
     out.reserve(first + static_cast<std::size_t>(h - begin));
     for (std::uint64_t i = begin; i < h; ++i) {
-      out.push_back(slots[i & (kRingCapacity - 1)]);
+      out.push_back(load_slot(i));
     }
     // Writers kept going during the copy: any slot whose index is now older
     // than head' - capacity may have been overwritten mid-read (torn).
@@ -134,18 +180,19 @@ void emit(Subsystem subsystem, std::uint16_t code, std::uint64_t a0,
   if (!g_enabled.load(std::memory_order_relaxed)) return;
   ThreadRing& ring = local_ring();
   const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
-  Event& slot = ring.slots[h & (kRingCapacity - 1)];
   const SpanContext ctx = current_context();
-  slot.t_ns = steady_now_ns();
-  slot.trace_id = ctx.trace_id;
-  slot.span_id = ctx.span_id;
-  slot.args[0] = a0;
-  slot.args[1] = a1;
-  slot.args[2] = a2;
-  slot.args[3] = a3;
-  slot.thread = ring.thread_number;
-  slot.subsystem = static_cast<std::uint16_t>(subsystem);
-  slot.code = code;
+  Event event;
+  event.t_ns = steady_now_ns();
+  event.trace_id = ctx.trace_id;
+  event.span_id = ctx.span_id;
+  event.args[0] = a0;
+  event.args[1] = a1;
+  event.args[2] = a2;
+  event.args[3] = a3;
+  event.thread = ring.thread_number;
+  event.subsystem = static_cast<std::uint16_t>(subsystem);
+  event.code = code;
+  ring.store_slot(h, event);
   ring.head.store(h + 1, std::memory_order_release);
   JournalMetrics& metrics = JournalMetrics::get();
   metrics.events.inc();

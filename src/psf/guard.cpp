@@ -81,7 +81,7 @@ util::Result<Guard::AccessDecision> Guard::select_view(
   GuardMetrics& metrics = GuardMetrics::get();
   obs::ScopedSpan span("psf.guard.select_view");
   if (cache_enabled_) {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    std::lock_guard lock(cache_mutex_);
     auto it = decision_cache_.find(client.entity_fp);
     if (it != decision_cache_.end()) {
       ++cache_stats_.hits;
@@ -94,7 +94,7 @@ util::Result<Guard::AccessDecision> Guard::select_view(
 
   auto remember = [&](AccessDecision decision) {
     if (cache_enabled_) {
-      std::lock_guard<std::mutex> lock(cache_mutex_);
+      std::lock_guard lock(cache_mutex_);
       decision_cache_[client.entity_fp] = decision;
     }
     return decision;
@@ -132,7 +132,7 @@ void Guard::enable_decision_cache() {
   if (cache_enabled_) return;
   cache_enabled_ = true;
   cache_subscription_ = repository_->subscribe([this](std::uint64_t) {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    std::lock_guard lock(cache_mutex_);
     decision_cache_.clear();
     ++cache_stats_.invalidations;
     GuardMetrics::get().cache_invalidations.inc();
@@ -140,7 +140,7 @@ void Guard::enable_decision_cache() {
 }
 
 Guard::CacheStats Guard::cache_stats() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  std::lock_guard lock(cache_mutex_);
   return cache_stats_;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "drbac/engine.hpp"
+#include "util/lock_rank.hpp"
 #include "util/rng.hpp"
 #include "util/sim_clock.hpp"
 
@@ -113,7 +114,8 @@ class Guard {
   std::vector<std::pair<std::string, std::string>> access_rules_;
   std::string default_view_;
 
-  mutable std::mutex cache_mutex_;
+  mutable util::RankedMutex<std::mutex> cache_mutex_{
+      util::LockRank::kGuardCache, "psf.guard.decision-cache"};
   bool cache_enabled_ = false;
   std::uint64_t cache_subscription_ = 0;
   mutable std::map<std::string, AccessDecision> decision_cache_;

@@ -25,24 +25,24 @@ Switchboard::Switchboard(std::string host, Network* network,
 
 void Switchboard::register_service(
     const std::string& name, std::shared_ptr<minilang::CallTarget> target) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   services_[name] = std::move(target);
 }
 
 std::shared_ptr<minilang::CallTarget> Switchboard::lookup(
     const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::shared_lock lock(mutex_);
   auto it = services_.find(name);
   return it == services_.end() ? nullptr : it->second;
 }
 
 void Switchboard::set_suite(AuthorizationSuite suite) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   suite_ = std::make_unique<AuthorizationSuite>(std::move(suite));
 }
 
 const AuthorizationSuite* Switchboard::suite() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::shared_lock lock(mutex_);
   return suite_.get();
 }
 
@@ -264,7 +264,7 @@ void Connection::install_monitor(End end) {
                            static_cast<std::uint64_t>(index(end)));
         std::function<void(End, const std::string&)> listener;
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          std::lock_guard lock(mutex_);
           listener = listener_;
         }
         if (listener) {
@@ -321,7 +321,7 @@ util::Result<std::size_t> Connection::unseal_into(End receiver,
     return Fail::failure("frame", "MAC verification failed");
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     if (!recv_window_[dir].check_and_insert(seq)) {
       ChannelMetrics::get().replay_rejections.inc();
       obs::journal::emit(obs::journal::Subsystem::kSwitchboard,
@@ -481,7 +481,7 @@ Value Connection::call(End from, const std::string& service,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     ++stats_.calls;
     stats_.frames += 2;
     stats_.bytes += request_frame_size + response_frame_size;
@@ -544,7 +544,7 @@ void Connection::heartbeat() {
   // One locked section for the whole probe (both directions counted at
   // once) instead of three separate lock acquisitions per heartbeat.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     stats_.heartbeats += 2;
     stats_.last_rtt = round_trip;
     stats_.last_heartbeat_rtt = round_trip;
@@ -569,7 +569,7 @@ void Connection::heartbeat() {
                          obs::journal::tag("proof-invalid"));
       std::function<void(End, const std::string&)> listener;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard lock(mutex_);
         listener = listener_;
       }
       if (listener) listener(end, "proof no longer validates");
@@ -593,7 +593,7 @@ bool Connection::revalidate(End end) {
   install_monitor(end);
   std::function<void(End, const std::string&)> listener;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     listener = listener_;
   }
   if (listener) listener(end, "revalidated");
@@ -609,12 +609,12 @@ void Connection::close(const std::string& reason) {
                      obs::journal::tag(boards_[0]->host()),
                      obs::journal::tag(boards_[1]->host()),
                      obs::journal::tag(reason));
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   close_reason_ = reason;
 }
 
 std::string Connection::close_reason() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return close_reason_;
 }
 
@@ -628,12 +628,12 @@ bool Connection::suspended(End end) const {
 
 void Connection::set_authorization_listener(
     std::function<void(End, const std::string&)> listener) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   listener_ = std::move(listener);
 }
 
 ConnectionStats Connection::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return stats_;
 }
 

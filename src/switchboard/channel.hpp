@@ -34,6 +34,7 @@
 #include "switchboard/authorizer.hpp"
 #include "switchboard/network.hpp"
 #include "switchboard/replay_window.hpp"
+#include "util/lock_rank.hpp"
 #include "util/rng.hpp"
 #include "util/sim_clock.hpp"
 
@@ -71,7 +72,8 @@ class Switchboard {
   std::shared_ptr<util::Clock> clock_;
   // Reader-writer lock: lookup()/suite() sit on every RPC dispatch and only
   // read, so they take shared locks; registration (rare) takes exclusive.
-  mutable std::shared_mutex mutex_;
+  mutable util::RankedMutex<std::shared_mutex> mutex_{
+      util::LockRank::kSwitchboard, "switchboard.services"};
   std::map<std::string, std::shared_ptr<minilang::CallTarget>> services_;
   std::unique_ptr<AuthorizationSuite> suite_;
 };
@@ -177,7 +179,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   // Health-plane registration ("switchboard.conn.<a>-<b>"), made at establish
   // and removed by the destructor. 0 = never registered.
   std::uint64_t health_token_ = 0;
-  mutable std::mutex mutex_;
+  mutable util::RankedMutex<std::mutex> mutex_{
+      util::LockRank::kConnection, "switchboard.connection"};
   std::string close_reason_;
   std::function<void(End, const std::string&)> listener_;
   ConnectionStats stats_;

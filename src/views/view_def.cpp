@@ -9,6 +9,16 @@ const char* const kCoherenceMethods[4] = {
     "mergeImageIntoView", "mergeImageIntoObj", "extractImageFromView",
     "extractImageFromObj"};
 
+std::string stub_field_name(const std::string& interface_name,
+                            minilang::Binding binding) {
+  std::string base = interface_name;
+  if (!base.empty()) {
+    base[0] =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(base[0])));
+  }
+  return base + (binding == minilang::Binding::kRmi ? "_rmi" : "_switch");
+}
+
 namespace {
 
 std::string trim(std::string s) {

@@ -39,6 +39,11 @@ struct AddedField {
 /// future-work extension; see VigOptions::auto_coherence).
 extern const char* const kCoherenceMethods[4];
 
+/// Name of the stub field VIG injects for a remote-bound interface
+/// (Table 5: `NotesI notesI_rmi;`, `AddressI addrI_switch`).
+std::string stub_field_name(const std::string& interface_name,
+                            minilang::Binding binding);
+
 struct ViewDefinition {
   std::string name;
   std::string represents;

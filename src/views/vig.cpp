@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/analyzer.hpp"
+#include "analysis/ast_scan.hpp"
 #include "minilang/interp.hpp"
 #include "minilang/parser.hpp"
 #include "minilang/value_codec.hpp"
@@ -48,59 +50,14 @@ using minilang::StmtPtr;
 using minilang::Value;
 
 std::string VigDiagnostic::display() const {
-  std::string out = "view '" + view + "', " + context + ": " + message;
+  std::string out = "view '" + view + "', " + context + ": ";
+  if (!code.empty()) out += "[" + code + "] ";
+  out += message;
   if (!hint.empty()) out += " (fix: " + hint + ")";
   return out;
 }
 
-std::string stub_field_name(const std::string& interface_name,
-                            Binding binding) {
-  std::string base = interface_name;
-  if (!base.empty()) {
-    base[0] = static_cast<char>(std::tolower(static_cast<unsigned char>(base[0])));
-  }
-  return base + (binding == Binding::kRmi ? "_rmi" : "_switch");
-}
-
 namespace {
-
-void walk_expr(const Expr& e, std::set<std::string>& declared,
-               std::set<std::string>& vars, std::set<std::string>& calls) {
-  switch (e.kind) {
-    case ExprKind::kIdent:
-      if (e.name != "this" && declared.count(e.name) == 0) vars.insert(e.name);
-      return;
-    case ExprKind::kCall:
-      calls.insert(e.name);
-      break;
-    default:
-      break;
-  }
-  for (const auto& child : e.children) {
-    walk_expr(*child, declared, vars, calls);
-  }
-}
-
-void walk_block(const std::vector<StmtPtr>& block,
-                std::set<std::string>& declared, std::set<std::string>& vars,
-                std::set<std::string>& calls);
-
-void walk_stmt(const Stmt& s, std::set<std::string>& declared,
-               std::set<std::string>& vars, std::set<std::string>& calls) {
-  if (s.init) walk_stmt(*s.init, declared, vars, calls);  // for-header first
-  if (s.target) walk_expr(*s.target, declared, vars, calls);
-  if (s.expr) walk_expr(*s.expr, declared, vars, calls);
-  if (s.kind == StmtKind::kVarDecl) declared.insert(s.name);
-  walk_block(s.body, declared, vars, calls);
-  if (s.update) walk_stmt(*s.update, declared, vars, calls);
-  walk_block(s.else_body, declared, vars, calls);
-}
-
-void walk_block(const std::vector<StmtPtr>& block,
-                std::set<std::string>& declared, std::set<std::string>& vars,
-                std::set<std::string>& calls) {
-  for (const auto& stmt : block) walk_stmt(*stmt, declared, vars, calls);
-}
 
 bool is_builtin(const std::string& name) {
   const auto& builtins = minilang::builtin_names();
@@ -249,10 +206,17 @@ MethodDef make_stub_method(const minilang::MethodSig& sig,
 
 FreeNames collect_free_names(const std::vector<StmtPtr>& body,
                              const std::vector<std::string>& params) {
-  std::set<std::string> declared(params.begin(), params.end());
+  // The walk itself lives in the analysis engine (analysis::free_refs), so
+  // validation and generation can never disagree about what "free" means.
   std::set<std::string> vars;
   std::set<std::string> calls;
-  walk_block(body, declared, vars, calls);
+  for (const auto& ref : analysis::free_refs(body, params)) {
+    if (ref.kind == analysis::Ref::Kind::kVar) {
+      vars.insert(ref.name);
+    } else {
+      calls.insert(ref.name);
+    }
+  }
   FreeNames out;
   out.variables.assign(vars.begin(), vars.end());
   out.calls.assign(calls.begin(), calls.end());
@@ -266,19 +230,6 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
     const ViewDefinition& def) {
   VigMetrics& metrics = VigMetrics::get();
   diagnostics_.clear();
-  auto diag = [&](const std::string& context, const std::string& message,
-                  const std::string& hint) {
-    metrics.diagnostics.inc();
-    diagnostics_.push_back(VigDiagnostic{def.name, context, message, hint});
-  };
-  auto finish_failure = [&]() {
-    metrics.failures.inc();
-    std::ostringstream os;
-    os << diagnostics_.size() << " error(s) generating view '" << def.name
-       << "':";
-    for (const auto& d : diagnostics_) os << "\n  " << d.display();
-    return util::Result<std::shared_ptr<ClassDef>>::failure("vig", os.str());
-  };
 
   // Lazy-generation cache (paper: code generation deferred to first deploy).
   if (options_.cache) {
@@ -293,12 +244,32 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
   obs::ScopedSpan span("vig.generate");
   obs::ScopedTimerUs timer(metrics.generate_us);
 
-  auto represented = registry_->find_class(def.represents);
-  if (represented == nullptr) {
-    diag("represented object", "class '" + def.represents + "' is not known",
-         "check the <Represents name=.../> rule");
-    return finish_failure();
+  // ---- validation: the shared analysis engine, every pass, all findings
+  // in one run. Generation is refused iff any finding is an error;
+  // warnings are kept for callers but do not block. ----
+  analysis::AnalysisOptions analysis_options;
+  analysis_options.auto_coherence = options_.auto_coherence;
+  const analysis::AnalysisResult verdict =
+      analysis::analyze(def, *registry_, analysis_options);
+  for (const auto& d : verdict.diagnostics) {
+    metrics.diagnostics.inc();
+    std::string context = d.span.where;
+    if (d.span.line != 0) context += ":" + std::to_string(d.span.line);
+    diagnostics_.push_back(
+        VigDiagnostic{def.name, std::move(context), d.message, d.hint, d.code,
+                      d.severity == analysis::Severity::kError});
   }
+  if (verdict.has_errors()) {
+    metrics.failures.inc();
+    std::ostringstream os;
+    os << verdict.errors << " error(s) generating view '" << def.name << "':";
+    for (const auto& d : diagnostics_) os << "\n  " << d.display();
+    return util::Result<std::shared_ptr<ClassDef>>::failure("vig", os.str());
+  }
+
+  // ---- generation mechanics. The analysis above guarantees every name
+  // resolves, so the copy logic below runs diagnostic-free. ----
+  auto represented = registry_->find_class(def.represents);
 
   auto view = std::make_shared<ClassDef>();
   view->name = def.name;
@@ -307,11 +278,7 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
   std::set<std::string> view_method_names;
   std::vector<MethodDef> methods;
   auto add_method = [&](MethodDef m) {
-    if (!view_method_names.insert(m.name).second) {
-      diag("method " + m.name, "defined more than once",
-           "remove the duplicate MSign/MBody pair");
-      return;
-    }
+    if (!view_method_names.insert(m.name).second) return;  // PSA005 upstream
     methods.push_back(std::move(m));
   };
 
@@ -319,55 +286,23 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
   // restricted interfaces (paper §4.2's finest granularity).
   std::set<std::string> removed(def.removed_methods.begin(),
                                 def.removed_methods.end());
-  std::set<std::string> removal_used;
 
   // ---- (1) interfaces ----
   {
   obs::ScopedSpan interfaces_span("vig.interfaces");
   for (const auto& restriction : def.interfaces) {
     const InterfaceDef* iface = registry_->find_interface(restriction.name);
-    if (iface == nullptr) {
-      diag("interface " + restriction.name, "interface is not known",
-           "declare the interface or remove the <Interface> rule");
-      continue;
-    }
-    // A view implements a *subset* of the original's functionality: the
-    // represented class (or an ancestor) must implement the interface.
-    bool implemented = false;
-    for (const auto& cls : registry_->chain(*represented)) {
-      if (std::find(cls->interfaces.begin(), cls->interfaces.end(),
-                    restriction.name) != cls->interfaces.end()) {
-        implemented = true;
-        break;
-      }
-    }
-    if (!implemented) {
-      diag("interface " + restriction.name,
-           "represented object '" + def.represents +
-               "' does not implement it",
-           "views may only restrict interfaces of the original object");
-      continue;
-    }
+    if (iface == nullptr) continue;  // PSA002 upstream
     view->interfaces.push_back(restriction.name);
     view->interface_bindings[restriction.name] = restriction.binding;
 
     if (restriction.binding == Binding::kLocal) {
       // Copy each implementation from the represented chain.
       for (const auto& sig : iface->methods) {
-        if (removed.count(sig.name) > 0) {
-          removal_used.insert(sig.name);
-          continue;
-        }
+        if (removed.count(sig.name) > 0) continue;
         const MethodDef* impl =
             registry_->resolve_method(*represented, sig.name);
-        if (impl == nullptr) {
-          diag("interface " + restriction.name,
-               "method '" + sig.name + "' has no implementation in '" +
-                   def.represents + "'",
-               "implement it on the represented object or bind the "
-               "interface as rmi/switchboard");
-          continue;
-        }
+        if (impl == nullptr) continue;  // PSA004 upstream
         MethodDef copy = impl->clone();
         copy.interface_name = restriction.name;
         add_method(std::move(copy));
@@ -378,10 +313,7 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
       const std::string stub = stub_field_name(restriction.name,
                                                restriction.binding);
       for (const auto& sig : iface->methods) {
-        if (removed.count(sig.name) > 0) {
-          removal_used.insert(sig.name);
-          continue;
-        }
+        if (removed.count(sig.name) > 0) continue;
         MethodDef m = make_stub_method(sig, stub, restriction.name);
         add_method(std::move(m));
         metrics.methods_stubbed.inc();
@@ -393,20 +325,8 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
 
   // ---- (2) added and customized methods from the XML ----
   auto splice = [&](const MethodSpec& spec, bool customize) {
-    if (customize &&
-        registry_->resolve_method(*represented, spec.name) == nullptr) {
-      diag("method " + spec.name,
-           "customizes a method that does not exist on '" + def.represents +
-               "'",
-           "move it to <Adds_Methods> or fix the method name");
-      return;
-    }
     auto parsed = minilang::parse_block_source(spec.body);
-    if (!parsed.ok()) {
-      diag("method " + spec.name, "body does not parse: " + parsed.error().message,
-           "correct the MBody code");
-      return;
-    }
+    if (!parsed.ok()) return;  // PSA006/PSA007 upstream
     MethodDef m;
     m.name = spec.name;
     m.params = spec.params;
@@ -438,59 +358,34 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
     }
   }
 
-  // Removals that matched no restricted-interface method are programmer
-  // mistakes worth flagging.
-  for (const auto& name : removed) {
-    if (removal_used.count(name) == 0) {
-      diag("removed method " + name,
-           "does not name a method of any restricted interface",
-           "fix the name or drop the <Method> entry under "
-           "<Removes_Methods>");
-    }
-  }
-
-  // The paper requires at least one constructor declaration.
-  if (view_method_names.count("constructor") == 0) {
-    diag("constructor", "view defines no constructor",
-         "add an MSign/MBody pair for 'constructor(...)' under "
-         "<Adds_Methods>");
-  }
-
-  // Coherence methods: required, but VIG can supply default handlers.
+  // Coherence methods: required upstream (PSA011); VIG supplies the default
+  // handlers when the definition omits them and auto_coherence is on.
   for (const char* name : kCoherenceMethods) {
     if (view_method_names.count(name) > 0) continue;
     if (options_.auto_coherence) {
       for (auto& m : default_coherence_methods()) {
         if (m.name == name) add_method(std::move(m));
       }
-    } else {
-      diag(std::string("method ") + name,
-           "cache-coherence method is missing",
-           "provide it under <Adds_Methods> or enable auto_coherence");
     }
   }
 
   // ---- (3) fields ----
   for (const auto& field : def.added_fields) {
-    if (represented->find_field(field.name) == nullptr &&
-        std::none_of(view->fields.begin(), view->fields.end(),
-                     [&](const FieldDef& f) { return f.name == field.name; })) {
+    if (represented->find_field(field.name) == nullptr) {
+      // PSA010 upstream rules out stub collisions.
       view->fields.push_back(FieldDef{field.name, field.type, Value::null()});
-    } else if (std::any_of(view->fields.begin(), view->fields.end(),
-                           [&](const FieldDef& f) { return f.name == field.name; })) {
-      diag("field " + field.name, "added field collides with a stub field",
-           "rename the field in <Adds_Fields>");
     } else {
       // Redeclares a represented field: copy type from the original.
-      view->fields.push_back(
-          *represented->find_field(field.name));
+      view->fields.push_back(*represented->find_field(field.name));
     }
   }
   view->fields.push_back(FieldDef{"cacheManager", "CacheManager", Value::null()});
 
-  // Validate bodies; copy used fields and transitively referenced methods
-  // from the represented chain (paper: VIG parses the method code and copies
-  // the declarations of all used class fields; Javassist-style chain walk).
+  // Copy used fields and transitively referenced methods from the
+  // represented chain (paper: VIG parses the method code and copies the
+  // declarations of all used class fields; Javassist-style chain walk).
+  // The field-reachability pass (PSA020/PSA021) has already proven every
+  // name below resolves.
   auto field_known = [&](const std::string& name) {
     return std::any_of(view->fields.begin(), view->fields.end(),
                        [&](const FieldDef& f) { return f.name == name; });
@@ -513,32 +408,18 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
     const FreeNames free = collect_free_names(m.body, m.params);
     for (const auto& var : free.variables) {
       if (field_known(var)) continue;
-      if (copy_field_if_represented(var)) continue;
-      diag("method " + m.name,
-           "uses variable '" + var +
-               "' that is not defined in the original object or the method",
-           "declare it with 'var', add it under <Adds_Fields>, or fix the "
-           "name");
+      copy_field_if_represented(var);
     }
     for (const auto& call : free.calls) {
       if (is_builtin(call) || view_method_names.count(call) > 0) continue;
       const MethodDef* impl = registry_->resolve_method(*represented, call);
-      if (impl != nullptr) {
-        MethodDef copy = impl->clone();
-        view_method_names.insert(copy.name);
-        methods.push_back(std::move(copy));  // analyzed later in this loop
-        metrics.methods_copied.inc();
-        continue;
-      }
-      diag("method " + m.name,
-           "calls method '" + call +
-               "' that exists neither on the view nor on '" + def.represents +
-               "'",
-           "add the method or correct the call");
+      if (impl == nullptr) continue;  // PSA021 upstream
+      MethodDef copy = impl->clone();
+      view_method_names.insert(copy.name);
+      methods.push_back(std::move(copy));  // walked later in this loop
+      metrics.methods_copied.inc();
     }
   }
-
-  if (!diagnostics_.empty()) return finish_failure();
 
   // Coherence wrapping: every method implemented by the view except the
   // constructor and the coherence methods themselves.

@@ -31,6 +31,8 @@ struct VigDiagnostic {
   std::string context;  // e.g. "method addMeeting", "interface NotesI"
   std::string message;
   std::string hint;     // how to fix the XML rules
+  std::string code;     // stable analysis code (PSAnnn); see DESIGN.md §4g
+  bool is_error = true; // warnings are recorded but do not fail generation
 
   std::string display() const;
 };
@@ -52,17 +54,15 @@ struct VigStats {
   std::size_t cache_hits = 0;
 };
 
-/// Name of the stub field VIG injects for a remote-bound interface
-/// (Table 5: `NotesI notesI_rmi;`, `AddressI addrI_switch`).
-std::string stub_field_name(const std::string& interface_name,
-                            minilang::Binding binding);
-
 class Vig {
  public:
   explicit Vig(minilang::ClassRegistry* registry, VigOptions options = {});
 
-  /// Generate the view class (or return the cached one). On failure the
-  /// Result carries a summary; `diagnostics()` has the full list.
+  /// Generate the view class (or return the cached one). Validation runs
+  /// through the psf::analysis engine first (every registered pass, all
+  /// findings in one run); generation is refused iff any diagnostic is an
+  /// error. On failure the Result carries a summary; `diagnostics()` has
+  /// the full list (warnings included, also on success).
   util::Result<std::shared_ptr<minilang::ClassDef>> generate(
       const ViewDefinition& def);
 

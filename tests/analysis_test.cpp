@@ -1,0 +1,390 @@
+// Tests for the psf::analysis engine (DESIGN.md §4g): one positive and one
+// negative fixture per pass (tests/fixtures/analysis/), a golden-file test
+// pinning the psf_analyze --json wire format, the VIG integration contract
+// (all diagnostics in one run), and the credential-flow pass against a real
+// dRBAC repository.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "drbac/credential.hpp"
+#include "drbac/repository.hpp"
+#include "mail/components.hpp"
+#include "util/rng.hpp"
+#include "views/vig.hpp"
+
+namespace psf {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string fixture_path(const std::string& name) {
+  return std::string(PSF_ANALYSIS_FIXTURE_DIR) + "/" + name;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+class AnalysisFixtureTest : public ::testing::Test {
+ protected:
+  void SetUp() override { mail::register_all(registry_); }
+
+  analysis::AnalysisResult analyze_fixture(
+      const std::string& name, const analysis::AnalysisOptions& options = {}) {
+    auto def = views::ViewDefinition::from_xml(read_file(fixture_path(name)));
+    EXPECT_TRUE(def.ok()) << name << ": " << def.error().message;
+    return analysis::analyze(def.value(), registry_, options);
+  }
+
+  static std::set<std::string> codes(const analysis::AnalysisResult& result) {
+    std::set<std::string> out;
+    for (const auto& d : result.diagnostics) out.insert(d.code);
+    return out;
+  }
+
+  static bool has_code(const analysis::AnalysisResult& result,
+                       const std::string& code,
+                       analysis::Severity severity) {
+    for (const auto& d : result.diagnostics) {
+      if (d.code == code && d.severity == severity) return true;
+    }
+    return false;
+  }
+
+  minilang::ClassRegistry registry_;
+};
+
+// ------------------------------------------------- per-pass fixture pairs
+
+TEST_F(AnalysisFixtureTest, ReachabilityGoodFixtureIsClean) {
+  auto result = analyze_fixture("good_reachability.xml");
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.warnings, 0u);
+}
+
+TEST_F(AnalysisFixtureTest, ReachabilityBadFixtureFlagsVarAndCall) {
+  auto result = analyze_fixture("bad_reachability.xml");
+  EXPECT_TRUE(has_code(result, "PSA020", analysis::Severity::kError));
+  EXPECT_TRUE(has_code(result, "PSA021", analysis::Severity::kError));
+  EXPECT_GE(result.errors, 2u);
+}
+
+TEST_F(AnalysisFixtureTest, UseBeforeInitGoodFixtureIsClean) {
+  // `var` inside a branch is visible to later statements (linear walk), so
+  // the escape pattern must not be flagged.
+  auto result = analyze_fixture("good_use_before_init.xml");
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.warnings, 0u);
+}
+
+TEST_F(AnalysisFixtureTest, UseBeforeInitBadFixtureFlagsBothShapes) {
+  auto result = analyze_fixture("bad_use_before_init.xml");
+  // Reading a non-field local before its `var` is an error (EvalError at
+  // runtime); reading a field-shadowing local before its `var` silently
+  // reads the field, so it is a warning.
+  EXPECT_TRUE(has_code(result, "PSA030", analysis::Severity::kError));
+  EXPECT_TRUE(has_code(result, "PSA031", analysis::Severity::kWarning));
+}
+
+TEST_F(AnalysisFixtureTest, DeadMembersGoodFixtureIsClean) {
+  auto result = analyze_fixture("good_dead_members.xml");
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.warnings, 0u);
+}
+
+TEST_F(AnalysisFixtureTest, DeadMembersBadFixtureWarnsOnly) {
+  auto result = analyze_fixture("bad_dead_members.xml");
+  EXPECT_TRUE(has_code(result, "PSA035", analysis::Severity::kWarning));
+  EXPECT_TRUE(has_code(result, "PSA036", analysis::Severity::kWarning));
+  EXPECT_EQ(result.errors, 0u);  // dead members never block generation
+}
+
+TEST_F(AnalysisFixtureTest, ExposureGoodFixtureIsClean) {
+  auto result = analyze_fixture("good_exposure.xml");
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.warnings, 0u);
+}
+
+TEST_F(AnalysisFixtureTest, ExposureBadFixtureFlagsRemovedAndDeepCalls) {
+  auto result = analyze_fixture("bad_exposure.xml");
+  EXPECT_TRUE(has_code(result, "PSA040", analysis::Severity::kError));
+  EXPECT_TRUE(has_code(result, "PSA041", analysis::Severity::kError));
+}
+
+TEST_F(AnalysisFixtureTest, ExposureFlagsRemoteCustomizationTouchingLocalState) {
+  auto result = analyze_fixture("bad_remote_custom.xml");
+  EXPECT_TRUE(has_code(result, "PSA042", analysis::Severity::kError));
+}
+
+TEST_F(AnalysisFixtureTest, CoherenceGoodFixtureIsClean) {
+  auto result = analyze_fixture("good_coherence.xml");
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.warnings, 0u);
+}
+
+TEST_F(AnalysisFixtureTest, CoherenceBadFixtureFlagsAllThreeShapes) {
+  auto result = analyze_fixture("bad_coherence.xml");
+  EXPECT_TRUE(has_code(result, "PSA060", analysis::Severity::kWarning));
+  EXPECT_TRUE(has_code(result, "PSA061", analysis::Severity::kWarning));
+  EXPECT_TRUE(has_code(result, "PSA062", analysis::Severity::kError));
+}
+
+TEST_F(AnalysisFixtureTest, StructuralBadFixtureReportsEverythingInOneRun) {
+  // Satellite (b): one run surfaces every structural problem, not just the
+  // first one hit.
+  auto result = analyze_fixture("bad_structural.xml");
+  auto seen = codes(result);
+  EXPECT_TRUE(seen.count("PSA002"));  // unknown interface
+  EXPECT_TRUE(seen.count("PSA005"));  // duplicate method
+  EXPECT_TRUE(seen.count("PSA009"));  // missing constructor
+  EXPECT_GE(result.errors, 3u);
+}
+
+// ------------------------------------------------------------ in-tree views
+
+TEST_F(AnalysisFixtureTest, AllInTreeMailViewsAnalyzeClean) {
+  const std::pair<const char*, std::string> views[] = {
+      {"partner", mail::view_xml_partner()},
+      {"member", mail::view_xml_member()},
+      {"anonymous", mail::view_xml_anonymous()},
+      {"cache", mail::view_xml_mail_server_cache()},
+      {"replica", mail::view_xml_client_replica()},
+  };
+  for (const auto& [label, xml] : views) {
+    auto def = views::ViewDefinition::from_xml(xml);
+    ASSERT_TRUE(def.ok()) << label;
+    auto result = analysis::analyze(def.value(), registry_);
+    EXPECT_EQ(result.errors, 0u) << label;
+    EXPECT_EQ(result.warnings, 0u) << label;
+  }
+}
+
+TEST_F(AnalysisFixtureTest, ExampleXmlFilesMatchBuiltinAccessors) {
+  // examples/views/*.xml are what CI lints; they must not drift from the
+  // authoritative strings compiled into the mail application.
+  const std::pair<const char*, std::string> views[] = {
+      {"partner.xml", mail::view_xml_partner()},
+      {"member.xml", mail::view_xml_member()},
+      {"anonymous.xml", mail::view_xml_anonymous()},
+      {"mail_server_cache.xml", mail::view_xml_mail_server_cache()},
+      {"client_replica.xml", mail::view_xml_client_replica()},
+  };
+  for (const auto& [file, xml] : views) {
+    std::string on_disk = read_file(std::string(PSF_EXAMPLE_VIEWS_DIR) + "/" +
+                                    file);
+    EXPECT_EQ(trim(on_disk), trim(xml)) << file << " drifted from the "
+                                        << "builtin definition";
+  }
+}
+
+// ------------------------------------------------------------- golden JSON
+
+TEST_F(AnalysisFixtureTest, JsonReportMatchesGoldenFile) {
+  // Pins the psf_analyze --json wire format: key order, span fields, and
+  // diagnostic ordering are all load-bearing for CI consumers.
+  auto result = analyze_fixture("bad_reachability.xml");
+  std::string expected = trim(read_file(fixture_path(
+      "golden_bad_reachability.json")));
+  EXPECT_EQ("[" + result.json() + "]", expected);
+}
+
+// ----------------------------------------------------------- pass registry
+
+TEST(PassRegistry, GlobalRegistryHasAllBuiltinPasses) {
+  auto& registry = analysis::global_pass_registry();
+  const char* names[] = {"field-reachability", "use-before-init",
+                         "dead-members",       "exposure",
+                         "coherence",          "credential-flow"};
+  for (const char* name : names) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+  EXPECT_GE(registry.passes().size(), 6u);
+}
+
+TEST(PassRegistry, AnalyzeHonorsCustomRegistry) {
+  minilang::ClassRegistry classes;
+  mail::register_all(classes);
+  auto def = views::ViewDefinition::from_xml(
+      read_file(fixture_path("bad_reachability.xml")));
+  ASSERT_TRUE(def.ok());
+
+  // An empty registry silences every pass: only structural model building
+  // runs (and this fixture is structurally fine).
+  analysis::PassRegistry empty;
+  analysis::AnalysisOptions options;
+  options.registry = &empty;
+  auto result = analysis::analyze(def.value(), classes, options);
+  EXPECT_EQ(result.errors, 0u);
+}
+
+// -------------------------------------------------------- VIG integration
+
+TEST(VigIntegration, ReportsMultipleDistinctDiagnosticsInOneRun) {
+  minilang::ClassRegistry classes;
+  mail::register_all(classes);
+  views::Vig vig(&classes);
+
+  auto def = views::ViewDefinition::from_xml(
+      read_file(std::string(PSF_ANALYSIS_FIXTURE_DIR) +
+                "/bad_reachability.xml"));
+  ASSERT_TRUE(def.ok());
+  auto generated = vig.generate(def.value());
+  EXPECT_FALSE(generated.ok());
+
+  std::set<std::string> error_codes;
+  for (const auto& d : vig.diagnostics()) {
+    if (d.is_error) error_codes.insert(d.code);
+  }
+  // The whole point of the shared engine: both problems surface in ONE
+  // generate() call instead of fix-one-rerun-find-the-next.
+  EXPECT_TRUE(error_codes.count("PSA020"));
+  EXPECT_TRUE(error_codes.count("PSA021"));
+  EXPECT_GE(error_codes.size(), 2u);
+}
+
+// -------------------------------------------------------- credential flow
+
+class CredentialFlowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mail::register_all(registry_);
+    auto def = views::ViewDefinition::from_xml(mail::view_xml_partner());
+    ASSERT_TRUE(def.ok());
+    def_ = std::make_unique<views::ViewDefinition>(def.value());
+  }
+
+  analysis::AnalysisResult analyze_with(const analysis::SecurityContext& sec) {
+    analysis::AnalysisOptions options;
+    options.security = &sec;
+    return analysis::analyze(*def_, registry_, options);
+  }
+
+  static bool has_psa070(const analysis::AnalysisResult& result) {
+    for (const auto& d : result.diagnostics) {
+      if (d.code == "PSA070") return true;
+    }
+    return false;
+  }
+
+  util::Rng rng_{7};
+  minilang::ClassRegistry registry_;
+  std::unique_ptr<views::ViewDefinition> def_;
+};
+
+TEST_F(CredentialFlowTest, ProvableRoleIsSilent) {
+  using namespace drbac;
+  Entity mail_corp = Entity::create("Mail", rng_);
+  Entity alice = Entity::create("Alice", rng_);
+  Repository repo;
+  RoleRef partner{mail_corp.name, mail_corp.fingerprint(), "Partner"};
+  repo.add(issue(mail_corp, Principal::of_entity(alice), partner, {}, false,
+                 0, 0, repo.next_serial()));
+
+  analysis::SecurityContext sec;
+  sec.repository = &repo;
+  sec.rules.push_back({partner, def_->name});
+  EXPECT_FALSE(has_psa070(analyze_with(sec)));
+}
+
+TEST_F(CredentialFlowTest, ProvableThroughRoleChainIsSilent) {
+  using namespace drbac;
+  Entity mail_corp = Entity::create("Mail", rng_);
+  Entity comp = Entity::create("Comp", rng_);
+  Entity bob = Entity::create("Bob", rng_);
+  Repository repo;
+  RoleRef partner{mail_corp.name, mail_corp.fingerprint(), "Partner"};
+  RoleRef member{comp.name, comp.fingerprint(), "Member"};
+  // Comp.Member -> Mail.Partner, Bob -> Comp.Member: two-hop proof.
+  repo.add(issue(mail_corp, Principal::of_role(comp, "Member"), partner, {},
+                 false, 0, 0, repo.next_serial()));
+  repo.add(issue(comp, Principal::of_entity(bob), member, {}, false, 0, 0,
+                 repo.next_serial()));
+
+  analysis::SecurityContext sec;
+  sec.repository = &repo;
+  sec.rules.push_back({partner, def_->name});
+  EXPECT_FALSE(has_psa070(analyze_with(sec)));
+}
+
+TEST_F(CredentialFlowTest, UnprovableRoleWarns) {
+  using namespace drbac;
+  Entity mail_corp = Entity::create("Mail", rng_);
+  Repository repo;  // empty: nothing can prove Mail.Partner
+  RoleRef partner{mail_corp.name, mail_corp.fingerprint(), "Partner"};
+
+  analysis::SecurityContext sec;
+  sec.repository = &repo;
+  sec.rules.push_back({partner, def_->name});
+  auto result = analyze_with(sec);
+  EXPECT_TRUE(has_psa070(result));
+  EXPECT_EQ(result.errors, 0u);  // deploy-time wiring gap, not a code bug
+}
+
+TEST_F(CredentialFlowTest, RevokedDelegationDoesNotProve) {
+  using namespace drbac;
+  Entity mail_corp = Entity::create("Mail", rng_);
+  Entity alice = Entity::create("Alice", rng_);
+  Repository repo;
+  RoleRef partner{mail_corp.name, mail_corp.fingerprint(), "Partner"};
+  auto d = issue(mail_corp, Principal::of_entity(alice), partner, {}, false,
+                 0, 0, repo.next_serial());
+  repo.add(d);
+  repo.revoke(d->serial);
+
+  analysis::SecurityContext sec;
+  sec.repository = &repo;
+  sec.rules.push_back({partner, def_->name});
+  EXPECT_TRUE(has_psa070(analyze_with(sec)));
+}
+
+TEST_F(CredentialFlowTest, RulesForOtherViewsAreIgnored) {
+  using namespace drbac;
+  Entity mail_corp = Entity::create("Mail", rng_);
+  Repository repo;
+  RoleRef partner{mail_corp.name, mail_corp.fingerprint(), "Partner"};
+
+  analysis::SecurityContext sec;
+  sec.repository = &repo;
+  sec.rules.push_back({partner, "SomeOtherView"});
+  EXPECT_FALSE(has_psa070(analyze_with(sec)));
+}
+
+// ------------------------------------------------------------- diagnostics
+
+TEST(Diagnostic, JsonEscapesSpecials) {
+  analysis::Diagnostic d{analysis::Severity::kWarning, "PSA999",
+                         analysis::Span{"V\"iew", "method \\x", 3},
+                         "line1\nline2", "tab\there"};
+  std::string json = d.json();
+  EXPECT_NE(json.find("V\\\"iew"), std::string::npos);
+  EXPECT_NE(json.find("method \\\\x"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+  EXPECT_NE(json.find("tab\\there"), std::string::npos);
+}
+
+TEST(Diagnostic, DisplayIncludesCodeSpanAndHint) {
+  analysis::Diagnostic d{analysis::Severity::kError, "PSA020",
+                         analysis::Span{"Partner", "method deliver", 4},
+                         "uses variable 'x'", "declare it"};
+  std::string text = d.display();
+  EXPECT_NE(text.find("PSA020"), std::string::npos);
+  EXPECT_NE(text.find("method deliver:4"), std::string::npos);
+  EXPECT_NE(text.find("fix: declare it"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psf

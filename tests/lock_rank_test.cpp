@@ -1,0 +1,152 @@
+// Lock-rank checker (util/lock_rank.hpp). This target compiles with
+// PSF_LOCK_RANK defined (see tests/CMakeLists.txt) so the checker is active
+// regardless of build type; in plain Debug builds it is active everywhere.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+
+#include "util/lock_rank.hpp"
+
+namespace psf::util {
+namespace {
+
+static_assert(PSF_LOCK_RANK_ENABLED,
+              "lock_rank_test must build with the checker enabled");
+
+// Test mutexes are function-local statics, not stack locals: glibc's
+// std::mutex has a trivial destructor (no pthread_mutex_destroy), so TSan's
+// deadlock detector never forgets a destroyed mutex — stack-address reuse
+// across tests would alias unrelated mutexes into phantom lock-order cycles.
+
+struct Violation {
+  std::string acquiring;
+  int acquiring_rank = 0;
+  std::string held;
+  int held_rank = 0;
+};
+
+// The handler API is a plain function pointer (callable from the hot path
+// with no allocation), so the recording sink is a global.
+Violation g_last;
+int g_count = 0;
+
+void record(const char* acquiring, int acquiring_rank, const char* held,
+            int held_rank) {
+  g_last = {acquiring, acquiring_rank, held, held_rank};
+  ++g_count;
+}
+
+class LockRankTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_last = {};
+    g_count = 0;
+    previous_ = lock_rank::set_violation_handler(&record);
+  }
+  void TearDown() override { lock_rank::set_violation_handler(previous_); }
+
+  lock_rank::ViolationHandler previous_ = nullptr;
+};
+
+TEST_F(LockRankTest, IncreasingOrderIsSilent) {
+  static RankedMutex<std::mutex> repo(LockRank::kRepository, "repo");
+  static RankedMutex<std::mutex> proof(LockRank::kProofCache, "proof");
+  {
+    std::lock_guard outer(repo);
+    std::lock_guard inner(proof);
+    EXPECT_EQ(lock_rank::held_count(), 2u);
+  }
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+  EXPECT_EQ(g_count, 0);
+}
+
+TEST_F(LockRankTest, DecreasingOrderIsAViolation) {
+  static RankedMutex<std::mutex> repo(LockRank::kRepository, "repo");
+  static RankedMutex<std::mutex> proof(LockRank::kProofCache, "proof");
+  {
+    std::lock_guard outer(proof);
+    std::lock_guard inner(repo);  // 30 while holding 50
+  }
+  EXPECT_EQ(g_count, 1);
+  EXPECT_EQ(g_last.acquiring, "repo");
+  EXPECT_EQ(g_last.acquiring_rank, 30);
+  EXPECT_EQ(g_last.held, "proof");
+  EXPECT_EQ(g_last.held_rank, 50);
+}
+
+TEST_F(LockRankTest, SameRankPeersAlsoViolate) {
+  static RankedMutex<std::mutex> a(LockRank::kConnection, "conn-a");
+  static RankedMutex<std::mutex> b(LockRank::kConnection, "conn-b");
+  {
+    std::lock_guard outer(a);
+    std::lock_guard inner(b);  // no defined order between peers
+  }
+  EXPECT_EQ(g_count, 1);
+}
+
+TEST_F(LockRankTest, SharedLocksFollowTheSameDiscipline) {
+  static RankedMutex<std::shared_mutex> board(LockRank::kSwitchboard, "board");
+  static RankedMutex<std::shared_mutex> sig(LockRank::kSignatureCache, "sig");
+  {
+    std::shared_lock reader(board);
+    std::unique_lock writer(sig);
+    EXPECT_EQ(lock_rank::held_count(), 2u);
+  }
+  EXPECT_EQ(g_count, 0);
+  // Fresh instances for the violating order: re-using board/sig would put a
+  // genuine A->B->A cycle on the same mutex pair into TSan's lock-order graph.
+  static RankedMutex<std::shared_mutex> board2(LockRank::kSwitchboard, "board2");
+  static RankedMutex<std::shared_mutex> sig2(LockRank::kSignatureCache, "sig2");
+  {
+    std::shared_lock reader(sig2);
+    std::shared_lock lower(board2);  // shared acquisition checked too
+  }
+  EXPECT_EQ(g_count, 1);
+}
+
+TEST_F(LockRankTest, OutOfOrderReleaseUnwindsCorrectly) {
+  static RankedMutex<std::mutex> low(LockRank::kSwitchboard, "low");
+  static RankedMutex<std::mutex> high(LockRank::kGuardCache, "high");
+  std::unique_lock first(low);
+  std::unique_lock second(high);
+  first.unlock();  // release the *lower* lock first
+  EXPECT_EQ(lock_rank::held_count(), 1u);
+  // Re-acquiring something above the still-held high rank is fine...
+  static RankedMutex<std::mutex> top(LockRank::kProofCache, "top");
+  {
+    std::lock_guard third(top);
+  }
+  EXPECT_EQ(g_count, 0);
+  second.unlock();
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+}
+
+TEST_F(LockRankTest, TryLockRecordsButNeverTrips) {
+  static RankedMutex<std::mutex> high(LockRank::kProofCache, "high");
+  static RankedMutex<std::mutex> low(LockRank::kSwitchboard, "low");
+  std::lock_guard outer(high);
+  ASSERT_TRUE(low.try_lock());  // would violate as lock(); allowed as try
+  EXPECT_EQ(g_count, 0);
+  EXPECT_EQ(lock_rank::held_count(), 2u);
+  low.unlock();
+}
+
+TEST_F(LockRankTest, HeldStacksAreSeparatePerThread) {
+  static RankedMutex<std::mutex> repo(LockRank::kRepository, "repo");
+  static RankedMutex<std::mutex> board(LockRank::kSwitchboard, "board");
+  std::lock_guard outer(repo);
+  int other_thread_count = -1;
+  std::thread([&] {
+    // This thread holds nothing, so a low-rank acquisition is fine even
+    // while the main thread holds rank 30.
+    std::lock_guard inner(board);
+    other_thread_count = g_count;
+  }).join();
+  EXPECT_EQ(other_thread_count, 0);
+}
+
+}  // namespace
+}  // namespace psf::util

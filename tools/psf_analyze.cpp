@@ -1,0 +1,156 @@
+// psf_analyze — standalone static analysis for view definitions (DESIGN.md
+// §4g). Runs every registered analysis pass (field-reachability,
+// use-before-init, dead-members, exposure, coherence, credential-flow) over
+// one or more Table 3(b) XML files and reports structured diagnostics.
+//
+// Usage:
+//   psf_analyze [--json] <view.xml>...
+//   psf_analyze [--json] --builtin all|partner|member|anonymous|cache|replica
+//
+// The represented classes come from the mail application registry. Output is
+// human-readable by default; --json emits one stable JSON array with one
+// object per analyzed definition (golden-tested in tests/analysis_test.cpp).
+//
+// Exit status: 0 = no errors (warnings allowed), 1 = at least one error
+// diagnostic (or unreadable/unparseable input), 2 = bad arguments.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "mail/components.hpp"
+#include "views/view_def.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: psf_analyze [--json] <view.xml>...\n"
+            << "       psf_analyze [--json] --builtin "
+               "all|partner|member|anonymous|cache|replica\n";
+  return 2;
+}
+
+struct Input {
+  std::string label;  // file path or builtin name
+  std::string xml;
+};
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  out = os.str();
+  return true;
+}
+
+bool add_builtin(const std::string& which, std::vector<Input>& inputs) {
+  using namespace psf;
+  if (which == "all") {
+    for (const char* each : {"partner", "member", "anonymous", "cache",
+                             "replica"}) {
+      add_builtin(each, inputs);
+    }
+    return true;
+  }
+  if (which == "partner") {
+    inputs.push_back({which, mail::view_xml_partner()});
+  } else if (which == "member") {
+    inputs.push_back({which, mail::view_xml_member()});
+  } else if (which == "anonymous") {
+    inputs.push_back({which, mail::view_xml_anonymous()});
+  } else if (which == "cache") {
+    inputs.push_back({which, mail::view_xml_mail_server_cache()});
+  } else if (which == "replica") {
+    inputs.push_back({which, mail::view_xml_client_replica()});
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// An input that never reached the analyzer (unreadable file, XML schema
+/// error), shaped like an analysis result so JSON consumers see one format.
+psf::analysis::AnalysisResult input_failure(const std::string& label,
+                                            const std::string& message) {
+  psf::analysis::AnalysisResult result;
+  result.view_name = label;
+  result.errors = 1;
+  result.diagnostics.push_back(psf::analysis::Diagnostic{
+      psf::analysis::Severity::kError, "PSA000",
+      psf::analysis::Span{label, "definition", 0}, message,
+      "fix the file so it parses as a Table 3(b) <View> document"});
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psf;
+
+  bool json = false;
+  std::vector<Input> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--builtin") {
+      if (i + 1 >= argc || !add_builtin(argv[++i], inputs)) return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      std::string xml;
+      if (!read_file(arg, xml)) {
+        std::cerr << "psf_analyze: cannot open " << arg << "\n";
+        return 1;
+      }
+      inputs.push_back({arg, std::move(xml)});
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  minilang::ClassRegistry registry;
+  mail::register_all(registry);
+
+  std::vector<analysis::AnalysisResult> results;
+  for (const Input& input : inputs) {
+    auto def = views::ViewDefinition::from_xml(input.xml);
+    if (!def.ok()) {
+      results.push_back(input_failure(
+          input.label, "definition does not parse: " + def.error().message));
+      continue;
+    }
+    results.push_back(analysis::analyze(def.value(), registry));
+  }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  if (json) {
+    std::cout << "[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i != 0) std::cout << ",";
+      std::cout << results[i].json();
+    }
+    std::cout << "]\n";
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const analysis::AnalysisResult& result = results[i];
+    errors += result.errors;
+    warnings += result.warnings;
+    if (json) continue;
+    std::cout << inputs[i].label << ": view '" << result.view_name << "': "
+              << result.errors << " error(s), " << result.warnings
+              << " warning(s)\n";
+    for (const auto& d : result.diagnostics) {
+      std::cout << "  " << severity_name(d.severity) << ": " << d.display()
+                << "\n";
+    }
+  }
+  if (!json) {
+    std::cout << results.size() << " definition(s), " << errors
+              << " error(s), " << warnings << " warning(s)\n";
+  }
+  return errors > 0 ? 1 : 0;
+}
