@@ -1,0 +1,387 @@
+// ISSUE 6 tentpole, part 5: the mail load ramp. Simulated mail clients ramp
+// from 1k to 10k+ (more in full mode), driven by a small pool of worker
+// threads, each owning a complete share-nothing fixture (its own Network,
+// Switchboards, repository, and sealed connection) so the only cross-thread
+// state is the observability plane itself — which is exactly what this bench
+// is about. Per ramp step it reports p50/p99 secure-RPC latency (from
+// psf.switchboard.rpc_us bucket deltas) and sustained RPS, then:
+//
+//  - re-arms the rpc histogram's exemplar threshold at the warmup step's
+//    observed p90 (adaptive: the tail is defined by this machine's real
+//    latency, not a hardcoded guess) and asserts a captured exemplar still
+//    resolves to spans via SpanCollector::spans_for_trace;
+//  - sizes the journal overflow ring ahead of each step from the projected
+//    event burst (adaptive ring), drains between steps like a scraping
+//    collector, and asserts the soft/hard split shows zero hard drops;
+//  - measures the §4f observability-overhead gate AT LOAD: alternating
+//    min-of-N passes with the full load plane (journal + per-request events
+//    + exemplars + contention profiling) on vs off, and exits nonzero if
+//    the overhead exceeds 5%.
+//
+// Writes BENCH_mail_load.json (psf-bench-v1).
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mail/components.hpp"
+#include "minilang/interp.hpp"
+#include "obs/contention.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
+#include "switchboard/channel.hpp"
+
+namespace {
+
+using namespace psf;
+using drbac::Principal;
+using minilang::Value;
+using switchboard::AcceptAllAuthorizer;
+using switchboard::AuthorizationSuite;
+using switchboard::Connection;
+using switchboard::RoleAuthorizer;
+
+// One mail client's worth of framework: the same secure-channel fixture as
+// bench_obs_overhead, but constructed per worker thread so the workers share
+// nothing except the process-wide observability plane.
+struct WorkerFixture {
+  explicit WorkerFixture(unsigned seed) : rng(seed) {
+    net.connect("client", "server", {util::kMillisecond, 0, false});
+    mail::register_all(registry);
+    auto service = minilang::instantiate(registry, "MailServer");
+    service->call("registerAccount",
+                  {Value::string("alice"), Value::string("555"),
+                   Value::string("a@x")});
+    server_board.register_service("mail", service);
+    client_cred = drbac::issue(guard, Principal::of_entity(client),
+                               drbac::role_of(guard, "Member"), {}, false, 0,
+                               0, repo.next_serial());
+    repo.add(client_cred);
+    AuthorizationSuite server_suite;
+    server_suite.identity = server;
+    server_suite.authorizer = std::make_shared<RoleAuthorizer>(
+        &repo, drbac::role_of(guard, "Member"));
+    server_board.set_suite(server_suite);
+    AuthorizationSuite suite;
+    suite.identity = client;
+    suite.credentials = {client_cred};
+    suite.authorizer = std::make_shared<AcceptAllAuthorizer>();
+    conn = client_board.connect(server_board, suite, rng).value();
+  }
+
+  // One logical client request. `chatty` adds the per-request journal event
+  // a debug-verbosity deployment would emit — the burst volume the overflow
+  // ring has to absorb during the ramp. The product's own journaling is
+  // edge-triggered (healthy RPCs emit nothing), which is what the overhead
+  // gate measures.
+  void one_request(std::int64_t worker, std::int64_t i, bool chatty) {
+    conn->call(Connection::End::kA, "mail", "getPhone",
+               {Value::string("alice")});
+    if (chatty) {
+      obs::journal::emit(obs::journal::Subsystem::kObs, 97, worker, i, 0, 0);
+    }
+  }
+
+  util::Rng rng;
+  std::shared_ptr<util::SimClock> clock = std::make_shared<util::SimClock>();
+  switchboard::Network net;
+  drbac::Repository repo;
+  drbac::Entity guard = drbac::Entity::create("Guard", rng);
+  drbac::Entity client = drbac::Entity::create("Client", rng);
+  drbac::Entity server = drbac::Entity::create("Server", rng);
+  switchboard::Switchboard client_board{"client", &net, clock};
+  switchboard::Switchboard server_board{"server", &net, clock};
+  minilang::ClassRegistry registry;
+  drbac::DelegationPtr client_cred;
+  std::shared_ptr<Connection> conn;
+};
+
+int worker_count() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min(4u, std::max(2u, hc)));
+}
+
+/// Drives `total_requests` across the workers (fresh threads per call, so
+/// each burst starts with empty per-thread journal rings) and returns the
+/// wall-clock seconds for the whole burst.
+double run_loaded(std::vector<std::unique_ptr<WorkerFixture>>& workers,
+                  long total_requests, bool chatty) {
+  const long per_worker =
+      (total_requests + static_cast<long>(workers.size()) - 1) /
+      static_cast<long>(workers.size());
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(workers.size());
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    threads.emplace_back([&fixture = *workers[w], w, per_worker, chatty] {
+      for (long i = 0; i < per_worker; ++i) {
+        fixture.one_request(static_cast<std::int64_t>(w), i, chatty);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+      .count();
+}
+
+/// Percentile of only the observations between two snapshots of the same
+/// histogram: subtract the bucket counts and reuse Snapshot::percentile.
+std::int64_t delta_percentile(const obs::Histogram::Snapshot& before,
+                              const obs::Histogram::Snapshot& after,
+                              double p) {
+  obs::Histogram::Snapshot delta = after;
+  delta.count = after.count - before.count;
+  for (std::size_t i = 0; i < delta.bucket_counts.size(); ++i) {
+    delta.bucket_counts[i] -= before.bucket_counts[i];
+  }
+  return delta.percentile(p);
+}
+
+// Set when the reproduction phase fails one of its asserted gates; main()
+// turns it into a nonzero exit so CI smoke catches a regression even though
+// bench::run itself returned 0.
+int g_gate_failures = 0;
+
+void reproduce() {
+  obs::install_builtin_slos();  // declares switchboard.rpc over rpc_us
+  obs::install_lock_contention_profiler();
+  obs::journal::set_enabled(true);
+  obs::journal::reset();
+
+  const int kWorkers = worker_count();
+  std::vector<std::unique_ptr<WorkerFixture>> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.push_back(std::make_unique<WorkerFixture>(100 + w));
+  }
+  obs::Histogram& rpc_us = obs::histogram("psf.switchboard.rpc_us");
+
+  bench::Report report("mail_load");
+  const int kRequestsPerClient = 2;
+  const std::vector<long> ramp = bench::smoke_mode()
+                                     ? std::vector<long>{1000, 10000}
+                                     : std::vector<long>{1000, 5000, 10000,
+                                                         20000};
+  std::cout << "\n  " << kWorkers << " workers, "
+            << (ramp.size()) << " ramp steps, " << kRequestsPerClient
+            << " requests per client\n\n";
+
+  const std::uint64_t soft_before = obs::journal::soft_dropped();
+  const std::uint64_t hard_before = obs::journal::hard_dropped();
+  std::int64_t adaptive_threshold_us = 0;
+
+  for (std::size_t step = 0; step < ramp.size(); ++step) {
+    const long clients = ramp[step];
+    const long requests = clients * kRequestsPerClient;
+
+    // Adaptive overflow ring: project the journal burst this step will push
+    // past the fixed per-thread rings and grow the shared overflow ring
+    // before — not after — the burst would hard-drop.
+    const long per_worker = (requests + kWorkers - 1) / kWorkers;
+    const long projected =
+        kWorkers * std::max<long>(0, per_worker -
+                                         static_cast<long>(
+                                             obs::journal::kRingCapacity));
+    if (projected > static_cast<long>(obs::journal::overflow_capacity())) {
+      obs::journal::set_overflow_capacity(static_cast<std::size_t>(projected));
+      std::cout << "  [ring] grew overflow to "
+                << obs::journal::overflow_capacity() << " for a projected "
+                << projected << "-event burst\n";
+    }
+
+    const auto before = rpc_us.snapshot();
+    const double secs = run_loaded(workers, requests, /*chatty=*/true);
+    const auto after = rpc_us.snapshot();
+
+    const std::int64_t p50 = delta_percentile(before, after, 50.0);
+    const std::int64_t p99 = delta_percentile(before, after, 99.0);
+    const double rps = secs > 0 ? static_cast<double>(requests) / secs : 0.0;
+    const std::string tag = "ramp_" + std::to_string(clients);
+    report.add(tag + ".p50_us", static_cast<double>(p50), "us", requests);
+    report.add(tag + ".p99_us", static_cast<double>(p99), "us", requests);
+    report.add(tag + ".rps", rps, "req/s", requests);
+
+    // Scraping-collector behavior: drain the journal between steps, then
+    // reset the rings so every step's soft/hard accounting is its own.
+    const std::size_t drained = obs::journal::drain().size();
+    report.add(tag + ".journal_drained", static_cast<double>(drained),
+               "events", requests);
+    obs::journal::reset();
+
+    std::cout << "  " << clients << " clients (" << requests
+              << " requests): p50 " << p50 << " us, p99 " << p99 << " us, "
+              << static_cast<long>(rps) << " req/s, journal drained "
+              << drained << "\n";
+
+    if (step == 0) {
+      // Adaptive exemplar threshold: the warmup step's p90 defines "tail"
+      // for the rest of the ramp (the builtin SLO armed a fixed 500us,
+      // which healthy RPCs never reach on this fixture).
+      adaptive_threshold_us =
+          std::max<std::int64_t>(1, delta_percentile(before, after, 90.0));
+      rpc_us.set_exemplar_threshold(adaptive_threshold_us);
+      std::cout << "  [exemplar] threshold armed at warmup p90 = "
+                << adaptive_threshold_us << " us\n";
+    }
+  }
+
+  // Tail exemplars captured during the loaded steps must resolve to real
+  // spans: pick any bucket exemplar whose trace the SpanCollector can still
+  // produce (the most recent captures are always in the ring; pinned ones
+  // additionally survive eviction).
+  bool exemplar_resolved = false;
+  const auto final_snapshot = rpc_us.snapshot();
+  const auto tail = final_snapshot.tail_exemplar();
+  for (const auto& exemplar : final_snapshot.exemplars) {
+    if (!exemplar.valid) continue;
+    if (!obs::SpanCollector::instance()
+             .spans_for_trace(exemplar.trace_id)
+             .empty()) {
+      exemplar_resolved = true;
+      break;
+    }
+  }
+  std::cout << "  [exemplar] tail capture "
+            << (tail.valid ? "present" : "absent") << ", resolves to spans: "
+            << (exemplar_resolved ? "yes" : "NO") << "\n";
+
+  const std::uint64_t soft_drops = obs::journal::soft_dropped() - soft_before;
+  const std::uint64_t hard_drops = obs::journal::hard_dropped() - hard_before;
+  report.add("journal.soft_drops", static_cast<double>(soft_drops), "events");
+  report.add("journal.hard_drops", static_cast<double>(hard_drops), "events");
+  std::cout << "  [ring] " << soft_drops
+            << " events absorbed by the overflow ring, " << hard_drops
+            << " lost\n";
+
+  // SLO plane after the ramp: at 500us the secure-RPC objective must not be
+  // burning error budget under this (healthy) load.
+  double rpc_burn = 0.0;
+  for (const auto& status : obs::SloRegistry::instance().evaluate()) {
+    if (status.spec.name == "switchboard.rpc") rpc_burn = status.burn;
+  }
+  std::cout << "  [slo] switchboard.rpc burn rate " << rpc_burn << "\n";
+
+  // The §4f gate, measured at load: alternate full-load-plane-on and -off
+  // passes and keep each configuration's best wall clock; the minima cancel
+  // scheduler and frequency jitter the way bench_obs_overhead's do. Passes
+  // are long (tens of ms) and the on/off order flips every pass — on this
+  // class of small shared machine, short passes measure the scheduler, not
+  // the load plane.
+  const long gate_requests = 20000;
+  const int passes = 7;  // min-of-7: the estimator has to outlast scheduler
+                         // noise even in CI smoke, where the gate is asserted
+  double on_s = 1e300, off_s = 1e300, chatty_s = 1e300;
+  const auto run_off = [&] {
+    obs::journal::set_enabled(false);
+    obs::set_contention_profiling(false);
+    rpc_us.set_exemplar_threshold(INT64_MAX);
+    off_s = std::min(off_s, run_loaded(workers, gate_requests, false));
+  };
+  const auto load_plane_on = [&] {
+    obs::journal::set_enabled(true);
+    obs::set_contention_profiling(true);
+    rpc_us.set_exemplar_threshold(adaptive_threshold_us);
+  };
+  const auto run_on = [&] {
+    load_plane_on();
+    on_s = std::min(on_s, run_loaded(workers, gate_requests, false));
+  };
+  // Diagnostic (reported, not gated): the same load with a per-request
+  // journal event — debug-verbosity journaling at a volume that displaces
+  // most events into the shared overflow ring, i.e. the worst case the
+  // adaptive ring is for.
+  const auto run_chatty = [&] {
+    load_plane_on();
+    chatty_s = std::min(chatty_s, run_loaded(workers, gate_requests, true));
+    // Scrape and rewind so every chatty pass pays the same ring-salvage
+    // cost instead of compounding overflow laps across passes.
+    obs::journal::drain();
+    obs::journal::reset();
+  };
+  for (int pass = 0; pass < passes; ++pass) {
+    // Flip the order every pass so slow drift (thermal, noisy neighbors)
+    // hits each configuration's minimum equally.
+    if (pass % 2 == 0) {
+      run_off();
+      run_on();
+      run_chatty();
+    } else {
+      run_chatty();
+      run_on();
+      run_off();
+    }
+  }
+  const double on_us = on_s / static_cast<double>(gate_requests) * 1e6;
+  const double off_us = off_s / static_cast<double>(gate_requests) * 1e6;
+  const double chatty_us = chatty_s / static_cast<double>(gate_requests) * 1e6;
+  const double overhead_pct = off_us > 0 ? (on_us / off_us - 1.0) * 100.0 : 0.0;
+  const double chatty_pct =
+      off_us > 0 ? (chatty_us / off_us - 1.0) * 100.0 : 0.0;
+
+  report.add("loaded_rpc.obs_on_us", on_us, "us", gate_requests);
+  report.add("loaded_rpc.obs_off_us", off_us, "us", gate_requests);
+  report.add("loaded_rpc.obs_chatty_us", chatty_us, "us", gate_requests);
+  report.derived("journal_overhead_at_load_pct", overhead_pct);
+  report.derived("chatty_journal_overhead_pct", chatty_pct);
+  report.derived("exemplar_resolved", exemplar_resolved ? 1.0 : 0.0);
+  report.derived("exemplar_threshold_us",
+                 static_cast<double>(adaptive_threshold_us));
+  report.derived("journal_hard_drops", static_cast<double>(hard_drops));
+  report.write();
+
+  std::cout << "  loaded RPC: obs on " << on_us << " us, off " << off_us
+            << " us (" << overhead_pct << "% overhead, budget 5%)\n"
+            << "  loaded RPC, per-request journaling: " << chatty_us
+            << " us (" << chatty_pct << "% over off; diagnostic, not gated)\n";
+  if (overhead_pct > 5.0) {
+    std::cout << "  GATE FAILED: observability overhead at load "
+              << overhead_pct << "% > 5%\n";
+    ++g_gate_failures;
+  }
+  if (hard_drops != 0) {
+    std::cout << "  GATE FAILED: " << hard_drops
+              << " journal events hard-dropped despite the adaptive ring\n";
+    ++g_gate_failures;
+  }
+  if (!exemplar_resolved) {
+    std::cout << "  GATE FAILED: no captured exemplar resolved to spans\n";
+    ++g_gate_failures;
+  }
+}
+
+void BM_LoadedRpcObsOn(benchmark::State& state) {
+  static WorkerFixture f(7);
+  obs::journal::set_enabled(true);
+  for (auto _ : state) f.one_request(0, 0, false);
+}
+BENCHMARK(BM_LoadedRpcObsOn);
+
+void BM_LoadedRpcObsOff(benchmark::State& state) {
+  static WorkerFixture f(8);
+  obs::journal::set_enabled(false);
+  for (auto _ : state) f.one_request(0, 0, false);
+  obs::journal::set_enabled(true);
+}
+BENCHMARK(BM_LoadedRpcObsOff);
+
+void BM_LoadedRpcChattyJournal(benchmark::State& state) {
+  static WorkerFixture f(9);
+  obs::journal::set_enabled(true);
+  std::int64_t i = 0;
+  for (auto _ : state) f.one_request(0, i++, true);
+}
+BENCHMARK(BM_LoadedRpcChattyJournal);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = psf::bench::run(
+      argc, argv, "ISSUE 6: mail load ramp (SLOs, exemplars, adaptive ring)",
+      reproduce);
+  return rc != 0 ? rc : (g_gate_failures != 0 ? 1 : 0);
+}

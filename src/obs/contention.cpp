@@ -1,0 +1,129 @@
+#include "obs/contention.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "util/lock_rank.hpp"
+
+namespace psf::obs {
+
+namespace {
+
+/// Per-site aggregates plus cached metric references. Guarded by a plain
+/// (unranked, leaf) mutex: the hook fires while the caller holds a ranked
+/// lock, which is exactly the pattern the rank discipline allows for obs
+/// leaves.
+struct SiteStats {
+  int rank = 0;
+  std::uint64_t samples = 0;
+  std::int64_t total_wait_ns = 0;
+  std::int64_t max_wait_ns = 0;
+  Histogram* wait_us = nullptr;
+  Counter* contended = nullptr;
+};
+
+struct ContentionState {
+  std::mutex mutex;
+  std::map<std::string, SiteStats> sites;
+
+  static ContentionState& get() {
+    static ContentionState* s = new ContentionState();  // never destroyed
+    return *s;
+  }
+};
+
+void contention_hook(const char* site, int rank, std::int64_t wait_ns) {
+  ContentionState& state = ContentionState::get();
+  Histogram* wait_us = nullptr;
+  Counter* contended = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    auto [it, inserted] = state.sites.try_emplace(site);
+    SiteStats& stats = it->second;
+    if (inserted) {
+      stats.rank = rank;
+      stats.wait_us = &histogram("psf.lock." + it->first + ".wait_us");
+      stats.contended = &counter("psf.lock." + it->first + ".contended");
+    }
+    ++stats.samples;
+    stats.total_wait_ns += wait_ns;
+    stats.max_wait_ns = std::max(stats.max_wait_ns, wait_ns);
+    wait_us = stats.wait_us;
+    contended = stats.contended;
+  }
+  contended->inc();
+  wait_us->observe(wait_ns / 1000);
+  journal::emit(journal::Subsystem::kObs, journal::kObLockContended,
+                journal::tag(site), static_cast<std::uint64_t>(rank),
+                static_cast<std::uint64_t>(wait_ns));
+}
+
+}  // namespace
+
+void install_lock_contention_profiler() {
+  static const bool installed = [] {
+    util::contention::set_hook(&contention_hook);
+    util::contention::set_enabled(true);
+    return true;
+  }();
+  (void)installed;
+}
+
+void set_contention_profiling(bool on) { util::contention::set_enabled(on); }
+bool contention_profiling() { return util::contention::enabled(); }
+
+ContentionReport contention_report() {
+  ContentionReport report;
+  ContentionState& state = ContentionState::get();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  report.sites.reserve(state.sites.size());
+  for (const auto& [name, stats] : state.sites) {
+    ContentionSite site;
+    site.site = name;
+    site.rank = stats.rank;
+    site.samples = stats.samples;
+    site.total_wait_ns = stats.total_wait_ns;
+    site.max_wait_ns = stats.max_wait_ns;
+    site.p99_wait_us =
+        stats.wait_us == nullptr ? 0 : stats.wait_us->percentile(99.0);
+    report.sites.push_back(std::move(site));
+  }
+  std::sort(report.sites.begin(), report.sites.end(),
+            [](const ContentionSite& a, const ContentionSite& b) {
+              return a.total_wait_ns > b.total_wait_ns;
+            });
+  return report;
+}
+
+std::string contention_to_json(const ContentionReport& report) {
+  std::ostringstream os;
+  os << "{\"version\":\"contention-v1\",\"sites\":[";
+  bool first = true;
+  for (const ContentionSite& site : report.sites) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"site\":\"" << site.site << "\",\"rank\":" << site.rank
+       << ",\"samples\":" << site.samples
+       << ",\"total_wait_ns\":" << site.total_wait_ns
+       << ",\"max_wait_ns\":" << site.max_wait_ns
+       << ",\"p99_wait_us\":" << site.p99_wait_us << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void reset_contention() {
+  ContentionState& state = ContentionState::get();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& [name, stats] : state.sites) {
+    stats.samples = 0;
+    stats.total_wait_ns = 0;
+    stats.max_wait_ns = 0;
+  }
+}
+
+}  // namespace psf::obs

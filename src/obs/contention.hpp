@@ -1,0 +1,54 @@
+// Lock-contention profiling (ISSUE 6): the obs-side consumer of the
+// util::contention hook that every RankedMutex site carries. When installed
+// and enabled, each contended acquisition of a ranked site records
+//
+//   psf.lock.<site>.wait_us    histogram of blocking time (microseconds)
+//   psf.lock.<site>.contended  count of contended acquisitions
+//
+// plus a journal event (Obs/lock-contended: a0=tag(site), a1=rank,
+// a2=wait ns) so contention spikes line up with the surrounding flight-
+// recorder timeline. The hook runs only on the *contended* path — the
+// uncontended fast path pays one extra try_lock and nothing else — and
+// touches only leaf obs mutexes, so it is safe inside any ranked critical
+// section.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psf::obs {
+
+/// Aggregate for one ranked site (one RankedMutex construction name).
+struct ContentionSite {
+  std::string site;  // static name passed to the RankedMutex ctor
+  int rank = 0;
+  std::uint64_t samples = 0;        // contended acquisitions observed
+  std::int64_t total_wait_ns = 0;   // summed blocking time
+  std::int64_t max_wait_ns = 0;     // worst single wait
+  std::int64_t p99_wait_us = 0;     // from the site's wait_us histogram
+};
+
+struct ContentionReport {
+  std::vector<ContentionSite> sites;  // sorted by total_wait_ns, worst first
+};
+
+/// Install the util::contention hook and enable sampling. Idempotent; safe
+/// to call before any ranked mutex exists.
+void install_lock_contention_profiler();
+
+/// Runtime gate over an installed profiler (bench ablation, ops toggle).
+void set_contention_profiling(bool on);
+bool contention_profiling();
+
+/// Snapshot of every site that has ever reported a contended acquisition.
+ContentionReport contention_report();
+
+/// `{"version":"contention-v1","sites":[...]}`.
+std::string contention_to_json(const ContentionReport& report);
+
+/// Zero the per-site aggregates (tests and bench phases). The registry
+/// histograms/counters are reset separately via Registry::reset().
+void reset_contention();
+
+}  // namespace psf::obs

@@ -62,13 +62,27 @@ std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
       case MetricsSnapshot::Entry::Kind::kHistogram: {
         const auto& h = e.histogram;
         os << "# TYPE " << name << " histogram\n";
+        // OpenMetrics exemplar suffix: `... # {trace_id="...",span_id="..."}
+        // value` after a bucket line links that bucket's tail to a trace.
+        const auto exemplar_suffix = [&](std::size_t bucket) -> std::string {
+          if (bucket >= h.exemplars.size() || !h.exemplars[bucket].valid) {
+            return "";
+          }
+          const auto& ex = h.exemplars[bucket];
+          std::ostringstream suffix;
+          suffix << " # {trace_id=\"" << hex_id(ex.trace_id)
+                 << "\",span_id=\"" << hex_id(ex.span_id) << "\"} "
+                 << ex.value;
+          return suffix.str();
+        };
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < h.bounds.size(); ++i) {
           cumulative += h.bucket_counts[i];
           os << name << "_bucket{le=\"" << h.bounds[i] << "\"} " << cumulative
-             << "\n";
+             << exemplar_suffix(i) << "\n";
         }
-        os << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+        os << name << "_bucket{le=\"+Inf\"} " << h.count
+           << exemplar_suffix(h.bounds.size()) << "\n";
         os << name << "_sum " << h.sum << "\n";
         os << name << "_count " << h.count << "\n";
         for (double p : {50.0, 95.0, 99.0}) {
@@ -140,7 +154,8 @@ std::string spans_to_json(const std::vector<SpanRecord>& spans) {
        << "\", \"name\": ";
     json_escape(os, s.name);
     os << ", \"start_ns\": " << s.start_ns
-       << ", \"duration_ns\": " << s.duration_ns << "}";
+       << ", \"duration_ns\": " << s.duration_ns << ", \"error\": "
+       << (s.error ? "true" : "false") << "}";
     if (i + 1 < spans.size()) os << ",";
     os << "\n";
   }

@@ -124,8 +124,18 @@ void install_builtin_checks() {
   static const bool installed = [] {
     HealthRegistry& registry = HealthRegistry::instance();
     registry.add("obs.journal.drop-rate", [] {
-      return drop_rate(journal::emitted(), journal::dropped(),
-                       "journal events");
+      // Key on HARD drops only: events displaced from a thread ring but
+      // absorbed by the overflow ring (soft drops) are still drainable — a
+      // burst the flight recorder handled is not a health problem.
+      CheckResult result = drop_rate(journal::emitted(),
+                                     journal::hard_dropped(),
+                                     "journal events");
+      const std::uint64_t soft = journal::soft_dropped();
+      if (soft > 0) {
+        result.reason += " (" + std::to_string(soft) +
+                         " absorbed by overflow ring)";
+      }
+      return result;
     });
     registry.add("obs.spans.drop-rate", [] {
       const SpanCollector& spans = SpanCollector::instance();

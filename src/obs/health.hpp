@@ -80,7 +80,8 @@ class HealthRegistry {
 
 /// Register the standard process-derived checks on the global registry
 /// (idempotent):
-///   obs.journal.drop-rate      journal overwrites vs emitted
+///   obs.journal.drop-rate      journal hard drops vs emitted (events the
+///                              overflow ring absorbed do not count)
 ///   obs.spans.drop-rate        span-collector evictions vs recorded
 ///   drbac.sigcache.hit-rate    SignatureCache floor (needs >=100 lookups)
 ///   drbac.proofcache.hit-rate  ProofCache floor (needs >=100 lookups)

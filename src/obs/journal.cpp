@@ -12,6 +12,7 @@
 #include <mutex>
 #include <ostream>
 #include <sstream>
+#include <tuple>
 
 #include "obs/metrics.hpp"
 
@@ -19,10 +20,9 @@ namespace psf::obs::journal {
 
 namespace {
 
-// Ring size per thread. 4096 * 64 B = 256 KiB per writer thread — deep
-// enough to hold the interesting window around a fault, small enough that a
-// pool of worker threads stays cheap.
-constexpr std::size_t kRingCapacity = 4096;
+// Ring size per thread (journal.hpp exports the constant): 4096 * 64 B =
+// 256 KiB per writer thread — deep enough to hold the interesting window
+// around a fault, small enough that a pool of worker threads stays cheap.
 static_assert((kRingCapacity & (kRingCapacity - 1)) == 0,
               "ring indexing relies on a power-of-two capacity");
 
@@ -31,6 +31,8 @@ std::atomic<bool> g_enabled{true};
 struct JournalMetrics {
   Counter& events = counter("psf.obs.journal.events");
   Counter& dropped = counter("psf.obs.journal.dropped");
+  Counter& soft_drops = counter("psf.obs.journal.soft_drops");
+  Counter& hard_drops = counter("psf.obs.journal.hard_drops");
   Counter& drains = counter("psf.obs.journal.drains");
   static JournalMetrics& get() {
     static JournalMetrics m;
@@ -38,79 +40,202 @@ struct JournalMetrics {
   }
 };
 
-/// One thread's ring. The owning thread is the only writer; drainers read
-/// concurrently using the head re-check protocol in snapshot_into().
-///
-/// Slots are stored as relaxed atomic words, not Event objects: after
-/// wraparound the owner overwrites a slot a drainer may be copying. The
-/// head re-check below discards those slots *logically*, but the concurrent
-/// access itself must also be race-free — hence word-sized atomics. Relaxed
-/// per-word ordering is enough: the single writer keeps each word
-/// internally consistent, and the release head publish orders completed
-/// slots for the acquire load in snapshot_into().
-struct ThreadRing {
-  static constexpr std::size_t kWordsPerEvent = 8;
-  static_assert(sizeof(Event) == kWordsPerEvent * sizeof(std::uint64_t),
-                "Event must pack into exactly eight 64-bit ring words");
+// ------------------------------------------------------- seqlock slot codec
+//
+// Both ring kinds share one slot protocol. A slot is eight relaxed atomic
+// payload words plus a generation counter: 0 = never written, 2*(i+1) =
+// logical index i fully written, odd = write in flight. Writer: publish the
+// odd generation, release-fence, store the payload, release-store the even
+// generation. Reader: acquire-load the generation, copy the payload,
+// acquire-fence, re-load — accept only an unchanged even match for the
+// expected index. The fence pair is the [atomics.fences] seqlock recipe: if
+// the reader saw any payload word of a newer write, the re-load is
+// guaranteed to see at least that write's odd generation and rejects.
 
-  // Monotonic write position. slot(i) = words[(i & (kRingCapacity-1)) * 8].
-  // Written with release so a drainer's acquire load sees completed slots.
+constexpr std::size_t kWordsPerEvent = 8;
+static_assert(sizeof(Event) == kWordsPerEvent * sizeof(std::uint64_t),
+              "Event must pack into exactly eight 64-bit ring words");
+
+constexpr std::uint64_t seq_writing(std::uint64_t index) {
+  return 2 * index + 1;
+}
+constexpr std::uint64_t seq_complete(std::uint64_t index) {
+  return 2 * index + 2;
+}
+
+void store_words(std::atomic<std::uint64_t>* base, const Event& event) {
+  base[0].store(static_cast<std::uint64_t>(event.t_ns),
+                std::memory_order_relaxed);
+  base[1].store(event.trace_id, std::memory_order_relaxed);
+  base[2].store(event.span_id, std::memory_order_relaxed);
+  for (std::size_t a = 0; a < 4; ++a) {
+    base[3 + a].store(event.args[a], std::memory_order_relaxed);
+  }
+  base[7].store(static_cast<std::uint64_t>(event.thread) |
+                    (static_cast<std::uint64_t>(event.subsystem) << 32) |
+                    (static_cast<std::uint64_t>(event.code) << 48),
+                std::memory_order_relaxed);
+}
+
+Event load_words(const std::atomic<std::uint64_t>* base) {
+  Event event;
+  event.t_ns =
+      static_cast<std::int64_t>(base[0].load(std::memory_order_relaxed));
+  event.trace_id = base[1].load(std::memory_order_relaxed);
+  event.span_id = base[2].load(std::memory_order_relaxed);
+  for (std::size_t a = 0; a < 4; ++a) {
+    event.args[a] = base[3 + a].load(std::memory_order_relaxed);
+  }
+  const std::uint64_t packed = base[7].load(std::memory_order_relaxed);
+  event.thread = static_cast<std::uint32_t>(packed & 0xFFFFFFFFu);
+  event.subsystem = static_cast<std::uint16_t>((packed >> 32) & 0xFFFFu);
+  event.code = static_cast<std::uint16_t>(packed >> 48);
+  return event;
+}
+
+/// Seqlock read of one slot. True (and `out` filled) only when the slot
+/// holds logical `index`, completely written, unchanged across the copy.
+bool read_slot(const std::atomic<std::uint64_t>* seq,
+               const std::atomic<std::uint64_t>* words, std::uint64_t index,
+               Event& out) {
+  const std::uint64_t s1 = seq->load(std::memory_order_acquire);
+  if (s1 != seq_complete(index)) return false;
+  out = load_words(words);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return seq->load(std::memory_order_relaxed) == s1;
+}
+
+// --------------------------------------------------------- shared overflow
+//
+// One bounded multi-producer ring absorbing events displaced from any
+// thread ring. Producers claim a logical index with a fetch_add, then CAS
+// the slot generation from the previous lap's even value to "writing" —
+// the Vyukov-style discipline that makes a producer lapped by a faster one
+// fail loudly (hard drop) instead of mixing two events in one slot.
+struct OverflowRing {
+  explicit OverflowRing(std::size_t capacity) {
+    std::size_t rounded = 1;
+    while (rounded < capacity) rounded <<= 1;
+    this->capacity = rounded;
+    seq = std::make_unique<std::atomic<std::uint64_t>[]>(rounded);
+    words =
+        std::make_unique<std::atomic<std::uint64_t>[]>(rounded * kWordsPerEvent);
+    for (std::size_t i = 0; i < rounded; ++i) seq[i].store(0);
+    for (std::size_t i = 0; i < rounded * kWordsPerEvent; ++i) {
+      words[i].store(0);
+    }
+  }
+
+  /// Absorb one displaced event. Returns false when a slot race loses the
+  /// migration; sets `overwrote` when the push displaced a previously
+  /// absorbed event (which is now hard-lost).
+  bool push(const Event& event, bool& overwrote) {
+    const std::uint64_t index = head.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t p = index & (capacity - 1);
+    std::uint64_t expected =
+        index >= capacity ? seq_complete(index - capacity) : 0;
+    if (!seq[p].compare_exchange_strong(expected, seq_writing(index),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      return false;
+    }
+    overwrote = index >= capacity;
+    std::atomic_thread_fence(std::memory_order_release);
+    store_words(&words[p * kWordsPerEvent], event);
+    seq[p].store(seq_complete(index), std::memory_order_release);
+    return true;
+  }
+
+  void snapshot_into(std::vector<Event>& out) const {
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    const std::uint64_t begin = h > capacity ? h - capacity : 0;
+    out.reserve(out.size() + static_cast<std::size_t>(h - begin));
+    Event event;
+    for (std::uint64_t i = begin; i < h; ++i) {
+      const std::size_t p = i & (capacity - 1);
+      if (read_slot(&seq[p], &words[p * kWordsPerEvent], i, event)) {
+        out.push_back(event);
+      }
+    }
+  }
+
+  /// Rewind in place (reset()). Concurrent pushers lose their CAS against
+  /// the zeroed generations and report hard drops — consistent, not torn.
+  void rewind() {
+    head.store(0, std::memory_order_release);
+    for (std::size_t i = 0; i < capacity; ++i) {
+      seq[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
   alignas(64) std::atomic<std::uint64_t> head{0};
+  std::size_t capacity = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> seq;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> words;
+};
+
+constexpr std::size_t kDefaultOverflowCapacity = 16384;
+
+/// The live overflow ring. Swapped wholesale by set_overflow_capacity();
+/// superseded rings are intentionally leaked (a racing pusher may still
+/// hold the old pointer, and reconfiguration is a rare, explicit act).
+std::atomic<OverflowRing*>& overflow_slot() {
+  static std::atomic<OverflowRing*> ring{
+      new OverflowRing(kDefaultOverflowCapacity)};
+  return ring;
+}
+
+/// One thread's ring. The owning thread is the only writer; drainers read
+/// concurrently through the per-slot seqlock protocol above, so a slot
+/// overwritten mid-copy is rejected by its generation mismatch rather than
+/// returned torn.
+struct ThreadRing {
+  // Monotonic write position, published with release after the slot
+  // completes so a drainer's acquire load only considers finished slots.
+  alignas(64) std::atomic<std::uint64_t> head{0};
+  std::array<std::atomic<std::uint64_t>, kRingCapacity> seq{};
   std::array<std::atomic<std::uint64_t>, kRingCapacity * kWordsPerEvent> words;
   std::uint32_t thread_number = 0;
 
-  void store_slot(std::uint64_t index, const Event& event) {
-    const std::size_t base = (index & (kRingCapacity - 1)) * kWordsPerEvent;
-    words[base + 0].store(static_cast<std::uint64_t>(event.t_ns),
-                          std::memory_order_relaxed);
-    words[base + 1].store(event.trace_id, std::memory_order_relaxed);
-    words[base + 2].store(event.span_id, std::memory_order_relaxed);
-    for (std::size_t a = 0; a < 4; ++a) {
-      words[base + 3 + a].store(event.args[a], std::memory_order_relaxed);
+  void append(const Event& event, JournalMetrics& metrics) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    const std::size_t p = h & (kRingCapacity - 1);
+    if (h >= kRingCapacity) {
+      // Salvage the event this write displaces. Single writer: the old
+      // payload is this thread's own earlier store, safe to read plainly.
+      const Event old = load_words(&words[p * kWordsPerEvent]);
+      OverflowRing* overflow =
+          overflow_slot().load(std::memory_order_acquire);
+      bool overwrote = false;
+      if (overflow != nullptr && overflow->push(old, overwrote)) {
+        metrics.soft_drops.inc();
+        if (overwrote) {
+          // The push itself evicted an older absorbed event for good.
+          metrics.hard_drops.inc();
+          metrics.dropped.inc();
+        }
+      } else {
+        metrics.hard_drops.inc();
+        metrics.dropped.inc();
+      }
     }
-    words[base + 7].store(
-        static_cast<std::uint64_t>(event.thread) |
-            (static_cast<std::uint64_t>(event.subsystem) << 32) |
-            (static_cast<std::uint64_t>(event.code) << 48),
-        std::memory_order_relaxed);
-  }
-
-  Event load_slot(std::uint64_t index) const {
-    const std::size_t base = (index & (kRingCapacity - 1)) * kWordsPerEvent;
-    Event event;
-    event.t_ns = static_cast<std::int64_t>(
-        words[base + 0].load(std::memory_order_relaxed));
-    event.trace_id = words[base + 1].load(std::memory_order_relaxed);
-    event.span_id = words[base + 2].load(std::memory_order_relaxed);
-    for (std::size_t a = 0; a < 4; ++a) {
-      event.args[a] = words[base + 3 + a].load(std::memory_order_relaxed);
-    }
-    const std::uint64_t packed =
-        words[base + 7].load(std::memory_order_relaxed);
-    event.thread = static_cast<std::uint32_t>(packed & 0xFFFFFFFFu);
-    event.subsystem = static_cast<std::uint16_t>((packed >> 32) & 0xFFFFu);
-    event.code = static_cast<std::uint16_t>(packed >> 48);
-    return event;
+    seq[p].store(seq_writing(h), std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    store_words(&words[p * kWordsPerEvent], event);
+    seq[p].store(seq_complete(h), std::memory_order_release);
+    head.store(h + 1, std::memory_order_release);
   }
 
   void snapshot_into(std::vector<Event>& out) const {
     const std::uint64_t h = head.load(std::memory_order_acquire);
     const std::uint64_t begin = h > kRingCapacity ? h - kRingCapacity : 0;
-    const std::size_t first = out.size();
-    out.reserve(first + static_cast<std::size_t>(h - begin));
+    out.reserve(out.size() + static_cast<std::size_t>(h - begin));
+    Event event;
     for (std::uint64_t i = begin; i < h; ++i) {
-      out.push_back(load_slot(i));
-    }
-    // Writers kept going during the copy: any slot whose index is now older
-    // than head' - capacity may have been overwritten mid-read (torn).
-    // Discard exactly those from the front of what we copied.
-    const std::uint64_t h2 = head.load(std::memory_order_acquire);
-    const std::uint64_t safe_begin = h2 > kRingCapacity ? h2 - kRingCapacity : 0;
-    if (safe_begin > begin) {
-      const std::size_t torn =
-          static_cast<std::size_t>(std::min(safe_begin - begin, h - begin));
-      out.erase(out.begin() + static_cast<std::ptrdiff_t>(first),
-                out.begin() + static_cast<std::ptrdiff_t>(first + torn));
+      const std::size_t p = i & (kRingCapacity - 1);
+      if (read_slot(&seq[p], &words[p * kWordsPerEvent], i, event)) {
+        out.push_back(event);
+      }
     }
   }
 };
@@ -179,7 +304,6 @@ void emit(Subsystem subsystem, std::uint16_t code, std::uint64_t a0,
 #else
   if (!g_enabled.load(std::memory_order_relaxed)) return;
   ThreadRing& ring = local_ring();
-  const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
   const SpanContext ctx = current_context();
   Event event;
   event.t_ns = steady_now_ns();
@@ -192,26 +316,44 @@ void emit(Subsystem subsystem, std::uint16_t code, std::uint64_t a0,
   event.thread = ring.thread_number;
   event.subsystem = static_cast<std::uint16_t>(subsystem);
   event.code = code;
-  ring.store_slot(h, event);
-  ring.head.store(h + 1, std::memory_order_release);
   JournalMetrics& metrics = JournalMetrics::get();
+  ring.append(event, metrics);
   metrics.events.inc();
-  if (h >= kRingCapacity) metrics.dropped.inc();  // overwrote the oldest slot
 #endif
 }
 
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
+namespace {
+auto event_key(const Event& e) {
+  return std::tie(e.t_ns, e.thread, e.subsystem, e.code, e.args[0], e.args[1],
+                  e.args[2], e.args[3], e.trace_id, e.span_id);
+}
+bool same_event(const Event& a, const Event& b) {
+  return event_key(a) == event_key(b);
+}
+}  // namespace
+
 std::vector<Event> drain() {
   std::vector<Event> merged;
+  // Overflow first, then the live rings: an event caught mid-migration can
+  // appear in both, and the dedupe pass below removes the twin.
+  if (OverflowRing* overflow = overflow_slot().load(std::memory_order_acquire)) {
+    overflow->snapshot_into(merged);
+  }
   {
     RingRegistry& registry = RingRegistry::get();
     std::lock_guard<std::mutex> lock(registry.mutex);
     for (const auto& ring : registry.rings) ring->snapshot_into(merged);
   }
-  std::stable_sort(merged.begin(), merged.end(),
-                   [](const Event& a, const Event& b) { return a.t_ns < b.t_ns; });
+  // Full lexicographic order (t_ns first) makes exact duplicates adjacent;
+  // distinct events legitimately sharing a timestamp are kept.
+  std::sort(merged.begin(), merged.end(), [](const Event& a, const Event& b) {
+    return event_key(a) < event_key(b);
+  });
+  merged.erase(std::unique(merged.begin(), merged.end(), same_event),
+               merged.end());
   JournalMetrics::get().drains.inc();
   return merged;
 }
@@ -226,13 +368,40 @@ std::vector<Event> tail(std::size_t n) {
 }
 
 std::uint64_t emitted() { return JournalMetrics::get().events.value(); }
-std::uint64_t dropped() { return JournalMetrics::get().dropped.value(); }
+std::uint64_t dropped() { return JournalMetrics::get().hard_drops.value(); }
+std::uint64_t soft_dropped() {
+  return JournalMetrics::get().soft_drops.value();
+}
+std::uint64_t hard_dropped() {
+  return JournalMetrics::get().hard_drops.value();
+}
+
+void set_overflow_capacity(std::size_t capacity) {
+  OverflowRing* replacement =
+      capacity == 0 ? nullptr : new OverflowRing(capacity);
+  // The superseded ring is leaked on purpose: a pusher racing the swap may
+  // still hold its pointer, and resizing is a rare, explicit config act.
+  overflow_slot().store(replacement, std::memory_order_release);
+}
+
+std::size_t overflow_capacity() {
+  OverflowRing* overflow = overflow_slot().load(std::memory_order_acquire);
+  return overflow == nullptr ? 0 : overflow->capacity;
+}
 
 void reset() {
   RingRegistry& registry = RingRegistry::get();
   std::lock_guard<std::mutex> lock(registry.mutex);
   for (const auto& ring : registry.rings) {
+    // Restarting the generation sequence at 0 invalidates every old slot:
+    // a drainer mid-copy sees a generation mismatch and rejects, never a
+    // torn mix of old and new.
+    for (auto& s : ring->seq) s.store(0, std::memory_order_relaxed);
     ring->head.store(0, std::memory_order_release);
+  }
+  if (OverflowRing* overflow =
+          overflow_slot().load(std::memory_order_acquire)) {
+    overflow->rewind();
   }
 }
 
@@ -283,6 +452,7 @@ std::string event_name(std::uint16_t subsystem, std::uint16_t code) {
     case Subsystem::kObs:
       switch (code) {
         case kObFaultDump: return "fault-dump";
+        case kObLockContended: return "lock-contended";
       }
       break;
   }

@@ -8,8 +8,16 @@
 //    no allocation, no formatting.
 //  - Per-thread rings are registered process-wide on first use and outlive
 //    their threads; drain() merges every ring's retained tail into one
-//    time-ordered vector without stopping writers (a seqlock-style re-read
-//    of the head discards slots that may have been overwritten mid-copy).
+//    time-ordered vector without stopping writers (per-slot seqlock
+//    generation counters discard slots overwritten mid-copy, never
+//    returning them torn).
+//  - Overflow ring (ISSUE 6): when a thread ring wraps, the event it is
+//    about to overwrite is salvaged into one shared bounded overflow ring
+//    before the slot is reused, so bursts that outrun a ring are absorbed
+//    rather than lost. Drop accounting is split: `soft` = displaced from a
+//    thread ring but absorbed (still drainable), `hard` = gone for good
+//    (overflow lapped its oldest, or a multi-producer slot race). The
+//    drop-rate health check keys on hard drops only.
 //  - Events are fixed-size (64 bytes): subsystem id, event code, up to four
 //    u64 arguments, a steady-clock timestamp, and the thread's current
 //    SpanContext so journal lines join up with distributed traces.
@@ -21,7 +29,7 @@
 //    $PSF_JOURNAL_FAULT_DUMP when set) before the process dies; dump(path)
 //    is the explicit form.
 //
-// Metrics: psf.obs.journal.{events,dropped,drains}.
+// Metrics: psf.obs.journal.{events,dropped,soft_drops,hard_drops,drains}.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +41,11 @@
 #include "obs/trace.hpp"
 
 namespace psf::obs::journal {
+
+/// Slots per thread ring. Exposed so load generators can project how much
+/// of a burst will displace into the overflow ring and size it ahead of
+/// time (bench_mail_load's adaptive-ring step does exactly that).
+inline constexpr std::size_t kRingCapacity = 4096;
 
 /// Originating layer of an event. Values are wire/format stable — they are
 /// what drain consumers and the taxonomy tables key on; append, don't renumber.
@@ -69,7 +82,8 @@ enum PsfEvent : std::uint16_t {
   kPsRequestFailed = 2,  // a0=tag(service), a1=tag(client node), a2=tag(code)
 };
 enum ObsEvent : std::uint16_t {
-  kObFaultDump = 1,  // a0=events written
+  kObFaultDump = 1,      // a0=events written
+  kObLockContended = 2,  // a0=tag(site), a1=rank, a2=wait ns
 };
 
 /// One recorded event (fixed 64-byte layout; args beyond the event's arity
@@ -99,19 +113,34 @@ void emit(Subsystem subsystem, std::uint16_t code, std::uint64_t a0 = 0,
 bool enabled();
 void set_enabled(bool on);
 
-/// Merge every thread's retained events into one vector ordered by t_ns.
-/// Non-destructive: the rings keep their contents (the journal is a flight
-/// recorder, not a queue). Writers are not blocked; slots overwritten while
-/// being copied are discarded, never returned torn.
+/// Merge every thread's retained events plus the overflow ring into one
+/// vector ordered by t_ns. Non-destructive: the rings keep their contents
+/// (the journal is a flight recorder, not a queue). Writers are not
+/// blocked; slots overwritten while being copied are discarded, never
+/// returned torn, and an event caught mid-migration into the overflow ring
+/// is returned once, not twice.
 std::vector<Event> drain();
 
 /// The newest `n` events of drain() (still oldest-first).
 std::vector<Event> tail(std::size_t n);
 
-/// Total events ever emitted / overwritten-before-drain, process-wide
-/// (mirrors the psf.obs.journal.events/dropped counters).
+/// Total events ever emitted, process-wide (mirrors psf.obs.journal.events).
 std::uint64_t emitted();
+/// Events lost for good (== hard_dropped(); kept for callers that predate
+/// the soft/hard split).
 std::uint64_t dropped();
+/// Events displaced from a thread ring but absorbed by the overflow ring —
+/// still drainable; the flight recorder working as designed under a burst.
+std::uint64_t soft_dropped();
+/// Events gone for good: the overflow ring lapped them, the overflow ring
+/// is disabled, or a multi-producer slot race lost the migration.
+std::uint64_t hard_dropped();
+
+/// Size the shared overflow ring (rounded up to a power of two; 0 disables
+/// absorption — every displacement becomes a hard drop). Existing absorbed
+/// events are discarded. Default: 16384 slots.
+void set_overflow_capacity(std::size_t capacity);
+std::size_t overflow_capacity();
 
 /// Rewind every ring (tests and bench phases; concurrent writers may keep
 /// appending afterwards). The emitted/dropped counters are monotonic like

@@ -4,7 +4,17 @@
 #include <chrono>
 #include <functional>
 
+#include "obs/trace.hpp"
+
 namespace psf::obs {
+
+namespace {
+std::int64_t metrics_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 // ---------------------------------------------------------------- Histogram
 
@@ -13,7 +23,44 @@ Histogram::Histogram(std::string name, std::vector<std::int64_t> bounds)
   std::sort(bounds_.begin(), bounds_.end());
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
   buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  exemplars_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      (bounds_.size() + 1) * kExemplarWords);
   for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  for (std::size_t i = 0; i < (bounds_.size() + 1) * kExemplarWords; ++i) {
+    exemplars_[i].store(0);
+  }
+}
+
+void Histogram::capture_exemplar(std::size_t bucket, std::int64_t v) {
+  const SpanContext ctx = current_context();
+  if (!ctx.valid()) return;  // no trace to link — nothing worth capturing
+  std::atomic<std::uint64_t>* slot = &exemplars_[bucket * kExemplarWords];
+  // Rate limit: a slot refreshed within the last millisecond is fresh
+  // enough, and skipping keeps the capture (and its trace pin, which takes
+  // the span collector's lock) off the hot path when the tail is busy. The
+  // stale read of t_ns is only a heuristic — at worst one extra capture.
+  constexpr std::int64_t kMinPeriodNs = 1'000'000;
+  const std::int64_t now_ns = metrics_now_ns();
+  const auto last_ns =
+      static_cast<std::int64_t>(slot[4].load(std::memory_order_relaxed));
+  if (last_ns != 0 && now_ns - last_ns < kMinPeriodNs) return;
+  // Seqlock write: claim even->odd (skip on contention — losing one tail
+  // exemplar to a race is fine), publish payload, release odd->even.
+  std::uint64_t seq = slot[0].load(std::memory_order_relaxed);
+  if (seq & 1) return;
+  if (!slot[0].compare_exchange_strong(seq, seq + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+    return;
+  }
+  std::atomic_thread_fence(std::memory_order_release);
+  slot[1].store(ctx.trace_id, std::memory_order_relaxed);
+  slot[2].store(ctx.span_id, std::memory_order_relaxed);
+  slot[3].store(static_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  slot[4].store(static_cast<std::uint64_t>(now_ns), std::memory_order_relaxed);
+  slot[0].store(seq + 2, std::memory_order_release);
+  // Keep the trace resolvable after the span ring wraps (tail retention).
+  SpanCollector::instance().pin_trace(ctx.trace_id);
 }
 
 void Histogram::observe(std::int64_t v) {
@@ -31,14 +78,34 @@ void Histogram::observe(std::int64_t v) {
   while (v > seen &&
          !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
   }
+  if (v >= exemplar_threshold_.load(std::memory_order_relaxed)) {
+    capture_exemplar(idx, v);
+  }
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot out;
   out.bounds = bounds_;
   out.bucket_counts.resize(bounds_.size() + 1);
+  out.exemplars.resize(bounds_.size() + 1);
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     out.bucket_counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    // Seqlock read: accept only a quiet, non-empty slot whose generation is
+    // unchanged across the payload copy.
+    const std::atomic<std::uint64_t>* slot = &exemplars_[i * kExemplarWords];
+    const std::uint64_t s1 = slot[0].load(std::memory_order_acquire);
+    if (s1 == 0 || (s1 & 1)) continue;
+    Exemplar e;
+    e.trace_id = slot[1].load(std::memory_order_relaxed);
+    e.span_id = slot[2].load(std::memory_order_relaxed);
+    e.value = static_cast<std::int64_t>(
+        slot[3].load(std::memory_order_relaxed));
+    e.t_ns = static_cast<std::int64_t>(
+        slot[4].load(std::memory_order_relaxed));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot[0].load(std::memory_order_relaxed) != s1) continue;
+    e.valid = true;
+    out.exemplars[i] = e;
   }
   out.count = count_.load(std::memory_order_relaxed);
   out.sum = sum_.load(std::memory_order_relaxed);
@@ -47,9 +114,19 @@ Histogram::Snapshot Histogram::snapshot() const {
   return out;
 }
 
+Histogram::Exemplar Histogram::Snapshot::tail_exemplar() const {
+  for (std::size_t i = exemplars.size(); i-- > 0;) {
+    if (exemplars[i].valid) return exemplars[i];
+  }
+  return {};
+}
+
 void Histogram::reset() {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < (bounds_.size() + 1) * kExemplarWords; ++i) {
+    exemplars_[i].store(0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);

@@ -75,13 +75,40 @@ class Gauge {
 /// ascending order; an implicit +Inf bucket catches the rest. observe() is
 /// one relaxed atomic add on the matching bucket plus count/sum bookkeeping
 /// (all relaxed; snapshots are advisory, not linearizable).
+///
+/// Exemplars (ISSUE 6): when an exemplar threshold is set, an observation at
+/// or above it whose thread has an active SpanContext stamps its bucket's
+/// exemplar slot (trace id, span id, value) via a per-bucket seqlock and
+/// pins the trace in the SpanCollector — the p99 tail of a latency
+/// histogram links directly to the trace that caused it. Captures are
+/// rate-limited to one per bucket per millisecond so a busy tail cannot
+/// turn the capture (and its trace pin) into hot-path cost. Disabled by
+/// default (threshold INT64_MAX): the hot path then pays one extra relaxed
+/// load + branch.
 class Histogram {
  public:
   void observe(std::int64_t v);
 
+  /// Observations >= `v` capture an exemplar. INT64_MAX disables capture.
+  void set_exemplar_threshold(std::int64_t v) {
+    exemplar_threshold_.store(v, std::memory_order_relaxed);
+  }
+  std::int64_t exemplar_threshold() const {
+    return exemplar_threshold_.load(std::memory_order_relaxed);
+  }
+
+  struct Exemplar {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::int64_t value = 0;   // the observation that was captured
+    std::int64_t t_ns = 0;    // steady-clock capture time
+    bool valid = false;
+  };
+
   struct Snapshot {
     std::vector<std::int64_t> bounds;        // upper edges, ascending
     std::vector<std::uint64_t> bucket_counts;  // bounds.size() + 1 entries
+    std::vector<Exemplar> exemplars;           // bounds.size() + 1 entries
     std::uint64_t count = 0;
     std::int64_t sum = 0;
     std::int64_t min = 0;  // observed extrema (0 when count == 0)
@@ -90,6 +117,9 @@ class Histogram {
     /// Percentile estimate (p in [0,100]) by linear interpolation inside the
     /// owning bucket; the overflow bucket reports the observed max.
     std::int64_t percentile(double p) const;
+    /// The exemplar of the highest bucket that holds one (the tail's trace),
+    /// invalid Exemplar when none captured.
+    Exemplar tail_exemplar() const;
   };
   Snapshot snapshot() const;
 
@@ -106,10 +136,17 @@ class Histogram {
   friend class Registry;
   Histogram(std::string name, std::vector<std::int64_t> bounds);
   void reset();
+  void capture_exemplar(std::size_t bucket, std::int64_t v);
+
+  // Per-bucket exemplar slot: [seq, trace_id, span_id, value, t_ns]. seq is
+  // a seqlock generation counter (0 = never written, odd = write in flight).
+  static constexpr std::size_t kExemplarWords = 5;
 
   std::string name_;
   std::vector<std::int64_t> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size()+1
+  std::unique_ptr<std::atomic<std::uint64_t>[]> exemplars_;
+  std::atomic<std::int64_t> exemplar_threshold_{INT64_MAX};
   alignas(64) std::atomic<std::uint64_t> count_{0};
   std::atomic<std::int64_t> sum_{0};
   // Sentinels until the first observation; snapshot() reports 0 when empty.

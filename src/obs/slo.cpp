@@ -1,0 +1,225 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+
+namespace psf::obs {
+
+struct SloRegistry::Declared {
+  SloSpec spec;
+  Histogram* hist = nullptr;
+  HealthRegistry::Token token = 0;
+  // Histogram counts at declaration (cumulative view) and at the start of
+  // the current rolling window. Saturating subtraction below keeps the
+  // numbers sane if Registry::reset() zeroes the histogram underneath us.
+  std::uint64_t base_total = 0, base_bad = 0;
+  std::uint64_t win_total = 0, win_bad = 0;
+};
+
+namespace {
+
+/// (total, bad) for one histogram against a threshold. A bucket counts as
+/// good iff its upper edge is <= threshold, so thresholds should sit on
+/// bucket edges (the decade_bounds {1,2,5}x10^k grid) for exact accounting;
+/// an off-grid threshold conservatively counts the straddling bucket as bad.
+std::pair<std::uint64_t, std::uint64_t> counts_for(const Histogram& hist,
+                                                   std::int64_t threshold_us) {
+  const Histogram::Snapshot snap = hist.snapshot();
+  std::uint64_t good = 0;
+  for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+    if (snap.bounds[i] <= threshold_us) good += snap.bucket_counts[i];
+  }
+  const std::uint64_t total = snap.count;
+  return {total, total - std::min(good, total)};
+}
+
+std::uint64_t saturating_sub(std::uint64_t a, std::uint64_t b) {
+  return a >= b ? a - b : a;  // b > a means the base predates a reset
+}
+
+double burn_rate(std::uint64_t total, std::uint64_t bad, double target) {
+  if (total == 0) return 0.0;
+  const double budget = 1.0 - target;
+  if (budget <= 0.0) return bad == 0 ? 0.0 : 1e9;  // target 1.0: any bad burns
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return bad_fraction / budget;
+}
+
+void append_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+SloRegistry& SloRegistry::instance() {
+  static SloRegistry* registry = new SloRegistry();  // never destroyed
+  return *registry;
+}
+
+SloStatus SloRegistry::status_locked(const Declared& d) {
+  SloStatus s;
+  s.spec = d.spec;
+  const auto [total, bad] = counts_for(*d.hist, d.spec.threshold_us);
+  s.total = saturating_sub(total, d.base_total);
+  s.bad = saturating_sub(bad, d.base_bad);
+  s.burn = burn_rate(s.total, s.bad, d.spec.target);
+  s.window_total = saturating_sub(total, d.win_total);
+  s.window_bad = saturating_sub(bad, d.win_bad);
+  s.window_burn = burn_rate(s.window_total, s.window_bad, d.spec.target);
+  s.window_mature = s.window_total >= d.spec.min_samples;
+  return s;
+}
+
+void SloRegistry::declare(SloSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (declared_ == nullptr) declared_ = new std::vector<Declared>();
+  Histogram& hist = histogram(spec.histogram);
+  // Arm exemplar capture at the objective's threshold: the observations that
+  // burn the budget are exactly the ones whose traces get pinned.
+  hist.set_exemplar_threshold(spec.threshold_us);
+  const auto [total, bad] = counts_for(hist, spec.threshold_us);
+
+  auto existing = std::find_if(
+      declared_->begin(), declared_->end(),
+      [&](const Declared& d) { return d.spec.name == spec.name; });
+  if (existing != declared_->end()) {
+    HealthRegistry::instance().remove(existing->token);
+    declared_->erase(existing);
+  }
+
+  Declared d;
+  d.spec = std::move(spec);
+  d.hist = &hist;
+  d.base_total = d.win_total = total;
+  d.base_bad = d.win_bad = bad;
+  const std::string slo_name = d.spec.name;
+  d.token = HealthRegistry::instance().add(
+      "slo." + slo_name, [this, slo_name]() -> CheckResult {
+        std::lock_guard<std::mutex> inner(mutex_);
+        if (declared_ == nullptr) return CheckResult::ok("slo removed");
+        auto it = std::find_if(
+            declared_->begin(), declared_->end(),
+            [&](const Declared& d2) { return d2.spec.name == slo_name; });
+        if (it == declared_->end()) return CheckResult::ok("slo removed");
+        const SloStatus s = status_locked(*it);
+        // Judge the rolling window once it has enough samples; before that,
+        // the cumulative view (and a cold operation is simply OK).
+        const bool windowed = s.window_mature;
+        const double burn = windowed ? s.window_burn : s.burn;
+        const std::uint64_t total = windowed ? s.window_total : s.total;
+        const std::uint64_t bad = windowed ? s.window_bad : s.bad;
+        std::ostringstream os;
+        os << "burn " << burn << " (" << bad << "/" << total << " over "
+           << it->spec.threshold_us << "us, target "
+           << it->spec.target * 100.0 << "%"
+           << (windowed ? ", windowed" : ", cumulative") << ")";
+        if (total < it->spec.min_samples) {
+          return CheckResult::ok("warming up: " + os.str());
+        }
+        if (burn >= it->spec.failing_burn) {
+          return CheckResult::failing(os.str());
+        }
+        if (burn >= 1.0) return CheckResult::degraded(os.str());
+        return CheckResult::ok(os.str());
+      });
+  declared_->push_back(std::move(d));
+}
+
+std::vector<SloStatus> SloRegistry::evaluate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SloStatus> out;
+  if (declared_ == nullptr) return out;
+  out.reserve(declared_->size());
+  for (Declared& d : *declared_) {
+    SloStatus s = status_locked(d);
+    if (s.window_total >= d.spec.min_samples) {
+      // Rotate: the next window starts from the current absolute counts.
+      const auto [total, bad] = counts_for(*d.hist, d.spec.threshold_us);
+      d.win_total = total;
+      d.win_bad = bad;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<SloStatus> SloRegistry::peek() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SloStatus> out;
+  if (declared_ == nullptr) return out;
+  out.reserve(declared_->size());
+  for (const Declared& d : *declared_) out.push_back(status_locked(d));
+  return out;
+}
+
+std::size_t SloRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return declared_ == nullptr ? 0 : declared_->size();
+}
+
+void SloRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (declared_ == nullptr) return;
+  for (const Declared& d : *declared_) {
+    HealthRegistry::instance().remove(d.token);
+  }
+  declared_->clear();
+}
+
+void install_builtin_slos() {
+  static const bool installed = [] {
+    SloRegistry& registry = SloRegistry::instance();
+    SloSpec rpc;
+    rpc.name = "switchboard.rpc";
+    rpc.histogram = "psf.switchboard.rpc_us";
+    rpc.threshold_us = 500;
+    registry.declare(rpc);
+
+    SloSpec prove;
+    prove.name = "drbac.prove";
+    prove.histogram = "psf.drbac.prove_us";
+    prove.threshold_us = 1000;
+    registry.declare(prove);
+
+    SloSpec sync;
+    sync.name = "views.sync";
+    sync.histogram = "psf.views.cache.pull_wait_us";
+    sync.threshold_us = 500;
+    registry.declare(sync);
+    return true;
+  }();
+  (void)installed;
+}
+
+std::string slo_to_json(const std::vector<SloStatus>& statuses) {
+  std::ostringstream os;
+  os << "{\"version\":\"slo-v1\",\"slos\":[";
+  bool first = true;
+  for (const SloStatus& s : statuses) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"";
+    append_escaped(os, s.spec.name);
+    os << "\",\"histogram\":\"";
+    append_escaped(os, s.spec.histogram);
+    os << "\",\"threshold_us\":" << s.spec.threshold_us
+       << ",\"target\":" << s.spec.target << ",\"total\":" << s.total
+       << ",\"bad\":" << s.bad << ",\"burn\":" << s.burn
+       << ",\"window_total\":" << s.window_total
+       << ",\"window_bad\":" << s.window_bad
+       << ",\"window_burn\":" << s.window_burn << ",\"window_mature\":"
+       << (s.window_mature ? "true" : "false") << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace psf::obs

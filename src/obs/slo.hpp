@@ -1,0 +1,104 @@
+// Latency/error SLOs (ISSUE 6): declared objectives over the latency
+// histograms the hot paths already feed. An SLO names an operation, the
+// histogram that measures it, a latency threshold (microseconds), and a
+// target fraction of observations that must land at or under the threshold
+// (e.g. 99% of secure RPCs under 500us).
+//
+// Burn rate is the classic error-budget form: with target t, the budget is
+// the allowed bad fraction (1 - t); burn = actual_bad_fraction / (1 - t).
+// burn < 1 means the operation is inside its budget, burn >= 1 means the
+// budget is being spent exactly as fast as it accrues, and large burns mean
+// the objective will be blown quickly. Each declared SLO registers a health
+// check `slo.<name>` that maps burn to OK (< 1), DEGRADED (>= 1), FAILING
+// (>= the SLO's failing_burn, default 10), so budget burn shows up on the
+// same health plane operators already watch.
+//
+// Declaring an SLO also arms the histogram's exemplar capture at the SLO
+// threshold: the observations that violate the objective are exactly the
+// ones whose traces get pinned (metrics.hpp), so a burning SLO links
+// directly to example traces.
+//
+// Windows: status() reports both a cumulative view (since declaration or
+// reset) and a rolling window that evaluate() rotates once the window holds
+// min_samples observations — the health check reads the *current* window
+// without rotating, so probing health is side-effect free.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace psf::obs {
+
+/// One declared objective.
+struct SloSpec {
+  std::string name;         // health check registers as "slo.<name>"
+  std::string histogram;    // registry histogram the operation feeds (us)
+  std::int64_t threshold_us = 0;  // observation is "good" iff <= threshold
+  double target = 0.99;     // required good fraction, in (0, 1)
+  double failing_burn = 10.0;  // burn rate at which health turns FAILING
+  std::uint64_t min_samples = 100;  // window rotates after this many
+};
+
+/// Point-in-time evaluation of one SLO.
+struct SloStatus {
+  SloSpec spec;
+  // Cumulative since declaration/reset.
+  std::uint64_t total = 0;
+  std::uint64_t bad = 0;       // observations above threshold
+  double burn = 0.0;           // bad_fraction / (1 - target)
+  // Rolling window (since the last rotation).
+  std::uint64_t window_total = 0;
+  std::uint64_t window_bad = 0;
+  double window_burn = 0.0;
+  bool window_mature = false;  // window_total >= min_samples
+};
+
+class SloRegistry {
+ public:
+  /// The process-wide registry the Introspect component serves.
+  static SloRegistry& instance();
+
+  SloRegistry() = default;
+  SloRegistry(const SloRegistry&) = delete;
+  SloRegistry& operator=(const SloRegistry&) = delete;
+
+  /// Declare an objective. Sets the histogram's exemplar threshold to the
+  /// SLO threshold (tail observations capture trace exemplars) and registers
+  /// the `slo.<name>` health check. Redeclaring a name replaces its spec and
+  /// restarts its counters.
+  void declare(SloSpec spec);
+
+  /// Evaluate every SLO, rotating any window that has reached min_samples.
+  /// The returned statuses reflect the state *before* rotation.
+  std::vector<SloStatus> evaluate();
+
+  /// Evaluate without rotating any window (health checks, obsd_query).
+  std::vector<SloStatus> peek() const;
+
+  std::size_t size() const;
+
+  /// Drop every declaration and its health check (tests). The exemplar
+  /// thresholds armed on histograms are left as-is.
+  void clear();
+
+ private:
+  struct Declared;
+  static SloStatus status_locked(const Declared& d);
+
+  mutable std::mutex mutex_;
+  std::vector<Declared>* declared_ = nullptr;  // pimpl'd vector
+};
+
+/// Declare the framework's standard objectives (idempotent):
+///   switchboard.rpc  99% of secure RPCs (psf.switchboard.rpc_us) <= 500us
+///   drbac.prove      99% of delegation proofs (psf.drbac.prove_us) <= 1ms
+///   views.sync       99% of coherence pulls (psf.views.cache.pull_wait_us)
+///                    <= 500us
+void install_builtin_slos();
+
+/// `{"version":"slo-v1","slos":[...]}` over peek() (no window rotation).
+std::string slo_to_json(const std::vector<SloStatus>& statuses);
+
+}  // namespace psf::obs

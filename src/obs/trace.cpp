@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <exception>
 #include <functional>
 #include <thread>
 
@@ -55,12 +56,29 @@ SpanCollector::SpanCollector(std::size_t capacity)
   ring_.reserve(capacity_);
 }
 
+void SpanCollector::evict_locked(SpanRecord&& victim) {
+  // Boring spans die first; pinned-trace and error spans move to the
+  // protected store, itself bounded (its own oldest go when it fills — even
+  // interesting history must not grow without bound).
+  const bool keep = victim.error || pinned_.count(victim.trace_id) != 0;
+  if (!keep) {
+    ++lost_;
+    return;
+  }
+  if (retained_.size() >= kMaxRetained) {
+    retained_.pop_front();
+    ++lost_;
+  }
+  retained_.push_back(std::move(victim));
+}
+
 void SpanCollector::record(SpanRecord record) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
   } else {
-    ring_[next_] = std::move(record);  // evict oldest
+    evict_locked(std::move(ring_[next_]));
+    ring_[next_] = std::move(record);
   }
   next_ = (next_ + 1) % capacity_;
   ++recorded_;
@@ -69,9 +87,10 @@ void SpanCollector::record(SpanRecord record) {
 std::vector<SpanRecord> SpanCollector::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<SpanRecord> out;
-  out.reserve(ring_.size());
+  out.reserve(retained_.size() + ring_.size());
+  out.insert(out.end(), retained_.begin(), retained_.end());
   if (ring_.size() < capacity_) {
-    out = ring_;
+    out.insert(out.end(), ring_.begin(), ring_.end());
   } else {
     // Full ring: `next_` is the oldest record.
     out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
@@ -80,6 +99,29 @@ std::vector<SpanRecord> SpanCollector::snapshot() const {
                ring_.begin() + static_cast<std::ptrdiff_t>(next_));
   }
   return out;
+}
+
+void SpanCollector::pin_trace(TraceId trace_id) {
+  if (trace_id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pinned_.count(trace_id) != 0) {
+    // Refresh: move to the young end of the LRU.
+    auto it = std::find(pinned_order_.begin(), pinned_order_.end(), trace_id);
+    if (it != pinned_order_.end()) pinned_order_.erase(it);
+    pinned_order_.push_back(trace_id);
+    return;
+  }
+  if (pinned_.size() >= kMaxPinnedTraces) {
+    pinned_.erase(pinned_order_.front());
+    pinned_order_.pop_front();
+  }
+  pinned_.insert(trace_id);
+  pinned_order_.push_back(trace_id);
+}
+
+bool SpanCollector::is_pinned(TraceId trace_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pinned_.count(trace_id) != 0;
 }
 
 std::vector<SpanRecord> SpanCollector::spans_for_trace(TraceId trace_id) const {
@@ -98,7 +140,7 @@ std::uint64_t SpanCollector::recorded() const {
 
 std::uint64_t SpanCollector::dropped() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return recorded_ - std::min<std::uint64_t>(recorded_, ring_.size());
+  return lost_;
 }
 
 std::size_t SpanCollector::capacity() const {
@@ -106,11 +148,25 @@ std::size_t SpanCollector::capacity() const {
   return capacity_;
 }
 
+std::size_t SpanCollector::retained_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retained_.size();
+}
+
+std::size_t SpanCollector::pinned_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pinned_.size();
+}
+
 void SpanCollector::clear(std::size_t capacity) {
   std::lock_guard<std::mutex> lock(mutex_);
   ring_.clear();
+  retained_.clear();
+  pinned_.clear();
+  pinned_order_.clear();
   next_ = 0;
   recorded_ = 0;
+  lost_ = 0;
   if (capacity > 0) {
     capacity_ = capacity;
     ring_.reserve(capacity_);
@@ -120,7 +176,10 @@ void SpanCollector::clear(std::size_t capacity) {
 // --------------------------------------------------------------- ScopedSpan
 
 ScopedSpan::ScopedSpan(const char* name)
-    : name_(name), prev_(t_current), start_ns_(steady_now_ns()) {
+    : name_(name),
+      prev_(t_current),
+      start_ns_(steady_now_ns()),
+      uncaught_at_open_(std::uncaught_exceptions()) {
   ctx_.trace_id = prev_.valid() ? prev_.trace_id : next_id();
   ctx_.span_id = next_id();
   parent_id_ = prev_.valid() ? prev_.span_id : 0;
@@ -136,6 +195,11 @@ ScopedSpan::~ScopedSpan() {
   record.name = name_;
   record.start_ns = start_ns_;
   record.duration_ns = steady_now_ns() - start_ns_;
+  // A scope unwinding through us means this span failed, whether or not the
+  // code remembered to set_error() — the delta ignores exceptions that were
+  // already in flight when the span opened.
+  record.error =
+      error_ || std::uncaught_exceptions() > uncaught_at_open_;
   SpanCollector::instance().record(std::move(record));
 }
 

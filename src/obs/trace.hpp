@@ -6,6 +6,11 @@
 //    enclosing span (parent_id) and inherit its trace_id.
 //  - SpanCollector: process-wide bounded ring buffer of finished spans;
 //    oldest records are evicted when full (dropped() counts them).
+//    Tail-based retention (ISSUE 6): traces referenced by a histogram
+//    exemplar are pinned (pin_trace), and spans that are pinned or carry an
+//    error tag are moved to a bounded secondary store instead of being
+//    destroyed on eviction — the boring spans go first, so a p99 outlier's
+//    trace stays resolvable long after the ring has wrapped past it.
 //  - Propagation: a SpanContext serializes to a 20-byte wire header
 //    ("TRC1" + trace_id + span_id, big-endian) that Switchboard injects in
 //    front of the RPC plaintext before sealing a frame, so a request's spans
@@ -14,7 +19,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -45,6 +52,7 @@ struct SpanRecord {
   std::string name;
   std::int64_t start_ns = 0;     // steady-clock, process-relative
   std::int64_t duration_ns = 0;
+  bool error = false;  // scope ended by exception or explicit set_error()
 };
 
 /// Bounded ring buffer of finished spans.
@@ -55,28 +63,51 @@ class SpanCollector {
   explicit SpanCollector(std::size_t capacity = 4096);
 
   void record(SpanRecord record);
-  /// Oldest-first copy of the retained spans.
+  /// Oldest-first copy of the retained spans (protected store first, then
+  /// the live ring — both windows are individually oldest-first).
   std::vector<SpanRecord> snapshot() const;
   /// The retained spans belonging to one trace, oldest-first — the filter
   /// behind Introspect.spans_for_trace. trace_id 0 matches nothing.
   std::vector<SpanRecord> spans_for_trace(TraceId trace_id) const;
 
-  std::uint64_t recorded() const;  // total ever recorded
-  std::uint64_t dropped() const;   // evicted by the ring bound
-  std::size_t capacity() const;
+  /// Mark a trace as interesting (a histogram exemplar references it): its
+  /// spans survive ring eviction by moving to the protected store. A small
+  /// LRU of pinned traces bounds the set; pinning an already-pinned trace
+  /// refreshes it. trace_id 0 is ignored.
+  void pin_trace(TraceId trace_id);
+  bool is_pinned(TraceId trace_id) const;
 
-  /// Drops retained spans; also applies a new bound when `capacity` > 0.
+  std::uint64_t recorded() const;  // total ever recorded
+  std::uint64_t dropped() const;   // evicted for good (not retained)
+  std::size_t capacity() const;
+  std::size_t retained_count() const;  // spans in the protected store
+  std::size_t pinned_count() const;    // traces currently pinned
+
+  /// Drops retained spans, pins, and the protected store; also applies a new
+  /// ring bound when `capacity` > 0.
   void clear(std::size_t capacity = 0);
 
   SpanCollector(const SpanCollector&) = delete;
   SpanCollector& operator=(const SpanCollector&) = delete;
 
  private:
+  // Bounds for the tail-retention machinery: enough pins to cover every
+  // histogram's worth of live exemplars, enough protected spans for a few
+  // full traces per pin.
+  static constexpr std::size_t kMaxPinnedTraces = 64;
+  static constexpr std::size_t kMaxRetained = 1024;
+
+  void evict_locked(SpanRecord&& victim);
+
   mutable std::mutex mutex_;
   std::vector<SpanRecord> ring_;
   std::size_t capacity_;
   std::size_t next_ = 0;      // ring write cursor
   std::uint64_t recorded_ = 0;
+  std::uint64_t lost_ = 0;    // evicted without retention
+  std::set<TraceId> pinned_;
+  std::deque<TraceId> pinned_order_;     // oldest pin first (LRU)
+  std::deque<SpanRecord> retained_;      // protected evictees, oldest first
 };
 
 /// RAII span. Opens on construction (creating a new trace when no context is
@@ -89,6 +120,11 @@ class ScopedSpan {
 
   SpanContext context() const { return ctx_; }
 
+  /// Tag the span (and thus its trace) as an error. Leaving the scope via an
+  /// exception tags it automatically (uncaught_exceptions delta), so the
+  /// throw path needs no explicit call.
+  void set_error() { error_ = true; }
+
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
@@ -98,6 +134,8 @@ class ScopedSpan {
   SpanId parent_id_ = 0;
   SpanContext prev_;
   std::int64_t start_ns_ = 0;
+  int uncaught_at_open_ = 0;
+  bool error_ = false;
 };
 
 /// Install a propagated (remote) context as the thread's current one for a

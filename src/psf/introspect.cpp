@@ -5,10 +5,12 @@
 #include <stdexcept>
 
 #include "minilang/parser.hpp"
+#include "obs/contention.hpp"
 #include "obs/export.hpp"
 #include "obs/health.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace psf::framework {
@@ -63,7 +65,10 @@ void register_introspect_components(ClassRegistry& registry) {
 
   InterfaceDef deep;
   deep.name = "IntrospectDeepI";
-  deep.methods = {{"journal_tail", {"n"}}, {"spans_for_trace", {"id"}}};
+  deep.methods = {{"journal_tail", {"n"}},
+                  {"spans_for_trace", {"id"}},
+                  {"slo_status", {}},
+                  {"lock_contention", {}}};
   registry.register_interface(deep);
 
   auto cls = std::make_shared<ClassDef>();
@@ -111,6 +116,18 @@ void register_introspect_components(ClassRegistry& registry) {
             args.empty() ? 0 : parse_trace_id(args[0]);
         return Value::string(obs::spans_to_json(
             obs::SpanCollector::instance().spans_for_trace(id)));
+      }));
+  cls->methods.push_back(native_method(
+      "slo_status", {}, "IntrospectDeepI",
+      [](minilang::Instance&, std::vector<Value>) {
+        // peek(): probing objectives over RPC must not rotate windows.
+        return Value::string(
+            obs::slo_to_json(obs::SloRegistry::instance().peek()));
+      }));
+  cls->methods.push_back(native_method(
+      "lock_contention", {}, "IntrospectDeepI",
+      [](minilang::Instance&, std::vector<Value>) {
+        return Value::string(obs::contention_to_json(obs::contention_report()));
       }));
   registry.register_class(cls);
 }
@@ -204,6 +221,8 @@ util::Result<std::string> install_introspection(Psf& psf,
   if (!defined.ok()) return defined;
 
   obs::install_builtin_checks();
+  obs::install_builtin_slos();
+  obs::install_lock_contention_profiler();
   return defined;
 }
 

@@ -7,14 +7,15 @@
 // get the full surface (IntrospectI + IntrospectDeepI) over Switchboard RPC;
 // callers holding only Viewer get a metrics+health view with the deep
 // interface stripped out at code-generation time (the restricted view's
-// class simply has no journal_tail/spans_for_trace methods — attenuation by
-// construction, not by runtime checks); everyone else is denied by the ACL.
-// This dogfoods the paper's own mechanism: the view IS the authorization
-// boundary.
+// class simply has no journal_tail / spans_for_trace / slo_status /
+// lock_contention methods — attenuation by construction, not by runtime
+// checks); everyone else is denied by the ACL. This dogfoods the paper's
+// own mechanism: the view IS the authorization boundary.
 //
-// All four methods return JSON strings (metrics-snapshot-v1 / health /
-// journal-v1 / spans-v1 documents) so any transport — Switchboard RPC, the
-// obsd_query CLI, tests — consumes one stable format.
+// All methods return JSON strings (metrics-snapshot-v1 / health /
+// journal-v1 / spans-v1 / slo-v1 / contention-v1 documents) so any
+// transport — Switchboard RPC, the obsd_query CLI, tests — consumes one
+// stable format.
 #pragma once
 
 #include <cstdint>

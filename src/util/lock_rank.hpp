@@ -23,8 +23,19 @@
 // Obs-layer mutexes (metrics shards, journal ring registry, health) are
 // intentionally unranked: they are leaf locks acquired from everywhere,
 // including inside ranked critical sections, and never call out.
+//
+// Contention profiling (ISSUE 6): every ranked site doubles as a contention
+// probe in BOTH build flavors. lock() first try_locks; only when that fails
+// (the lock was actually contended) does it time the blocking acquire and
+// hand (site name, rank, wait ns) to the installed contention::Hook. With
+// the hook disabled the extra cost is one try_lock on the uncontended path
+// and nothing else; the obs layer installs a hook that feeds per-site
+// wait-time histograms and kObLockContended journal events.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -47,6 +58,51 @@ enum class LockRank : int {
   kProofCache = 50,      // proof-fragment cache
   kSignatureCache = 60,  // Schnorr verdict shards
 };
+
+namespace contention {
+
+/// Receives one sample per contended acquisition of a ranked site: the
+/// site's static name, its rank, and how long the acquire blocked. Must not
+/// itself take ranked locks (it runs while the caller already holds one).
+using Hook = void (*)(const char* site, int rank, std::int64_t wait_ns);
+
+namespace detail {
+inline std::atomic<Hook>& hook_slot() {
+  static std::atomic<Hook> hook{nullptr};
+  return hook;
+}
+inline std::atomic<bool>& enabled_slot() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+/// True when a failed try_lock should be timed and reported.
+inline bool active() {
+  return detail::enabled_slot().load(std::memory_order_relaxed) &&
+         detail::hook_slot().load(std::memory_order_relaxed) != nullptr;
+}
+inline void report(const char* site, int rank, std::int64_t wait_ns) {
+  if (Hook hook = detail::hook_slot().load(std::memory_order_acquire)) {
+    hook(site, rank, wait_ns);
+  }
+}
+}  // namespace detail
+
+/// Install the process-wide hook (nullptr uninstalls); returns the previous
+/// one. Installing does not enable sampling — set_enabled(true) does.
+inline Hook set_hook(Hook hook) {
+  return detail::hook_slot().exchange(hook, std::memory_order_acq_rel);
+}
+
+/// Runtime gate, default off: with no profiler installed the only cost a
+/// ranked site pays is one relaxed load on the contended path.
+inline bool enabled() {
+  return detail::enabled_slot().load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) {
+  detail::enabled_slot().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace contention
 
 #if PSF_LOCK_RANK_ENABLED
 
@@ -131,7 +187,19 @@ class RankedMutex {
 
   void lock() {
     lock_rank::detail::check(rank_, name_);
-    mutex_.lock();
+    if (!mutex_.try_lock()) {
+      if (contention::detail::active()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        mutex_.lock();
+        contention::detail::report(
+            name_, rank_,
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      } else {
+        mutex_.lock();
+      }
+    }
     lock_rank::detail::push(this, rank_, name_);
   }
   void unlock() {
@@ -149,7 +217,19 @@ class RankedMutex {
   template <typename M = MutexT>
   void lock_shared() {
     lock_rank::detail::check(rank_, name_);
-    static_cast<M&>(mutex_).lock_shared();
+    if (!static_cast<M&>(mutex_).try_lock_shared()) {
+      if (contention::detail::active()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        static_cast<M&>(mutex_).lock_shared();
+        contention::detail::report(
+            name_, rank_,
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      } else {
+        static_cast<M&>(mutex_).lock_shared();
+      }
+    }
     lock_rank::detail::push(this, rank_, name_);
   }
   template <typename M = MutexT>
@@ -170,22 +250,48 @@ class RankedMutex {
   const char* name_;
 };
 
-#else  // !PSF_LOCK_RANK_ENABLED — zero-cost passthrough
+#else  // !PSF_LOCK_RANK_ENABLED — passthrough (no rank state, but ranked
+       // sites remain contention probes; see header comment)
 
 template <typename MutexT>
 class RankedMutex {
  public:
-  RankedMutex(LockRank, const char*) {}
+  RankedMutex(LockRank rank, const char* name)
+      : rank_(static_cast<int>(rank)), name_(name) {}
   RankedMutex(const RankedMutex&) = delete;
   RankedMutex& operator=(const RankedMutex&) = delete;
 
-  void lock() { mutex_.lock(); }
+  void lock() {
+    if (mutex_.try_lock()) return;
+    if (contention::detail::active()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      mutex_.lock();
+      contention::detail::report(
+          name_, rank_,
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    } else {
+      mutex_.lock();
+    }
+  }
   void unlock() { mutex_.unlock(); }
   bool try_lock() { return mutex_.try_lock(); }
 
   template <typename M = MutexT>
   void lock_shared() {
-    static_cast<M&>(mutex_).lock_shared();
+    if (static_cast<M&>(mutex_).try_lock_shared()) return;
+    if (contention::detail::active()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      static_cast<M&>(mutex_).lock_shared();
+      contention::detail::report(
+          name_, rank_,
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    } else {
+      static_cast<M&>(mutex_).lock_shared();
+    }
   }
   template <typename M = MutexT>
   void unlock_shared() {
@@ -198,6 +304,8 @@ class RankedMutex {
 
  private:
   MutexT mutex_;
+  int rank_;
+  const char* name_;
 };
 
 #endif  // PSF_LOCK_RANK_ENABLED

@@ -142,6 +142,31 @@ TEST(Introspect, ViewerViewOmitsTheDeepMethodsEntirely) {
   // generated class never had the methods, so there is nothing to bypass.
   EXPECT_THROW(view.call("journal_tail", {Value::integer(5)}), EvalError);
   EXPECT_THROW(view.call("spans_for_trace", {Value::string("0")}), EvalError);
+  EXPECT_THROW(view.call("slo_status", {}), EvalError);
+  EXPECT_THROW(view.call("lock_contention", {}), EvalError);
+}
+
+TEST(Introspect, MonitorSeesSloAndContentionSurfaces) {
+  World w;
+  auto session = w.psf.request(w.request_as("Operator", "Monitor"));
+  ASSERT_TRUE(session.ok()) << session.error().message;
+  auto& view = *session.value().view;
+
+  // install_introspection declared the builtin SLO triple; the workload has
+  // already pushed secure RPCs through psf.switchboard.rpc_us.
+  const std::string slos = view.call("slo_status", {}).as_string();
+  EXPECT_NE(slos.find("\"version\":\"slo-v1\""), std::string::npos);
+  EXPECT_NE(slos.find("\"name\":\"switchboard.rpc\""), std::string::npos);
+  EXPECT_NE(slos.find("\"name\":\"drbac.prove\""), std::string::npos);
+  EXPECT_NE(slos.find("\"name\":\"views.sync\""), std::string::npos);
+
+  // The SLO checks landed on the health plane too.
+  const std::string health = view.call("health", {}).as_string();
+  EXPECT_NE(health.find("slo.switchboard.rpc"), std::string::npos);
+
+  const std::string contention = view.call("lock_contention", {}).as_string();
+  EXPECT_NE(contention.find("\"version\":\"contention-v1\""),
+            std::string::npos);
 }
 
 TEST(Introspect, UncredentialedCallerIsDeniedByTheAcl) {

@@ -92,22 +92,50 @@ TEST(Journal, DrainMergesThreadsInTimeOrder) {
   }
 }
 
-TEST(Journal, OverflowKeepsNewestAndCountsDropped) {
+TEST(Journal, OverflowAbsorbsBurstWithSoftNotHardDrops) {
   j::reset();
   const std::uint64_t emitted_before = j::emitted();
-  const std::uint64_t dropped_before = j::dropped();
+  const std::uint64_t soft_before = j::soft_dropped();
+  const std::uint64_t hard_before = j::hard_dropped();
   constexpr std::uint64_t kTotal = 5000;  // > one ring (4096)
   for (std::uint64_t i = 0; i < kTotal; ++i) {
     j::emit(j::Subsystem::kObs, 99, i);
   }
   EXPECT_EQ(j::emitted() - emitted_before, kTotal);
-  EXPECT_EQ(j::dropped() - dropped_before, kTotal - 4096);
+  // The 904 events the ring displaced were absorbed by the overflow ring:
+  // soft drops, still drainable. Nothing was lost for good.
+  EXPECT_EQ(j::soft_dropped() - soft_before, kTotal - 4096);
+  EXPECT_EQ(j::hard_dropped() - hard_before, 0u);
+  EXPECT_EQ(j::dropped(), j::hard_dropped());  // legacy alias = hard
+
+  const auto events = j::drain();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kTotal));
+  // Every event survived, still oldest-first, no duplicates.
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(events[i].args[0], i);
+  }
+}
+
+TEST(Journal, DisablingOverflowMakesDisplacementsHard) {
+  j::reset();
+  j::set_overflow_capacity(0);
+  const std::uint64_t soft_before = j::soft_dropped();
+  const std::uint64_t hard_before = j::hard_dropped();
+  constexpr std::uint64_t kTotal = 4200;
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    j::emit(j::Subsystem::kObs, 99, i);
+  }
+  EXPECT_EQ(j::soft_dropped() - soft_before, 0u);
+  EXPECT_EQ(j::hard_dropped() - hard_before, kTotal - 4096);
 
   const auto events = j::drain();
   ASSERT_EQ(events.size(), 4096u);
-  // The retained window is the newest 4096, still oldest-first.
+  // Only the ring window survives: newest 4096, oldest-first.
   EXPECT_EQ(events.front().args[0], kTotal - 4096);
   EXPECT_EQ(events.back().args[0], kTotal - 1);
+
+  j::set_overflow_capacity(16384);  // restore the default for later tests
+  EXPECT_EQ(j::overflow_capacity(), 16384u);
 }
 
 TEST(Journal, TailReturnsNewestOldestFirst) {

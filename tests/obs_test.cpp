@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <stdexcept>
 #include <vector>
 
 #include "drbac/credential.hpp"
@@ -143,6 +145,82 @@ TEST(Export, JsonSnapshotShape) {
   EXPECT_NE(json.find("\"counter\""), std::string::npos);
 }
 
+// -------------------------------------------------------------- exemplars
+
+TEST(Metrics, ExemplarCapturedAboveThresholdLinksActiveTrace) {
+  SpanCollector::instance().clear();
+  Registry registry;
+  Histogram& h = registry.histogram("test.exemplar.lat_us", {10, 100, 1000});
+  h.set_exemplar_threshold(100);
+
+  // Below threshold, and above threshold with no active span: no exemplar.
+  h.observe(5);
+  h.observe(500);
+  EXPECT_FALSE(h.snapshot().tail_exemplar().valid);
+
+  TraceId trace = 0;
+  {
+    ScopedSpan span("test.exemplar");
+    trace = span.context().trace_id;
+    h.observe(500);
+  }
+  const Histogram::Exemplar ex = h.snapshot().tail_exemplar();
+  ASSERT_TRUE(ex.valid);
+  EXPECT_EQ(ex.trace_id, trace);
+  EXPECT_EQ(ex.value, 500);
+  // Capture pinned the trace so its spans survive ring eviction.
+  EXPECT_TRUE(SpanCollector::instance().is_pinned(trace));
+  // The exemplar resolves to real spans.
+  EXPECT_FALSE(SpanCollector::instance().spans_for_trace(trace).empty());
+}
+
+TEST(Metrics, ExemplarThresholdSurvivesRegistryReset) {
+  Registry registry;
+  Histogram& h = registry.histogram("test.exemplar.reset_us", {10, 100});
+  h.set_exemplar_threshold(42);
+  registry.reset();
+  // Threshold is configuration, not a value; reset keeps it but clears any
+  // captured exemplars.
+  EXPECT_EQ(h.exemplar_threshold(), 42);
+  EXPECT_FALSE(h.snapshot().tail_exemplar().valid);
+}
+
+TEST(Export, PrometheusExemplarSyntaxRoundTrips) {
+  SpanCollector::instance().clear();
+  Registry registry;
+  Histogram& h = registry.histogram("test.exemplar.export_us", {10, 100});
+  h.set_exemplar_threshold(100);
+  TraceId trace = 0;
+  {
+    ScopedSpan span("test.exemplar.export");
+    trace = span.context().trace_id;
+    h.observe(5000);  // lands in +Inf, captures the exemplar
+  }
+
+  const std::string text = to_prometheus_text(registry.snapshot());
+  // OpenMetrics exemplar suffix on the +Inf bucket line:
+  //   name_bucket{le="+Inf"} 1 # {trace_id="...",span_id="..."} 5000
+  const std::string line_start = "test_exemplar_export_us_bucket{le=\"+Inf\"}";
+  const std::size_t line = text.find(line_start);
+  ASSERT_NE(line, std::string::npos);
+  const std::size_t eol = text.find('\n', line);
+  const std::string bucket_line = text.substr(line, eol - line);
+  const std::size_t marker = bucket_line.find(" # {trace_id=\"");
+  ASSERT_NE(marker, std::string::npos) << bucket_line;
+
+  // Round-trip: parse the trace id back out and resolve it to spans.
+  const std::size_t id_begin = marker + std::string(" # {trace_id=\"").size();
+  const std::size_t id_end = bucket_line.find('"', id_begin);
+  ASSERT_NE(id_end, std::string::npos);
+  const std::string hex = bucket_line.substr(id_begin, id_end - id_begin);
+  EXPECT_EQ(hex.size(), 16u);
+  const TraceId parsed = std::strtoull(hex.c_str(), nullptr, 16);
+  EXPECT_EQ(parsed, trace);
+  EXPECT_FALSE(SpanCollector::instance().spans_for_trace(parsed).empty());
+  // The exemplar value trails the span_id group.
+  EXPECT_NE(bucket_line.find("\"} 5000"), std::string::npos) << bucket_line;
+}
+
 // ------------------------------------------------------------------ spans
 
 TEST(Trace, ScopedSpansLinkParentAndChild) {
@@ -181,6 +259,83 @@ TEST(Trace, RingBufferEvictsOldestFirst) {
   ASSERT_EQ(spans.size(), 4u);
   EXPECT_EQ(spans.front().name, "s2");  // s0, s1 evicted
   EXPECT_EQ(spans.back().name, "s5");
+}
+
+TEST(Trace, ErrorSpansSurviveRingEviction) {
+  SpanCollector collector(4);
+  for (int i = 0; i < 8; ++i) {
+    SpanRecord r;
+    r.trace_id = static_cast<TraceId>(100 + i);
+    r.span_id = static_cast<SpanId>(i + 1);
+    r.name = "s" + std::to_string(i);
+    r.error = (i == 0);  // the very first span failed
+    collector.record(std::move(r));
+  }
+  // s0 was displaced from the ring but kept in the protected store; the
+  // other three displaced spans (s1..s3) were boring and died.
+  EXPECT_EQ(collector.dropped(), 3u);
+  EXPECT_EQ(collector.retained_count(), 1u);
+  const auto spans = collector.snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  EXPECT_EQ(spans.front().name, "s0");
+  EXPECT_TRUE(spans.front().error);
+}
+
+TEST(Trace, PinnedTraceSpansSurviveRingEviction) {
+  SpanCollector collector(4);
+  collector.pin_trace(777);
+  EXPECT_TRUE(collector.is_pinned(777));
+  EXPECT_EQ(collector.pinned_count(), 1u);
+  for (int i = 0; i < 8; ++i) {
+    SpanRecord r;
+    r.trace_id = (i == 1) ? 777 : static_cast<TraceId>(100 + i);
+    r.span_id = static_cast<SpanId>(i + 1);
+    r.name = "s" + std::to_string(i);
+    collector.record(std::move(r));
+  }
+  // The pinned trace's span survived eviction; spans_for_trace finds it.
+  const auto pinned_spans = collector.spans_for_trace(777);
+  ASSERT_EQ(pinned_spans.size(), 1u);
+  EXPECT_EQ(pinned_spans.front().name, "s1");
+  EXPECT_EQ(collector.dropped(), 3u);  // s0, s2, s3 were boring
+}
+
+TEST(Trace, PinLruEvictsOldestPinBeyondCapacity) {
+  SpanCollector collector(4);
+  // 65 pins: one beyond kMaxPinnedTraces (64) — the oldest pin falls out.
+  for (TraceId t = 1; t <= 65; ++t) collector.pin_trace(t);
+  EXPECT_EQ(collector.pinned_count(), 64u);
+  EXPECT_FALSE(collector.is_pinned(1));
+  EXPECT_TRUE(collector.is_pinned(2));
+  EXPECT_TRUE(collector.is_pinned(65));
+  // Re-pinning refreshes: 2 moves to the young end, so pinning one more
+  // evicts 3, not 2.
+  collector.pin_trace(2);
+  collector.pin_trace(66);
+  EXPECT_TRUE(collector.is_pinned(2));
+  EXPECT_FALSE(collector.is_pinned(3));
+}
+
+TEST(Trace, ScopedSpanRecordsErrorOnUnwindAndExplicitSet) {
+  SpanCollector::instance().clear();
+  try {
+    ScopedSpan span("test.throws");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  {
+    ScopedSpan span("test.set-error");
+    span.set_error();
+  }
+  { ScopedSpan span("test.fine"); }
+  const auto spans = SpanCollector::instance().snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "test.throws");
+  EXPECT_TRUE(spans[0].error);
+  EXPECT_EQ(spans[1].name, "test.set-error");
+  EXPECT_TRUE(spans[1].error);
+  EXPECT_EQ(spans[2].name, "test.fine");
+  EXPECT_FALSE(spans[2].error);
 }
 
 TEST(Trace, HeaderRoundTrip) {

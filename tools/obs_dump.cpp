@@ -7,6 +7,7 @@
 //   obs_dump --spans        span ring buffer as JSON
 //   obs_dump --journal      flight-recorder event journal as JSON
 //   obs_dump --trace        human-readable tree of one cross-host trace
+//   obs_dump --slo          declared latency objectives + burn rates as JSON
 //
 // Unknown arguments exit 2.
 #include <iostream>
@@ -16,6 +17,7 @@
 #include "obs/export.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -53,7 +55,7 @@ void run_workload() {
 int usage() {
   std::cerr
       << "usage: obs_dump [--prometheus|--text|--json|--spans|--journal|"
-         "--trace]\n";
+         "--trace|--slo]\n";
   return 2;
 }
 
@@ -65,10 +67,14 @@ int main(int argc, char** argv) {
   if (argc == 2) mode = argv[1];
   if (mode == "--text") mode = "--prometheus";  // legacy spelling
   if (mode != "--prometheus" && mode != "--json" && mode != "--spans" &&
-      mode != "--journal" && mode != "--trace") {
+      mode != "--journal" && mode != "--trace" && mode != "--slo") {
     return usage();
   }
 
+  // Declare the builtin SLOs before the workload so their exemplar
+  // thresholds are armed while the RPCs run (no introspection service here
+  // to do it for us).
+  psf::obs::install_builtin_slos();
   run_workload();
 
   if (mode == "--json") {
@@ -89,6 +95,9 @@ int main(int argc, char** argv) {
     }
     std::cerr << "no cross-host trace recorded\n";
     return 1;
+  } else if (mode == "--slo") {
+    std::cout << psf::obs::slo_to_json(psf::obs::SloRegistry::instance().peek())
+              << "\n";
   } else {
     std::cout << psf::obs::dump_prometheus();
   }

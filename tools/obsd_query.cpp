@@ -8,11 +8,12 @@
 // the Introspect component.
 //
 //   obsd_query [--as admin|viewer|anonymous] [metrics|health|journal [n]|
-//               spans [trace-id]|all]
+//               spans [trace-id]|slo|contention|all]
 //
 //   --as admin      holds Admin.Monitor: full surface (default)
 //   --as viewer     holds Admin.Viewer: metrics+health view only; the deep
-//                   methods do not exist on the generated view class
+//                   methods (journal/spans/slo/contention) do not exist on
+//                   the generated view class
 //   --as anonymous  no Admin credential: the ACL denies the request
 //
 // Unknown arguments exit 2; denied access or failed queries exit 1.
@@ -35,7 +36,8 @@ using psf::minilang::Value;
 
 int usage() {
   std::cerr << "usage: obsd_query [--as admin|viewer|anonymous] "
-               "[metrics|health|journal [n]|spans [trace-id]|all]\n";
+               "[metrics|health|journal [n]|spans [trace-id]|slo|"
+               "contention|all]\n";
   return 2;
 }
 
@@ -88,6 +90,7 @@ int main(int argc, char** argv) {
       role = args[++i];
     } else if (args[i] == "metrics" || args[i] == "health" ||
                args[i] == "journal" || args[i] == "spans" ||
+               args[i] == "slo" || args[i] == "contention" ||
                args[i] == "all") {
       command = args[i];
       if ((command == "journal" || command == "spans") &&
@@ -175,6 +178,14 @@ int main(int argc, char** argv) {
   if (command == "spans" || command == "all") {
     if (command == "all") std::cout << "==== spans ====\n";
     rc |= query("spans_for_trace", {Value::string(trace_hex)});
+  }
+  if (command == "slo" || command == "all") {
+    if (command == "all") std::cout << "==== slo ====\n";
+    rc |= query("slo_status", {});
+  }
+  if (command == "contention" || command == "all") {
+    if (command == "all") std::cout << "==== contention ====\n";
+    rc |= query("lock_contention", {});
   }
   return rc;
 }
