@@ -26,15 +26,21 @@
 #include <thread>
 #include <vector>
 
+#include <future>
+
 #include "bench_util.hpp"
 #include "mail/components.hpp"
+#include "mail/sharded.hpp"
 #include "minilang/interp.hpp"
+#include "minilang/value_codec.hpp"
 #include "obs/contention.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "switchboard/channel.hpp"
+#include "switchboard/event_loop.hpp"
+#include "switchboard/reactor.hpp"
 
 namespace {
 
@@ -147,6 +153,404 @@ std::int64_t delta_percentile(const obs::Histogram::Snapshot& before,
 // turns it into a nonzero exit so CI smoke catches a regression even though
 // bench::run itself returned 0.
 int g_gate_failures = 0;
+
+// ----------------------------------------------------------------------
+// ISSUE 7: the event-core ramp. The thread-per-connection ramp above tops
+// out where threads do; this section drives the same mail workload through
+// the readiness-driven Reactor — derived sessions multiplexed over one
+// trunk Connection per worker, mail state sharded by mailbox hash — and
+// ramps client count to 100k while OS thread count stays O(workers).
+
+// One in-flight request per driver chain (strict closed loop). Each worker
+// loop is single-threaded, so one busy chain per worker already saturates
+// it; a deeper window adds pure queueing delay (latency = K x service time
+// by Little's law) without adding throughput on in-process conduits. K=1
+// keeps p99 an honest per-request service latency, comparable to the
+// thread-per-connection ramp above.
+constexpr int kInflightWindow = 1;
+
+/// One worker's closed-loop driver: completions issue the next request
+/// until the step quota is spent. Callbacks run on the worker's loop.
+struct Drive {
+  std::vector<switchboard::EventChannel*> channels;
+  std::vector<util::Bytes> requests;  // pre-encoded getPhone per channel
+  std::atomic<long> to_issue{0};
+  std::atomic<long> completed{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::size_t> rr{0};
+  long total = 0;
+  std::int64_t worker = 0;
+  bool chatty = false;  // per-request journal emit, as in one_request()
+  std::promise<void> done;
+};
+
+void issue_next(const std::shared_ptr<Drive>& drive, obs::Histogram& rpc_us) {
+  if (drive->to_issue.fetch_sub(1) <= 0) return;
+  const std::size_t idx =
+      drive->rr.fetch_add(1) % drive->channels.size();
+  const std::uint64_t start = switchboard::EventLoop::now_ns();
+  drive->channels[idx]->submit(
+      drive->requests[idx],
+      [drive, start, &rpc_us](util::Result<util::Bytes> r) {
+        {
+          // Observe inside a live span so a tail capture carries a
+          // resolvable trace — the same exemplar discipline as the
+          // thread-per-connection path's ScopedTimerUs-inside-ScopedSpan.
+          obs::ScopedSpan span("switchboard.call");
+          rpc_us.observe(static_cast<std::int64_t>(
+              (switchboard::EventLoop::now_ns() - start) / 1000));
+        }
+        if (!r.ok()) drive->errors.fetch_add(1);
+        const long finished = drive->completed.fetch_add(1) + 1;
+        if (drive->chatty) {
+          // The debug-verbosity per-request journal event the old-core ramp
+          // emits too: this is the burst the overflow ring must absorb, and
+          // what makes the zero-hard-drop gate meaningful at 100k sessions.
+          obs::journal::emit(obs::journal::Subsystem::kObs, 97, drive->worker,
+                             finished, 0, 0);
+        }
+        if (finished == drive->total) {
+          drive->done.set_value();
+        } else {
+          issue_next(drive, rpc_us);
+        }
+      });
+}
+
+/// Drive `total_requests` across the per-worker chains; returns wall-clock
+/// seconds. Requests are spread proportionally to each worker's session
+/// count so every shard stays busy.
+double run_event_loaded(
+    std::vector<std::vector<switchboard::EventChannel*>>& by_worker,
+    std::vector<std::vector<util::Bytes>>& requests_by_worker,
+    long total_requests, obs::Histogram& rpc_us, bool chatty = false) {
+  std::size_t total_channels = 0;
+  for (const auto& channels : by_worker) total_channels += channels.size();
+  std::vector<std::shared_ptr<Drive>> drives;
+  long assigned = 0;
+  for (std::size_t w = 0; w < by_worker.size(); ++w) {
+    if (by_worker[w].empty()) continue;
+    auto drive = std::make_shared<Drive>();
+    drive->channels = by_worker[w];
+    drive->requests = requests_by_worker[w];
+    drive->worker = static_cast<std::int64_t>(w);
+    drive->chatty = chatty;
+    drive->total = static_cast<long>(
+        static_cast<double>(total_requests) *
+        static_cast<double>(by_worker[w].size()) /
+        static_cast<double>(total_channels));
+    if (drive->total <= 0) drive->total = 1;
+    assigned += drive->total;
+    drives.push_back(std::move(drive));
+  }
+  // Rounding remainder lands on the first worker.
+  if (!drives.empty() && assigned != total_requests) {
+    drives[0]->total += total_requests - assigned;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& drive : drives) {
+    drive->to_issue.store(drive->total);
+    for (int k = 0; k < kInflightWindow; ++k) issue_next(drive, rpc_us);
+  }
+  for (auto& drive : drives) {
+    drive->done.get_future().wait();
+    if (drive->errors.load() != 0) {
+      std::cout << "  WARNING: " << drive->errors.load()
+                << " event-core requests failed\n";
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+      .count();
+}
+
+void reproduce_event_core(
+    bench::Report& report,
+    std::vector<std::unique_ptr<WorkerFixture>>& fixtures,
+    obs::Histogram& rpc_us) {
+  using switchboard::EventChannel;
+  using switchboard::Reactor;
+
+  const int kWorkers = static_cast<int>(fixtures.size());
+  const int threads_before = switchboard::count_os_threads();
+
+  // Sharded backend: one share-nothing MailServer per reactor worker, a
+  // pool of pre-registered accounts spread across shards by mailbox hash.
+  constexpr int kAccountPool = 1024;
+  mail::ShardedMailBackend backend(static_cast<std::size_t>(kWorkers));
+  for (int i = 0; i < kAccountPool; ++i) {
+    const std::string user = "u" + std::to_string(i);
+    backend.register_account(user, "555-" + std::to_string(i), user + "@x");
+  }
+
+  Reactor reactor({.workers = kWorkers});
+  reactor.start();
+
+  // Heartbeats for the per-worker trunks ride the timer wheel — zero
+  // dedicated threads, unlike HeartbeatDriver's thread-per-connection.
+  std::vector<switchboard::HeartbeatHandle> heartbeats;
+  for (auto& fixture : fixtures) {
+    heartbeats.push_back(reactor.schedule_heartbeats(
+        fixture->conn, std::chrono::milliseconds(250)));
+  }
+
+  struct Session {
+    std::shared_ptr<EventChannel> client;
+    std::shared_ptr<EventChannel> server;
+  };
+  std::vector<Session> sessions;
+  std::vector<std::vector<EventChannel*>> by_worker(
+      static_cast<std::size_t>(kWorkers));
+  std::vector<std::vector<util::Bytes>> requests_by_worker(
+      static_cast<std::size_t>(kWorkers));
+
+  // Sessions persist across ramp steps (a real fleet doesn't reconnect
+  // between load levels); each step only adds the delta.
+  auto grow_sessions = [&](long target) {
+    sessions.reserve(static_cast<std::size_t>(target));
+    while (static_cast<long>(sessions.size()) < target) {
+      const std::size_t i = sessions.size();
+      const std::string mailbox = "u" + std::to_string(i % kAccountPool);
+      const int worker = static_cast<int>(backend.shard_of(mailbox));
+      auto& shard = backend.shard(static_cast<std::size_t>(worker));
+      auto pair = switchboard::make_memory_conduit_pair();
+      Session session;
+      session.server = reactor.serve(
+          worker, std::move(pair.b), fixtures[worker]->conn,
+          [&shard](const util::Bytes& request, util::Bytes& response) {
+            shard.handle(request, response);
+          });
+      session.client = reactor.open(worker, std::move(pair.a),
+                                    fixtures[worker]->conn,
+                                    static_cast<std::uint64_t>(i) + 1,
+                                    mailbox);
+      by_worker[static_cast<std::size_t>(worker)].push_back(
+          session.client.get());
+      std::vector<Value> request;
+      request.push_back(Value::string("mail"));
+      request.push_back(Value::string("getPhone"));
+      request.push_back(Value::string(mailbox));
+      util::Bytes plain;
+      obs::append_trace_header(obs::SpanContext{}, plain);
+      minilang::encode_values_into(request, plain);
+      requests_by_worker[static_cast<std::size_t>(worker)].push_back(
+          std::move(plain));
+      sessions.push_back(std::move(session));
+    }
+    // Handshakes are asynchronous; wait until the whole fleet is
+    // established before measuring.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(300);
+    std::size_t established = 0;
+    while (established < sessions.size()) {
+      if (sessions[established].client->state() ==
+          EventChannel::State::kEstablished) {
+        ++established;
+        continue;
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        std::cout << "  GATE FAILED: only " << established << "/"
+                  << sessions.size() << " sessions established\n";
+        ++g_gate_failures;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+
+  const int kRequestsPerClient = 2;
+  const std::vector<long> ramp =
+      bench::smoke_mode() ? std::vector<long>{10'000, 100'000}
+                          : std::vector<long>{10'000, 25'000, 50'000,
+                                              100'000};
+  std::cout << "\n  [event core] " << kWorkers << " workers ("
+            << switchboard::to_string(switchboard::transport_from_env())
+            << " transport), ramping to " << ramp.back() << " sessions\n";
+
+  obs::journal::set_enabled(true);
+  obs::set_contention_profiling(true);
+  const std::uint64_t hard_before = obs::journal::hard_dropped();
+  std::int64_t event_threshold_us = 0;
+
+  for (std::size_t step = 0; step < ramp.size(); ++step) {
+    const long clients = ramp[step];
+    const long requests = clients * kRequestsPerClient;
+    const auto grow_start = std::chrono::steady_clock::now();
+    grow_sessions(clients);
+    const double grow_secs =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - grow_start)
+            .count();
+
+    // Same adaptive-overflow discipline as the thread-core ramp: journal
+    // emits land on kWorkers loop threads, so project the per-thread ring
+    // overshoot and grow the shared overflow ring before the burst.
+    const long per_worker = (requests + kWorkers - 1) / kWorkers;
+    const long projected =
+        kWorkers *
+        std::max<long>(0, per_worker -
+                              static_cast<long>(obs::journal::kRingCapacity));
+    if (projected > static_cast<long>(obs::journal::overflow_capacity())) {
+      obs::journal::set_overflow_capacity(static_cast<std::size_t>(projected));
+      std::cout << "  [event core] [ring] grew overflow to "
+                << obs::journal::overflow_capacity() << " for a projected "
+                << projected << "-event burst\n";
+    }
+
+    const auto before = rpc_us.snapshot();
+    const double secs = run_event_loaded(by_worker, requests_by_worker,
+                                         requests, rpc_us, /*chatty=*/true);
+    const auto after = rpc_us.snapshot();
+
+    const std::int64_t p50 = delta_percentile(before, after, 50.0);
+    const std::int64_t p99 = delta_percentile(before, after, 99.0);
+    const double rps = secs > 0 ? static_cast<double>(requests) / secs : 0.0;
+    const int threads_now = switchboard::count_os_threads();
+    const std::string tag = "event_ramp_" + std::to_string(clients);
+    report.add(tag + ".p50_us", static_cast<double>(p50), "us", requests);
+    report.add(tag + ".p99_us", static_cast<double>(p99), "us", requests);
+    report.add(tag + ".rps", rps, "req/s", requests);
+    report.add(tag + ".threads", static_cast<double>(threads_now), "threads",
+               requests);
+    const std::size_t drained = obs::journal::drain().size();
+    obs::journal::reset();
+
+    std::cout << "  [event core] " << clients << " sessions (" << requests
+              << " requests, +" << static_cast<long>(grow_secs * 1000)
+              << " ms setup): p50 " << p50 << " us, p99 " << p99 << " us, "
+              << static_cast<long>(rps) << " req/s, " << threads_now
+              << " OS threads, journal drained " << drained << "\n";
+
+    if (step == 0) {
+      event_threshold_us =
+          std::max<std::int64_t>(1, delta_percentile(before, after, 90.0));
+      rpc_us.set_exemplar_threshold(event_threshold_us);
+      std::cout << "  [event core] exemplar threshold armed at warmup p90 = "
+                << event_threshold_us << " us\n";
+    }
+  }
+
+  // Gate: OS threads stay O(workers) — the reactor plus a small constant
+  // (main, gtest/benchmark plumbing) regardless of session count.
+  const int threads_at_peak = switchboard::count_os_threads();
+  const bool threads_ok =
+      threads_at_peak >= 0 && threads_before >= 0 &&
+      threads_at_peak <= threads_before + kWorkers + 2;
+  report.derived("event_thread_gate_ok", threads_ok ? 1.0 : 0.0);
+  report.derived("event_threads_at_peak",
+                 static_cast<double>(threads_at_peak));
+  if (!threads_ok) {
+    std::cout << "  GATE FAILED: " << threads_at_peak << " OS threads at "
+              << sessions.size() << " sessions (allowed: " << threads_before
+              << " base + " << kWorkers << " workers + 2)\n";
+    ++g_gate_failures;
+  } else {
+    std::cout << "  [event core] thread gate: " << threads_at_peak
+              << " OS threads at " << sessions.size() << " sessions\n";
+  }
+
+  // Gate: exemplars captured from event-core traffic resolve to spans.
+  bool exemplar_resolved = false;
+  const auto final_snapshot = rpc_us.snapshot();
+  for (const auto& exemplar : final_snapshot.exemplars) {
+    if (!exemplar.valid) continue;
+    if (!obs::SpanCollector::instance()
+             .spans_for_trace(exemplar.trace_id)
+             .empty()) {
+      exemplar_resolved = true;
+      break;
+    }
+  }
+  report.derived("event_exemplar_resolved", exemplar_resolved ? 1.0 : 0.0);
+  if (!exemplar_resolved) {
+    std::cout << "  GATE FAILED: no event-core exemplar resolved to spans\n";
+    ++g_gate_failures;
+  }
+
+  // Gate: the §4f observability-overhead budget holds at the event core
+  // too. Same min-of-7 alternating discipline as the thread-per-connection
+  // gate above; the load plane is fully on vs fully off.
+  const long gate_requests = 20'000;
+  const int passes = 7;
+  double on_s = 1e300, off_s = 1e300;
+  const auto run_off = [&] {
+    obs::journal::set_enabled(false);
+    obs::set_contention_profiling(false);
+    rpc_us.set_exemplar_threshold(INT64_MAX);
+    off_s = std::min(off_s, run_event_loaded(by_worker, requests_by_worker,
+                                             gate_requests, rpc_us));
+  };
+  const auto run_on = [&] {
+    obs::journal::set_enabled(true);
+    obs::set_contention_profiling(true);
+    rpc_us.set_exemplar_threshold(event_threshold_us);
+    on_s = std::min(on_s, run_event_loaded(by_worker, requests_by_worker,
+                                           gate_requests, rpc_us));
+  };
+  for (int pass = 0; pass < passes; ++pass) {
+    if (pass % 2 == 0) {
+      run_off();
+      run_on();
+    } else {
+      run_on();
+      run_off();
+    }
+  }
+  obs::journal::set_enabled(true);
+  obs::set_contention_profiling(true);
+  const double on_us = on_s / static_cast<double>(gate_requests) * 1e6;
+  const double off_us = off_s / static_cast<double>(gate_requests) * 1e6;
+  const double overhead_pct =
+      off_us > 0 ? (on_us / off_us - 1.0) * 100.0 : 0.0;
+  report.add("event_loaded_rpc.obs_on_us", on_us, "us", gate_requests);
+  report.add("event_loaded_rpc.obs_off_us", off_us, "us", gate_requests);
+  report.derived("event_overhead_at_load_pct", overhead_pct);
+  std::cout << "  [event core] loaded RPC: obs on " << on_us << " us, off "
+            << off_us << " us (" << overhead_pct
+            << "% overhead, budget 5%)\n";
+  if (overhead_pct > 5.0) {
+    std::cout << "  GATE FAILED: event-core observability overhead "
+              << overhead_pct << "% > 5%\n";
+    ++g_gate_failures;
+  }
+
+  // Gate: zero hard journal drops across the whole event section.
+  const std::uint64_t hard_drops =
+      obs::journal::hard_dropped() - hard_before;
+  report.derived("event_journal_hard_drops",
+                 static_cast<double>(hard_drops));
+  if (hard_drops != 0) {
+    std::cout << "  GATE FAILED: " << hard_drops
+              << " journal events hard-dropped during the event ramp\n";
+    ++g_gate_failures;
+  }
+
+  // Graceful teardown: drain every session (BYE, flush, close) before the
+  // reactor stops, exercising the kDraining path at fleet scale.
+  for (auto& heartbeat : heartbeats) heartbeat.cancel();
+  for (auto& session : sessions) session.client->begin_drain();
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  std::size_t closed = 0;
+  while (closed < sessions.size() &&
+         std::chrono::steady_clock::now() < drain_deadline) {
+    if (sessions[closed].client->state() == EventChannel::State::kClosed) {
+      ++closed;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  report.derived("event_sessions_drained",
+                 closed == sessions.size() ? 1.0 : 0.0);
+  if (closed != sessions.size()) {
+    std::cout << "  GATE FAILED: only " << closed << "/" << sessions.size()
+              << " sessions drained cleanly\n";
+    ++g_gate_failures;
+  }
+  reactor.stop();
+  std::cout << "  [event core] backend served " << backend.total_requests()
+            << " requests across " << backend.shards() << " shards\n";
+}
 
 void reproduce() {
   obs::install_builtin_slos();  // declares switchboard.rpc over rpc_us
@@ -332,6 +736,18 @@ void reproduce() {
   report.derived("exemplar_threshold_us",
                  static_cast<double>(adaptive_threshold_us));
   report.derived("journal_hard_drops", static_cast<double>(hard_drops));
+
+  // ISSUE 7: the same workload through the readiness-driven core, ramped to
+  // 100k sessions. The thread-per-connection path above stays measured (and
+  // gated) for differential comparison; PSF_SWITCHBOARD_TRANSPORT=threads
+  // skips the event section for old-core-only runs.
+  if (switchboard::transport_from_env() ==
+      switchboard::TransportKind::kEventLoop) {
+    reproduce_event_core(report, workers, rpc_us);
+  } else {
+    std::cout << "\n  [event core] skipped "
+                 "(PSF_SWITCHBOARD_TRANSPORT=threads)\n";
+  }
   report.write();
 
   std::cout << "  loaded RPC: obs on " << on_us << " us, off " << off_us

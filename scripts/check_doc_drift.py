@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI docs gate, part 2: doc-drift check for the CLI flag tables.
+
+docs/OPERATIONS.md documents each tool's flags in a markdown table under a
+"### <tool>" heading. This script runs every tool's --help and fails if the
+set of --flags in the table and the set in the live output disagree in
+either direction — so adding a flag without documenting it (or documenting
+a flag that no longer exists) breaks CI, not a user.
+
+A flag counts as documented if it appears in backticks inside a table row
+of the tool's section (aliases mentioned in a row's description, like
+`--text` for obs_dump, count). -h shorthands are ignored: the contract is
+over long options only.
+
+Usage: check_doc_drift.py --bin-dir build/tools [--doc docs/OPERATIONS.md]
+Exit status: 0 = tables match --help, 1 = drift or a tool failed to run,
+2 = bad arguments / missing inputs.
+"""
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+TOOLS = ["obsd_query", "obs_dump", "psf_analyze", "vig_cli"]
+FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+
+
+def doc_flags(doc_text, tool):
+    """Flags in backticks inside table rows of the tool's ### section."""
+    section = re.search(
+        r"^### %s$(.*?)(?=^#{2,3} |\Z)" % re.escape(tool),
+        doc_text, re.MULTILINE | re.DOTALL)
+    if section is None:
+        return None
+    flags = set()
+    for line in section.group(1).splitlines():
+        if not line.lstrip().startswith("|"):
+            continue
+        for code in re.findall(r"`([^`]*)`", line):
+            flags.update(FLAG_RE.findall(code))
+    return flags
+
+
+def help_flags(binary):
+    try:
+        proc = subprocess.run([binary, "--help"], capture_output=True,
+                              text=True, timeout=60)
+    except OSError as e:
+        return None, str(e)
+    if proc.returncode != 0:
+        return None, "--help exited %d" % proc.returncode
+    return set(FLAG_RE.findall(proc.stdout)), None
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--bin-dir", required=True,
+                        help="directory holding the built CLI tools")
+    parser.add_argument("--doc", default="docs/OPERATIONS.md")
+    args = parser.parse_args()
+
+    try:
+        with open(args.doc, encoding="utf-8") as f:
+            doc_text = f.read()
+    except OSError as e:
+        print("check_doc_drift: cannot read %s: %s" % (args.doc, e))
+        return 2
+
+    failures = 0
+    for tool in TOOLS:
+        documented = doc_flags(doc_text, tool)
+        if documented is None:
+            print("  FAIL  %s: no '### %s' section in %s" %
+                  (tool, tool, args.doc))
+            failures += 1
+            continue
+        binary = os.path.join(args.bin_dir, tool)
+        live, error = help_flags(binary)
+        if live is None:
+            print("  FAIL  %s: %s" % (tool, error))
+            failures += 1
+            continue
+        undocumented = sorted(live - documented)
+        stale = sorted(documented - live)
+        if undocumented or stale:
+            failures += 1
+            if undocumented:
+                print("  FAIL  %s: in --help but not in %s: %s" %
+                      (tool, args.doc, ", ".join(undocumented)))
+            if stale:
+                print("  FAIL  %s: in %s but not in --help: %s" %
+                      (tool, args.doc, ", ".join(stale)))
+        else:
+            print("        ok  %s: %d flag(s) match" % (tool, len(live)))
+
+    if failures:
+        print("\n%d tool(s) drifted from %s" % (failures, args.doc))
+        return 1
+    print("\nall %d flag tables match live --help output" % len(TOOLS))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""CI docs gate, part 1: markdown link checker.
+
+Walks every *.md file in the repository and fails on:
+  - relative links to files that do not exist,
+  - anchor links (#fragment, same-file or cross-file) that do not match any
+    heading in the target document.
+
+External links (http/https/mailto) are not fetched — CI must not depend on
+the network. Fenced code blocks and inline code spans are stripped before
+scanning so `array[i](x)` in an example is not mistaken for a link.
+
+Anchor matching uses GitHub's slug rules: lowercase, punctuation dropped,
+spaces become hyphens, duplicate slugs get -1/-2/... suffixes.
+
+Usage: check_doc_links.py [--root REPO_ROOT]
+Exit status: 0 = no dead links, 1 = at least one, 2 = bad arguments.
+"""
+import argparse
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "node_modules", ".bench_json"}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug for a heading line (without the #s)."""
+    text = INLINE_CODE_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = text.strip().lower()
+    # Drop everything but word characters, spaces, and hyphens.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def strip_code(lines):
+    """Remove fenced blocks and inline code spans; keep line count stable."""
+    out = []
+    in_fence = False
+    for line in lines:
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else INLINE_CODE_RE.sub("", line))
+    return out
+
+
+def collect_md_files(root):
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                found.append(os.path.join(dirpath, name))
+    return found
+
+
+def anchors_of(path, cache):
+    if path in cache:
+        return cache[path]
+    slugs = set()
+    seen = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError:
+        cache[path] = slugs
+        return slugs
+    in_fence = False
+    for line in lines:
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    cache[path] = slugs
+    return slugs
+
+
+def check_file(md_path, root, anchor_cache, errors):
+    with open(md_path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    for lineno, line in enumerate(strip_code(lines), start=1):
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            if target.startswith("#"):
+                frag, base = target[1:], md_path
+            else:
+                path_part, _, frag = target.partition("#")
+                base = os.path.normpath(
+                    os.path.join(os.path.dirname(md_path), path_part))
+                if not os.path.exists(base):
+                    errors.append("%s:%d: dead link: %s" %
+                                  (os.path.relpath(md_path, root), lineno,
+                                   target))
+                    continue
+            if frag and base.endswith(".md"):
+                if frag not in anchors_of(base, anchor_cache):
+                    errors.append("%s:%d: missing anchor: %s" %
+                                  (os.path.relpath(md_path, root), lineno,
+                                   target))
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--root", default=".")
+    args = parser.parse_args()
+
+    files = collect_md_files(args.root)
+    if not files:
+        print("check_doc_links: no markdown files found under %s" % args.root)
+        return 2
+    errors = []
+    cache = {}
+    for path in files:
+        check_file(path, args.root, cache, errors)
+    for error in errors:
+        print("  FAIL  %s" % error)
+    print("\nchecked %d markdown file(s): %s" %
+          (len(files), ("%d dead link(s)" % len(errors)) if errors else
+           "all links resolve"))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

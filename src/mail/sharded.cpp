@@ -1,0 +1,127 @@
+#include "mail/sharded.hpp"
+
+#include "mail/components.hpp"
+#include "minilang/value_codec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace psf::mail {
+
+namespace {
+
+struct ShardMetrics {
+  static ShardMetrics& get() {
+    static ShardMetrics metrics;
+    return metrics;
+  }
+  obs::Counter& requests = obs::counter("psf.mail.shard.requests");
+  obs::Counter& errors = obs::counter("psf.mail.shard.errors");
+};
+
+void encode_response(bool ok, minilang::Value payload,
+                     util::Bytes& response_plain) {
+  std::vector<minilang::Value> response;
+  response.push_back(minilang::Value::boolean(ok));
+  response.push_back(std::move(payload));
+  response_plain.clear();
+  response_plain.reserve(minilang::encoded_values_size(response));
+  minilang::encode_values_into(response, response_plain);
+}
+
+}  // namespace
+
+std::uint64_t shard_hash(std::string_view key) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : key) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+MailShard::MailShard(std::size_t index) : index_(index) {
+  register_all(registry_);
+  server_ = minilang::instantiate(registry_, "MailServer");
+}
+
+void MailShard::register_account(const std::string& name,
+                                 const std::string& phone,
+                                 const std::string& email) {
+  minilang::invoke_method(server_, "registerAccount",
+                          {minilang::Value::string(name),
+                           minilang::Value::string(phone),
+                           minilang::Value::string(email)},
+                          /*external=*/true);
+}
+
+void MailShard::handle(const util::Bytes& request_plain,
+                       util::Bytes& response_plain) {
+  ++requests_;
+  ShardMetrics::get().requests.inc();
+
+  // Recover the caller's trace context (same propagation as
+  // Connection::call's receiving end) so dispatch spans link to the
+  // client-side RPC span even across the event transport.
+  obs::SpanContext remote_context;
+  thread_local util::Bytes payload;
+  const util::Bytes* request = &request_plain;
+  if (obs::strip_trace_header(request_plain, remote_context, payload)) {
+    request = &payload;
+  }
+  obs::ContextGuard remote_guard(remote_context);
+  obs::ScopedSpan dispatch_span("switchboard.dispatch");
+
+  auto decoded = minilang::decode_values(*request);
+  if (!decoded.ok() || decoded.value().size() < 2) {
+    ShardMetrics::get().errors.inc();
+    encode_response(false, minilang::Value::string("malformed request"),
+                    response_plain);
+    return;
+  }
+  const std::string service = decoded.value()[0].as_string();
+  const std::string method = decoded.value()[1].as_string();
+  if (service != "mail") {
+    ShardMetrics::get().errors.inc();
+    encode_response(
+        false, minilang::Value::string("no service '" + service +
+                                       "' on shard " + std::to_string(index_)),
+        response_plain);
+    return;
+  }
+  std::vector<minilang::Value> args(decoded.value().begin() + 2,
+                                    decoded.value().end());
+  try {
+    minilang::Value result =
+        minilang::invoke_method(server_, method, std::move(args),
+                                /*external=*/true);
+    encode_response(true, std::move(result), response_plain);
+  } catch (const minilang::EvalError& e) {
+    ShardMetrics::get().errors.inc();
+    encode_response(false, minilang::Value::string(e.what()), response_plain);
+  }
+}
+
+ShardedMailBackend::ShardedMailBackend(std::size_t shards) {
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<MailShard>(i));
+  }
+}
+
+std::size_t ShardedMailBackend::shard_of(std::string_view mailbox) const {
+  return static_cast<std::size_t>(shard_hash(mailbox) % shards_.size());
+}
+
+void ShardedMailBackend::register_account(const std::string& name,
+                                          const std::string& phone,
+                                          const std::string& email) {
+  shards_[shard_of(name)]->register_account(name, phone, email);
+}
+
+std::uint64_t ShardedMailBackend::total_requests() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->requests();
+  return total;
+}
+
+}  // namespace psf::mail

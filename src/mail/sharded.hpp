@@ -1,0 +1,91 @@
+// Sharded mail backend for the event-driven transport (ISSUE 7 tentpole).
+//
+// The thread-per-connection benches give every worker its own complete
+// fixture; the reactor generalizes that into an explicit shard map: the mail
+// store is partitioned by FNV-1a(mailbox) % shards, one shard per reactor
+// worker, and a shard's MiniLang objects are only ever touched from that
+// worker's loop thread. No locks, no cross-shard traffic — the same
+// share-nothing discipline, now addressable by mailbox so routing is a pure
+// function every tier (client, reactor, backend) computes identically.
+//
+//   shard_of("alice") == Reactor::shard_of("alice")   (same hash, same mod)
+//
+// Each shard hosts an independent MailServer instance (mail/components.hpp)
+// plus the request-plaintext codec that makes an EventChannel handler
+// protocol-compatible with Connection::call's dispatch path: requests are
+// `trace-header | encoded [service, method, args...]`, responses are
+// `encoded [ok, payload-or-error]`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minilang/interp.hpp"
+#include "util/bytes.hpp"
+
+namespace psf::mail {
+
+/// Stable FNV-1a 64 over a mailbox name — the one shard-placement hash,
+/// shared with switchboard::Reactor::shard_of.
+std::uint64_t shard_hash(std::string_view key);
+
+/// One share-nothing partition: its own ClassRegistry and MailServer
+/// instance. Not thread-safe by design — pin it to one loop thread.
+class MailShard {
+ public:
+  explicit MailShard(std::size_t index);
+
+  std::size_t index() const { return index_; }
+
+  /// Convenience over MailServer.registerAccount.
+  void register_account(const std::string& name, const std::string& phone,
+                        const std::string& email);
+
+  /// Serve one reactor request: strip the trace header, decode
+  /// [service, method, args...], dispatch to this shard's MailServer, and
+  /// encode [ok, payload] (or [false, error text]) — the exact response
+  /// format Connection::call produces, so clients decode both transports
+  /// with the same code. Application errors become error responses, never
+  /// exceptions (the loop thread must not unwind).
+  void handle(const util::Bytes& request_plain, util::Bytes& response_plain);
+
+  std::uint64_t requests() const { return requests_; }
+
+ private:
+  std::size_t index_;
+  minilang::ClassRegistry registry_;
+  std::shared_ptr<minilang::Instance> server_;
+  std::uint64_t requests_ = 0;
+};
+
+/// The partition map: `shards` MailShard instances, routed by mailbox hash.
+/// Construction and shard access are plain; per-shard mutation must stay on
+/// the shard's owning worker.
+class ShardedMailBackend {
+ public:
+  explicit ShardedMailBackend(std::size_t shards);
+
+  std::size_t shards() const { return shards_.size(); }
+  MailShard& shard(std::size_t index) { return *shards_[index]; }
+
+  /// Which shard owns `mailbox`. Matches Reactor::shard_of when the reactor
+  /// runs `shards()` workers.
+  std::size_t shard_of(std::string_view mailbox) const;
+
+  /// Register `name` on its owning shard (call before the reactor starts,
+  /// or from that shard's worker).
+  void register_account(const std::string& name, const std::string& phone,
+                        const std::string& email);
+
+  /// Total requests served across all shards (sum of per-shard counters;
+  /// call when the reactor is quiescent).
+  std::uint64_t total_requests() const;
+
+ private:
+  std::vector<std::unique_ptr<MailShard>> shards_;
+};
+
+}  // namespace psf::mail

@@ -195,6 +195,8 @@ util::Result<std::shared_ptr<Connection>> Connection::establish(
       crypto::hmac_sha256_bytes(secret, util::to_bytes("mac-a2b")));
   connection->mac_seeds_[1] = crypto::HmacSha256(
       crypto::hmac_sha256_bytes(secret, util::to_bytes("mac-b2a")));
+  connection->resumption_secret_ =
+      crypto::hmac_sha256_bytes(secret, util::to_bytes("session-resume-v1"));
   connection->open_.store(true);
 
   // Continuous authorization: watch every credential both proofs rest on.
@@ -275,6 +277,28 @@ void Connection::install_monitor(End end) {
                             " revoked; revalidation required");
         }
       });
+}
+
+Connection::SessionKeyMaterial Connection::derive_session_keys(
+    std::uint64_t session_id, const char* label) const {
+  SessionKeyMaterial keys;
+  static constexpr const char* kDirection[2] = {"a2b", "b2a"};
+  for (int dir = 0; dir < 2; ++dir) {
+    util::Bytes info;
+    util::append(info, label);
+    util::append(info, "-cipher-");
+    util::append(info, kDirection[dir]);
+    util::put_u64_be(info, session_id);
+    const auto cipher = crypto::hmac_sha256(resumption_secret_, info);
+    std::copy(cipher.begin(), cipher.end(), keys.cipher[dir].begin());
+    info.clear();
+    util::append(info, label);
+    util::append(info, "-mac-");
+    util::append(info, kDirection[dir]);
+    util::put_u64_be(info, session_id);
+    keys.mac_key[dir] = crypto::hmac_sha256_bytes(resumption_secret_, info);
+  }
+  return keys;
 }
 
 void Connection::seal_into(End sender, const std::uint8_t* plaintext,

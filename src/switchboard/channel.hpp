@@ -52,8 +52,11 @@ class Switchboard {
   Network& network() { return *network_; }
   util::Clock& clock() { return *clock_; }
 
+  /// Publish a call target under `name` (later registration wins).
   void register_service(const std::string& name,
                         std::shared_ptr<minilang::CallTarget> target);
+  /// The target registered under `name`, or nullptr. Shared-lock read:
+  /// sits on every RPC dispatch.
   std::shared_ptr<minilang::CallTarget> lookup(const std::string& name) const;
 
   /// Suite used when remote parties connect to this switchboard.
@@ -113,8 +116,11 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// Safe to call from a timer thread.
   void heartbeat();
 
+  /// Tear down both ends; idempotent (the first reason sticks). Journals a
+  /// teardown event for the flight recorder.
   void close(const std::string& reason);
   bool open() const { return open_.load(); }
+  /// Why close() was called ("" while still open).
   std::string close_reason() const;
 
   /// The proof authorizing `end`'s identity (produced by the other side's
@@ -132,11 +138,38 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void set_authorization_listener(
       std::function<void(End, const std::string&)> listener);
 
+  /// Point-in-time copy of the traffic counters (calls, frames, bytes,
+  /// heartbeats, RTTs).
   ConnectionStats stats() const;
 
   /// The switchboard (host) behind one end, e.g. for network accounting by
   /// layered transports (SwitchboardStream).
   Switchboard& board(End end) const { return *boards_[end == End::kA ? 0 : 1]; }
+
+  // --- session key derivation (event-driven core, reactor.hpp) ---
+  //
+  // The readiness-driven transport multiplexes many lightweight sessions
+  // over one fully-handshaked trunk Connection (the same idea as TLS session
+  // resumption / QUIC connection IDs): each session gets its own per-
+  // direction ChaCha20 keys, HMAC keys, sequence space, and replay window,
+  // all derived deterministically from a resumption secret that only the two
+  // ends of this connection share. A 100k-client ramp therefore costs one
+  // DH + signature handshake per trunk, not per client, while each session
+  // still has cryptographically independent framing.
+
+  /// Per-direction key material for one derived session ([0]=A->B, [1]=B->A).
+  struct SessionKeyMaterial {
+    crypto::ChaChaKey cipher[2];
+    util::Bytes mac_key[2];
+  };
+
+  /// Derive the session keys for `session_id`. Pure function of the
+  /// connection's resumption secret: both ends compute identical material
+  /// without a round trip. session_id 0 is reserved (trunk passthrough in
+  /// the event transport); the reactor's control frames use a distinct
+  /// label so they never collide with data sessions.
+  SessionKeyMaterial derive_session_keys(std::uint64_t session_id,
+                                         const char* label = "data") const;
 
   // --- raw frame sealing with replay protection ---
   //
@@ -170,6 +203,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   // Keyed HMAC midstates (key schedule done once at establish); each frame
   // copies the seed and streams over the frame bytes.
   crypto::HmacSha256 mac_seeds_[2];
+  // HMAC(shared secret, "session-resume-v1"): the root from which
+  // derive_session_keys() grows per-session keys for the event transport.
+  util::Bytes resumption_secret_;
   std::atomic<std::uint64_t> send_seq_[2] = {0, 0};
   // Replay protection per direction: O(1) sliding bitmap (concurrent calls
   // may deliver frames out of order). Guarded by mutex_.

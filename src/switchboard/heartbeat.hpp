@@ -3,6 +3,12 @@
 // round-trip latency". Tests drive Connection::heartbeat() deterministically;
 // deployments attach a HeartbeatDriver, which beats from a real thread until
 // stopped or the connection closes.
+//
+// Cost model: one OS thread per monitored connection. That is fine for the
+// handful of trunk connections a node holds, and exactly wrong for large
+// fleets — Reactor::schedule_heartbeats (reactor.hpp) runs the same probe
+// from a timer wheel with zero dedicated threads, and is what the 100k-
+// session bench uses. Both paths call the identical Connection::heartbeat.
 #pragma once
 
 #include <atomic>
@@ -18,6 +24,9 @@ namespace psf::switchboard {
 
 class HeartbeatDriver {
  public:
+  /// Starts probing `connection` every `period` from a dedicated thread.
+  /// Also registers a `switchboard.heartbeat.<a>-<b>` staleness check with
+  /// the health plane, deregistered on stop().
   HeartbeatDriver(std::shared_ptr<Connection> connection,
                   std::chrono::milliseconds period);
   ~HeartbeatDriver();
@@ -25,8 +34,11 @@ class HeartbeatDriver {
   HeartbeatDriver(const HeartbeatDriver&) = delete;
   HeartbeatDriver& operator=(const HeartbeatDriver&) = delete;
 
+  /// Stops and joins the probe thread; idempotent. The destructor calls it.
   void stop();
+  /// Number of completed probes so far (successful or not).
   std::uint64_t beats() const { return beats_.load(); }
+  /// False once stop() has been requested (the thread may still be joining).
   bool running() const { return !stopped_.load(); }
 
  private:

@@ -35,13 +35,19 @@ struct LinkStats {
   std::uint64_t bytes = 0;
 };
 
+/// The topology + accounting ledger. Thread-safe: every method takes the
+/// internal mutex, so planner queries and transfer accounting may race
+/// freely.
 class Network {
  public:
+  /// Registers a host name; idempotent.
   void add_host(const std::string& name);
   bool has_host(const std::string& name) const;
+  /// All registered hosts, in registration order.
   std::vector<std::string> hosts() const;
 
-  /// Bidirectional link.
+  /// Bidirectional link. connect() creates, set_link() mutates in place
+  /// (e.g. a link losing its `secure` flag mid-test), disconnect() removes.
   void connect(const std::string& a, const std::string& b, LinkProps props);
   std::optional<LinkProps> link(const std::string& a,
                                 const std::string& b) const;
@@ -59,7 +65,9 @@ class Network {
                                         const std::string& to,
                                         std::size_t bytes);
 
+  /// Per-link transfer accounting (messages + bytes charged so far).
   LinkStats stats(const std::string& a, const std::string& b) const;
+  /// Total messages charged across every link.
   std::uint64_t total_messages() const;
 
  private:

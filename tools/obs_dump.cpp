@@ -52,10 +52,28 @@ void run_workload() {
   }
 }
 
+void print_usage(std::ostream& out) {
+  out << "usage: obs_dump [--prometheus|--text|--json|--spans|--journal|"
+         "--trace|--slo]\n"
+         "\n"
+         "Runs the mail case study as a representative workload, then dumps\n"
+         "the process-wide observability state.\n"
+         "\n"
+         "options:\n"
+         "  --help        print this help and exit 0\n"
+         "  --prometheus  Prometheus text exposition (default; --text is the\n"
+         "                legacy alias)\n"
+         "  --json        metrics snapshot in the BENCH_*.json convention\n"
+         "  --spans       span ring buffer as JSON\n"
+         "  --journal     flight-recorder event journal as JSON\n"
+         "  --trace       human-readable tree of one cross-host trace\n"
+         "  --slo         declared latency objectives + burn rates as JSON\n"
+         "\n"
+         "Unknown arguments exit 2.\n";
+}
+
 int usage() {
-  std::cerr
-      << "usage: obs_dump [--prometheus|--text|--json|--spans|--journal|"
-         "--trace|--slo]\n";
+  print_usage(std::cerr);
   return 2;
 }
 
@@ -65,6 +83,10 @@ int main(int argc, char** argv) {
   std::string mode = "--prometheus";
   if (argc > 2) return usage();
   if (argc == 2) mode = argv[1];
+  if (mode == "--help" || mode == "-h") {
+    print_usage(std::cout);
+    return 0;
+  }
   if (mode == "--text") mode = "--prometheus";  // legacy spelling
   if (mode != "--prometheus" && mode != "--json" && mode != "--spans" &&
       mode != "--journal" && mode != "--trace" && mode != "--slo") {

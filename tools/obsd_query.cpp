@@ -34,10 +34,34 @@ using psf::framework::ClientRequest;
 using psf::mail::Scenario;
 using psf::minilang::Value;
 
+void print_usage(std::ostream& out) {
+  out << "usage: obsd_query [--as admin|viewer|anonymous] "
+         "[metrics|health|journal [n]|spans [trace-id]|slo|"
+         "contention|all]\n"
+         "\n"
+         "Remotely queries the view-served observability surface of the mail\n"
+         "scenario over an authenticated, sealed Switchboard connection.\n"
+         "\n"
+         "options:\n"
+         "  --help          print this help and exit 0\n"
+         "  --as admin      holds Admin.Monitor: full surface (default)\n"
+         "  --as viewer     holds Admin.Viewer: metrics+health only\n"
+         "  --as anonymous  no Admin credential: the ACL denies the request\n"
+         "\n"
+         "commands:\n"
+         "  metrics         counters and histogram snapshots\n"
+         "  health          liveness/readiness checks with reasons\n"
+         "  journal [n]     last n journal events (default 64)\n"
+         "  spans [trace-id] spans for a trace (default: latest dispatch)\n"
+         "  slo             SLO burn-rate status\n"
+         "  contention      lock contention profile\n"
+         "  all             every section above (default)\n"
+         "\n"
+         "Unknown arguments exit 2; denied access or failed queries exit 1.\n";
+}
+
 int usage() {
-  std::cerr << "usage: obsd_query [--as admin|viewer|anonymous] "
-               "[metrics|health|journal [n]|spans [trace-id]|slo|"
-               "contention|all]\n";
+  print_usage(std::cerr);
   return 2;
 }
 
@@ -85,7 +109,10 @@ int main(int argc, char** argv) {
   std::string argument;
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--as") {
+    if (args[i] == "--help" || args[i] == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (args[i] == "--as") {
       if (i + 1 >= args.size()) return usage();
       role = args[++i];
     } else if (args[i] == "metrics" || args[i] == "health" ||

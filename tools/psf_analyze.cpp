@@ -25,10 +25,26 @@
 
 namespace {
 
+void print_usage(std::ostream& out) {
+  out << "usage: psf_analyze [--json] <view.xml>...\n"
+         "       psf_analyze [--json] --builtin "
+         "all|partner|member|anonymous|cache|replica\n"
+         "\n"
+         "Static analysis for Table 3(b) view definitions: runs every\n"
+         "registered pass (field-reachability, use-before-init, dead-members,\n"
+         "exposure, coherence, credential-flow) and reports diagnostics.\n"
+         "\n"
+         "options:\n"
+         "  --help       print this help and exit 0\n"
+         "  --json       one stable JSON array, one object per definition\n"
+         "  --builtin X  analyze a builtin mail view instead of a file\n"
+         "\n"
+         "Exit status: 0 = no errors (warnings allowed), 1 = at least one\n"
+         "error diagnostic (or unreadable input), 2 = bad arguments.\n";
+}
+
 int usage() {
-  std::cerr << "usage: psf_analyze [--json] <view.xml>...\n"
-            << "       psf_analyze [--json] --builtin "
-               "all|partner|member|anonymous|cache|replica\n";
+  print_usage(std::cerr);
   return 2;
 }
 
@@ -94,7 +110,10 @@ int main(int argc, char** argv) {
   std::vector<Input> inputs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") {
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg == "--json") {
       json = true;
     } else if (arg == "--builtin") {
       if (i + 1 >= argc || !add_builtin(argv[++i], inputs)) return usage();

@@ -20,10 +20,23 @@
 
 namespace {
 
+void print_usage(std::ostream& out) {
+  out << "usage: vig_cli <view.xml>\n"
+         "       vig_cli --check <view.xml>\n"
+         "       vig_cli --builtin partner|member|anonymous|cache\n"
+         "\n"
+         "The View Generator as a command-line tool: generates and prints a\n"
+         "view's Java source from a Table 3(b) XML definition, against the\n"
+         "mail application registry.\n"
+         "\n"
+         "options:\n"
+         "  --help       print this help and exit 0\n"
+         "  --check      validate only; print diagnostics, generate nothing\n"
+         "  --builtin X  run on one of the paper's definitions\n";
+}
+
 int usage() {
-  std::cerr << "usage: vig_cli <view.xml>\n"
-            << "       vig_cli --check <view.xml>\n"
-            << "       vig_cli --builtin partner|member|anonymous|cache\n";
+  print_usage(std::cerr);
   return 2;
 }
 
@@ -47,7 +60,10 @@ int main(int argc, char** argv) {
   bool check_only = false;
   std::string xml;
   std::string arg1 = argv[1];
-  if (arg1 == "--check") {
+  if (arg1 == "--help" || arg1 == "-h") {
+    print_usage(std::cout);
+    return 0;
+  } else if (arg1 == "--check") {
     if (argc < 3) return usage();
     check_only = true;
     xml = read_file(argv[2]);
