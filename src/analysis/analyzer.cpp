@@ -31,7 +31,12 @@ std::string AnalysisResult::json() const {
   std::ostringstream os;
   os << "{\"view\":\"" << json_escape(view_name) << "\""
      << ",\"errors\":" << errors << ",\"warnings\":" << warnings
-     << ",\"diagnostics\":[";
+     << ",\"stripped\":[";
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << json_escape(stripped[i]) << "\"";
+  }
+  os << "],\"diagnostics\":[";
   for (std::size_t i = 0; i < diagnostics.size(); ++i) {
     if (i != 0) os << ",";
     os << diagnostics[i].json();
@@ -60,6 +65,15 @@ AnalysisResult analyze(const views::ViewDefinition& def,
   result.errors = sink.error_count();
   result.warnings = sink.warning_count();
   result.diagnostics = sink.take();
+  if (model.valid) {
+    const DeadMembers dead = compute_dead_members(model);
+    for (const std::string& m : dead.methods) {
+      result.stripped.push_back("method " + m);
+    }
+    for (const std::string& f : dead.fields) {
+      result.stripped.push_back("field " + f);
+    }
+  }
   return result;
 }
 

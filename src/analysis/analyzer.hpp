@@ -85,11 +85,26 @@ struct AnalysisOptions {
   const PassRegistry* registry = nullptr;
 };
 
+/// Added members no exposed entry point can reach — the fact base behind
+/// the PSA035/PSA036 warnings and the exact set VIG strips from generated
+/// views (unless PSF_VIG_STRIP=0). One computation serves both so the
+/// diagnostics and the generator can never disagree.
+struct DeadMembers {
+  std::vector<std::string> methods;  // model build order (deterministic)
+  std::vector<std::string> fields;   // sorted (added_fields is a set)
+};
+
+DeadMembers compute_dead_members(const ViewModel& model);
+
 struct AnalysisResult {
   std::string view_name;
   std::vector<Diagnostic> diagnostics;
   std::size_t errors = 0;
   std::size_t warnings = 0;
+  /// Members VIG will strip ("method foo" / "field bar"), from
+  /// compute_dead_members. Informational — stripping itself happens at
+  /// generation time and honors PSF_VIG_STRIP.
+  std::vector<std::string> stripped;
 
   bool has_errors() const { return errors > 0; }
   /// Stable machine-readable report (psf_analyze --json; golden-tested).

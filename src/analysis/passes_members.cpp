@@ -49,44 +49,16 @@ class DeadMembersPass final : public Pass {
   std::string_view name() const override { return "dead-members"; }
 
   void run(const AnalysisInput& input, DiagnosticSink& sink) const override {
-    const ViewModel& model = input.model;
-
-    // Seed with the entry points, then close over the call graph.
-    std::set<std::string> live;
-    std::vector<const MethodModel*> frontier;
-    for (const MethodModel& m : model.methods) {
-      if (is_entry_point(m)) {
-        live.insert(m.name);
-        frontier.push_back(&m);
-      }
-    }
-    std::set<std::string> used_fields;
-    while (!frontier.empty()) {
-      const MethodModel* m = frontier.back();
-      frontier.pop_back();
-      if (m->body == nullptr) continue;
-      for (const std::string& ident : referenced_idents(*m->body)) {
-        used_fields.insert(ident);
-      }
-      for (const std::string& callee : called_names(*m->body)) {
-        if (live.count(callee) > 0) continue;
-        const MethodModel* target = model.find(callee);
-        if (target == nullptr) continue;
-        live.insert(callee);
-        frontier.push_back(target);
-      }
-    }
-
-    for (const MethodModel& m : model.methods) {
-      if (m.origin != MethodModel::Origin::kAdded) continue;
-      if (is_entry_point(m) || live.count(m.name) > 0) continue;
-      sink.warning("PSA036", Span{input.def.name, "method " + m.name},
+    // Same fact base VIG strips from (compute_dead_members), so the
+    // warnings and the generator cannot disagree about what is dead.
+    const DeadMembers dead = compute_dead_members(input.model);
+    for (const std::string& method : dead.methods) {
+      sink.warning("PSA036", Span{input.def.name, "method " + method},
                    "added method is not part of any restricted interface and "
                    "is never called by a reachable view method",
                    "expose it through an interface, call it, or remove it");
     }
-    for (const std::string& field : model.added_fields) {
-      if (used_fields.count(field) > 0) continue;
+    for (const std::string& field : dead.fields) {
       sink.warning("PSA035", Span{input.def.name, "field " + field},
                    "added field is never used by any reachable view method",
                    "reference it or drop it from <Adds_Fields>");
@@ -168,6 +140,48 @@ class ExposurePass final : public Pass {
 };
 
 }  // namespace
+
+DeadMembers compute_dead_members(const ViewModel& model) {
+  DeadMembers dead;
+  if (!model.valid) return dead;
+
+  // Seed with the entry points, then close over the call graph.
+  std::set<std::string> live;
+  std::vector<const MethodModel*> frontier;
+  for (const MethodModel& m : model.methods) {
+    if (is_entry_point(m)) {
+      live.insert(m.name);
+      frontier.push_back(&m);
+    }
+  }
+  std::set<std::string> used_fields;
+  while (!frontier.empty()) {
+    const MethodModel* m = frontier.back();
+    frontier.pop_back();
+    if (m->body == nullptr) continue;
+    for (const std::string& ident : referenced_idents(*m->body)) {
+      used_fields.insert(ident);
+    }
+    for (const std::string& callee : called_names(*m->body)) {
+      if (live.count(callee) > 0) continue;
+      const MethodModel* target = model.find(callee);
+      if (target == nullptr) continue;
+      live.insert(callee);
+      frontier.push_back(target);
+    }
+  }
+
+  for (const MethodModel& m : model.methods) {
+    if (m.origin != MethodModel::Origin::kAdded) continue;
+    if (is_entry_point(m) || live.count(m.name) > 0) continue;
+    dead.methods.push_back(m.name);
+  }
+  for (const std::string& field : model.added_fields) {
+    if (used_fields.count(field) > 0) continue;
+    dead.fields.push_back(field);
+  }
+  return dead;
+}
 
 void register_member_passes(PassRegistry& registry) {
   registry.add(std::make_unique<DeadMembersPass>());

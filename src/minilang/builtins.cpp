@@ -1,0 +1,208 @@
+#include "minilang/builtins.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/log.hpp"
+
+namespace psf::minilang {
+
+namespace {
+
+using BuiltinFn = Value (*)(const std::string& name, std::vector<Value>& args);
+
+void need(const std::string& name, const std::vector<Value>& args,
+          std::size_t n) {
+  if (args.size() != n) {
+    throw EvalError("builtin '" + name + "' expects " + std::to_string(n) +
+                    " args, got " + std::to_string(args.size()));
+  }
+}
+
+Value bi_list(const std::string&, std::vector<Value>& args) {
+  return Value::list(ValueList(args.begin(), args.end()));
+}
+
+Value bi_map(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 0);
+  return Value::map();
+}
+
+Value bi_len(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 1);
+  const Value& v = args[0];
+  if (v.is_list()) {
+    return Value::integer(static_cast<std::int64_t>(v.as_list()->size()));
+  }
+  if (v.is_map()) {
+    return Value::integer(static_cast<std::int64_t>(v.as_map()->size()));
+  }
+  if (v.is_string()) {
+    return Value::integer(static_cast<std::int64_t>(v.as_string().size()));
+  }
+  if (v.is_bytes()) {
+    return Value::integer(static_cast<std::int64_t>(v.as_bytes().size()));
+  }
+  throw EvalError("len: unsupported type " + v.type_name());
+}
+
+Value bi_push(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 2);
+  args[0].as_list()->push_back(args[1]);
+  return Value::null();
+}
+
+Value bi_pop(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 1);
+  auto& list = *args[0].as_list();
+  if (list.empty()) throw EvalError("pop from empty list");
+  Value out = list.back();
+  list.pop_back();
+  return out;
+}
+
+Value bi_get(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 2);
+  auto it = args[0].as_map()->find(args[1].as_string());
+  return it == args[0].as_map()->end() ? Value::null() : it->second;
+}
+
+Value bi_put(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 3);
+  (*args[0].as_map())[args[1].as_string()] = args[2];
+  return Value::null();
+}
+
+Value bi_has(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 2);
+  return Value::boolean(args[0].as_map()->count(args[1].as_string()) > 0);
+}
+
+Value bi_remove(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 2);
+  return Value::boolean(args[0].as_map()->erase(args[1].as_string()) > 0);
+}
+
+Value bi_keys(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 1);
+  ValueList out;
+  for (const auto& [k, v] : *args[0].as_map()) out.push_back(Value::string(k));
+  return Value::list(std::move(out));
+}
+
+Value bi_str(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 1);
+  return Value::string(args[0].to_display_string());
+}
+
+Value bi_substr(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 3);
+  const auto& s = args[0].as_string();
+  const std::int64_t start = args[1].as_int();
+  const std::int64_t count = args[2].as_int();
+  if (start < 0 || count < 0 || static_cast<std::size_t>(start) > s.size()) {
+    throw EvalError("substr out of range");
+  }
+  return Value::string(s.substr(static_cast<std::size_t>(start),
+                                static_cast<std::size_t>(count)));
+}
+
+Value bi_contains(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 2);
+  if (args[0].is_string()) {
+    return Value::boolean(args[0].as_string().find(args[1].as_string()) !=
+                          std::string::npos);
+  }
+  if (args[0].is_list()) {
+    for (const auto& v : *args[0].as_list()) {
+      if (v.equals(args[1])) return Value::boolean(true);
+    }
+    return Value::boolean(false);
+  }
+  throw EvalError("contains: unsupported type " + args[0].type_name());
+}
+
+Value bi_bytes(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 1);
+  return Value::bytes(util::to_bytes(args[0].as_string()));
+}
+
+Value bi_text(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 1);
+  return Value::string(util::to_string(args[0].as_bytes()));
+}
+
+Value bi_min(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 2);
+  return Value::integer(std::min(args[0].as_int(), args[1].as_int()));
+}
+
+Value bi_max(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 2);
+  return Value::integer(std::max(args[0].as_int(), args[1].as_int()));
+}
+
+Value bi_abs(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 1);
+  return Value::integer(std::abs(args[0].as_int()));
+}
+
+Value bi_typeof(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 1);
+  return Value::string(args[0].type_name());
+}
+
+Value bi_print(const std::string& name, std::vector<Value>& args) {
+  need(name, args, 1);
+  PSF_INFO("minilang", args[0].to_display_string());
+  return Value::null();
+}
+
+struct Builtin {
+  const char* name;
+  BuiltinFn fn;
+};
+
+// Table order defines the stable builtin indices baked into bytecode; it
+// matches the historical builtin_names() order, so append only.
+constexpr Builtin kBuiltins[] = {
+    {"list", bi_list},         {"map", bi_map},       {"len", bi_len},
+    {"push", bi_push},         {"pop", bi_pop},       {"get", bi_get},
+    {"put", bi_put},           {"has", bi_has},       {"remove", bi_remove},
+    {"keys", bi_keys},         {"str", bi_str},       {"substr", bi_substr},
+    {"contains", bi_contains}, {"bytes", bi_bytes},   {"text", bi_text},
+    {"min", bi_min},           {"max", bi_max},       {"abs", bi_abs},
+    {"typeof", bi_typeof},     {"print", bi_print},
+};
+constexpr int kBuiltinCount = static_cast<int>(std::size(kBuiltins));
+
+}  // namespace
+
+int builtin_index(const std::string& name) {
+  static const std::unordered_map<std::string, int> index = [] {
+    std::unordered_map<std::string, int> m;
+    for (int i = 0; i < kBuiltinCount; ++i) m[kBuiltins[i].name] = i;
+    return m;
+  }();
+  auto it = index.find(name);
+  return it == index.end() ? -1 : it->second;
+}
+
+Value call_builtin(int index, std::vector<Value>& args) {
+  const Builtin& b = kBuiltins[index];
+  return b.fn(b.name, args);
+}
+
+int builtin_count() { return kBuiltinCount; }
+
+const std::string& builtin_name(int index) {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const Builtin& b : kBuiltins) out.emplace_back(b.name);
+    return out;
+  }();
+  return names[static_cast<std::size_t>(index)];
+}
+
+}  // namespace psf::minilang

@@ -1,0 +1,137 @@
+// MiniLang bytecode compiler (DESIGN.md §4j). Lowers parsed method bodies to
+// a compact register bytecode executed by the threaded-dispatch VM in
+// vm.{hpp,cpp}. Compilation happens once per (method, class) — at view
+// generation time inside VIG, or lazily on first invocation for ordinary
+// classes — and resolves everything a name-hash lookup used to pay for on
+// every execution:
+//
+//  - locals and parameters become register slots;
+//  - `this` fields become slot indices into the instance's field table
+//    (Instance::get_field_slot / set_field_slot), resolved against the
+//    class's sorted field layout;
+//  - self-calls bind directly to the resolved MethodDef;
+//  - builtins bind to their table index;
+//  - literal subexpressions are constant-folded into the constant pool.
+//
+// A compiled method is tied to the exact ClassDef it was compiled against
+// (`self_class`): the engine checks identity before entering the VM and
+// falls back to the tree-walking interpreter on mismatch (an inherited
+// method invoked through a subclass with a different field layout), on
+// compile failure, or when PSF_MINILANG_EXEC=interp. Fallbacks are counted
+// in psf.minilang.interp_fallbacks; by construction the VM is value- and
+// side-effect-identical to the interpreter (tests/bytecode_diff_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "minilang/object.hpp"
+
+namespace psf::minilang {
+
+enum class Op : std::uint8_t {
+  kLoadConst,     // r[a] = constants[imm]
+  kLoadNull,      // r[a] = null
+  kLoadThis,      // r[a] = object(self)
+  kMove,          // r[a] = r[b]
+  kDeclareLocal,  // mark local slot a defined (value already stored in r[a])
+  kLoadChecked,   // r[a] = r[b] if local b defined, else throw undefined var
+  kStoreChecked,  // r[a] = r[b] if local a defined, else throw undefined var
+  kLoadLocalOrField,   // r[a] = r[b] if local b defined, else self field imm
+  kStoreLocalOrField,  // local a = r[b] if defined, else self field imm = r[b]
+  kLoadField,     // r[a] = self field slot imm (names[b] for diagnostics)
+  kStoreField,    // self field slot imm = r[a]
+  kNeg,           // r[a] = -r[b]  (integer)
+  kNot,           // r[a] = !truthy(r[b])
+  kAdd, kSub, kMul, kDiv, kMod,          // r[a] = r[b] op r[c]
+  kEq, kNe, kLt, kLe, kGt, kGe,          // r[a] = bool(r[b] op r[c])
+  kBool,          // r[a] = boolean(truthy(r[b]))  (logical-op result)
+  kJump,          // ip = imm
+  kJumpIfFalse,   // if (!truthy(r[a])) ip = imm
+  kJumpIfTrue,    // if (truthy(r[a])) ip = imm
+  kCallBuiltin,   // r[a] = builtin b (args r[c] .. r[c+imm-1])
+  kCallSelf,      // r[a] = self_methods[b] on self (args r[c] .. r[c+imm-1])
+  kCallMember,    // r[a] = (r[c]).names[b](args r[c+1] .. r[c+imm])
+  kMemberGet,     // r[a] = (r[c]).names[b]  (map lookup or instance field)
+  kMemberSet,     // (r[a]).names[b] = r[c]
+  kIndexGet,      // r[a] = r[b][r[c]]
+  kIndexSet,      // r[a][r[b]] = r[c]
+  kReturn,        // return r[a]
+  kReturnNull,    // return null
+  kThrow,         // throw EvalError(names[b]) — message formatted at compile
+};
+
+/// Number of opcodes; the VM's computed-goto label table is checked against
+/// this, so kThrow must stay the last enumerator.
+inline constexpr unsigned kNumOps = static_cast<unsigned>(Op::kThrow) + 1;
+
+struct Insn {
+  Op op;
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+  std::uint16_t c = 0;
+  std::int32_t imm = 0;
+  std::uint32_t line = 0;  // source line, for runtime error messages
+};
+
+struct CompiledMethod {
+  std::string method_name;
+  const ClassDef* self_class = nullptr;  // layout the field slots bind to
+  std::uint32_t num_params = 0;
+  std::uint32_t num_locals = 0;     // params + var slots (registers 0..n-1)
+  std::uint32_t num_registers = 0;  // locals + temporaries
+  std::vector<Insn> code;
+  std::vector<Value> constants;
+  std::vector<std::string> names;   // member/field/method names, error texts
+  std::vector<std::string> local_names;          // slot -> name (disassembly)
+  std::vector<const MethodDef*> self_methods;    // kCallSelf targets
+};
+
+/// Per-MethodDef compilation cache. Created by ClassRegistry::register_class
+/// (and MethodDef::clone) so the slot always exists before a method can be
+/// invoked; the lazy compile in the engine then needs no pointer race.
+/// state: 0 = not compiled, 1 = ready (code immutable), 2 = failed.
+struct CompiledSlot {
+  std::mutex mu;
+  std::atomic<int> state{0};
+  std::shared_ptr<const CompiledMethod> code;
+};
+
+struct CompileOptions {
+  /// Registers a method may use before the compiler gives up and the method
+  /// stays on the interpreter (fallback is counted, never an error).
+  std::uint32_t max_registers = 250;
+};
+
+struct CompileResult {
+  std::shared_ptr<const CompiledMethod> code;  // null on failure
+  std::string error;                           // why compilation was refused
+  bool ok() const { return code != nullptr; }
+};
+
+/// Compile `method` against `cls`'s field layout (fields are resolved over
+/// `registry.all_fields(cls)`). Never throws: unsupported shapes are
+/// reported in CompileResult::error. Does not touch the method's slot.
+CompileResult compile_method(const ClassRegistry& registry,
+                             const ClassDef& cls, const MethodDef& method,
+                             const CompileOptions& options = {});
+
+/// Compile-and-publish into the method's CompiledSlot (thread-safe, at most
+/// one compile per slot). Returns the published code, or nullptr when the
+/// method is native, has no slot, or failed to compile (the failure is
+/// remembered). Updates psf.minilang.{compile_us,methods_compiled} and, on
+/// failure, psf.minilang.compile_fallbacks.
+const CompiledMethod* ensure_compiled(const ClassRegistry& registry,
+                                      const ClassDef& cls,
+                                      const MethodDef& method,
+                                      const CompileOptions& options = {});
+
+/// Human-readable listing of a compiled method: header, constant pool,
+/// register names, and one line per instruction (vig_cli --dump-bytecode).
+std::string disassemble(const CompiledMethod& method);
+
+}  // namespace psf::minilang

@@ -5,7 +5,11 @@
 #include <iostream>
 #include <optional>
 
+#include "minilang/builtins.hpp"
+#include "minilang/compile.hpp"
 #include "minilang/parser.hpp"
+#include "minilang/vm.hpp"
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace psf::minilang {
@@ -41,9 +45,11 @@ class Frame {
   ValueMap locals_;
 };
 
-class Engine {
+class Engine : public VmHost {
  public:
-  explicit Engine(InterpOptions options) : options_(options) {}
+  explicit Engine(InterpOptions options)
+      : options_(options),
+        exec_mode_(options.exec.value_or(default_exec_mode())) {}
 
   Value invoke(const std::shared_ptr<Instance>& self,
                const std::string& method_name, std::vector<Value> args,
@@ -88,17 +94,34 @@ class Engine {
       if (method.is_native) {
         result = method.native(*self, std::move(args));
       } else {
-        Frame frame(self);
-        for (std::size_t i = 0; i < args.size(); ++i) {
-          frame.declare_local(method.params[i], std::move(args[i]));
+        const CompiledMethod* code = nullptr;
+        if (exec_mode_ == ExecMode::kBytecode) {
+          code = ensure_compiled(self->registry(), self->cls(), method);
+          if (code == nullptr) {
+            // Compile failure or a class-layout mismatch (inherited method
+            // first compiled against a different concrete class).
+            static auto& fallbacks =
+                obs::counter("psf.minilang.interp_fallbacks");
+            fallbacks.inc();
+          }
         }
-        ExecResult r = exec_block(method.body, frame);
-        if (r.flow == ExecResult::Flow::kBreak ||
-            r.flow == ExecResult::Flow::kContinue) {
-          throw EvalError("'break'/'continue' outside a loop in " +
-                          method.name);
+        if (code != nullptr) {
+          result = vm_execute(*code, self, std::move(args), *this, steps_,
+                              options_.max_steps);
+        } else {
+          Frame frame(self);
+          for (std::size_t i = 0; i < args.size(); ++i) {
+            frame.declare_local(method.params[i], std::move(args[i]));
+          }
+          ExecResult r = exec_block(method.body, frame);
+          if (r.flow == ExecResult::Flow::kBreak ||
+              r.flow == ExecResult::Flow::kContinue) {
+            throw EvalError("'break'/'continue' outside a loop in " +
+                            method.name);
+          }
+          result =
+              r.flow == ExecResult::Flow::kReturn ? r.value : Value::null();
         }
-        result = r.flow == ExecResult::Flow::kReturn ? r.value : Value::null();
       }
     } catch (...) {
       if (method.coherence_wrapped && self->hooks() != nullptr) {
@@ -115,6 +138,22 @@ class Engine {
   Value eval_in_empty_frame(const Expr& e) {
     Frame frame(nullptr);
     return eval(e, frame);
+  }
+
+  // --- VmHost: the VM re-enters the engine for nested invocations so depth
+  // and step accounting, arity checks and coherence brackets stay shared
+  // between the two execution engines.
+
+  Value vm_call_self(const std::shared_ptr<Instance>& self,
+                     const MethodDef& method,
+                     std::vector<Value> args) override {
+    return invoke_resolved(self, method, std::move(args));
+  }
+
+  Value vm_call_internal(const std::shared_ptr<Instance>& self,
+                         const std::string& method,
+                         std::vector<Value> args) override {
+    return invoke(self, method, std::move(args), /*external=*/false);
   }
 
  private:
@@ -411,7 +450,10 @@ class Engine {
     for (const auto& child : e.children) args.push_back(eval(*child, frame));
 
     // Builtins first; they are not overridable (matching java.lang statics).
-    if (auto result = try_builtin(e.name, args)) return *result;
+    // Dispatch through the table shared with the bytecode VM (builtins.hpp)
+    // so the two engines cannot diverge.
+    const int builtin = builtin_index(e.name);
+    if (builtin >= 0) return call_builtin(builtin, args);
 
     if (frame.self() != nullptr) {
       return invoke(frame.self_ptr(), e.name, std::move(args),
@@ -421,138 +463,32 @@ class Engine {
                     e.name + "'");
   }
 
-  std::optional<Value> try_builtin(const std::string& name,
-                                   std::vector<Value>& args) {
-    auto need = [&](std::size_t n) {
-      if (args.size() != n) {
-        throw EvalError("builtin '" + name + "' expects " + std::to_string(n) +
-                        " args, got " + std::to_string(args.size()));
-      }
-    };
-    if (name == "list") return Value::list(ValueList(args.begin(), args.end()));
-    if (name == "map") {
-      need(0);
-      return Value::map();
-    }
-    if (name == "len") {
-      need(1);
-      const Value& v = args[0];
-      if (v.is_list()) return Value::integer(static_cast<std::int64_t>(v.as_list()->size()));
-      if (v.is_map()) return Value::integer(static_cast<std::int64_t>(v.as_map()->size()));
-      if (v.is_string()) return Value::integer(static_cast<std::int64_t>(v.as_string().size()));
-      if (v.is_bytes()) return Value::integer(static_cast<std::int64_t>(v.as_bytes().size()));
-      throw EvalError("len: unsupported type " + v.type_name());
-    }
-    if (name == "push") {
-      need(2);
-      args[0].as_list()->push_back(args[1]);
-      return Value::null();
-    }
-    if (name == "pop") {
-      need(1);
-      auto& list = *args[0].as_list();
-      if (list.empty()) throw EvalError("pop from empty list");
-      Value out = list.back();
-      list.pop_back();
-      return out;
-    }
-    if (name == "get") {
-      need(2);
-      auto it = args[0].as_map()->find(args[1].as_string());
-      return it == args[0].as_map()->end() ? Value::null() : it->second;
-    }
-    if (name == "put") {
-      need(3);
-      (*args[0].as_map())[args[1].as_string()] = args[2];
-      return Value::null();
-    }
-    if (name == "has") {
-      need(2);
-      return Value::boolean(args[0].as_map()->count(args[1].as_string()) > 0);
-    }
-    if (name == "remove") {
-      need(2);
-      return Value::boolean(args[0].as_map()->erase(args[1].as_string()) > 0);
-    }
-    if (name == "keys") {
-      need(1);
-      ValueList out;
-      for (const auto& [k, v] : *args[0].as_map()) out.push_back(Value::string(k));
-      return Value::list(std::move(out));
-    }
-    if (name == "str") {
-      need(1);
-      return Value::string(args[0].to_display_string());
-    }
-    if (name == "substr") {
-      need(3);
-      const auto& s = args[0].as_string();
-      const std::int64_t start = args[1].as_int();
-      const std::int64_t count = args[2].as_int();
-      if (start < 0 || count < 0 || static_cast<std::size_t>(start) > s.size()) {
-        throw EvalError("substr out of range");
-      }
-      return Value::string(s.substr(static_cast<std::size_t>(start),
-                                    static_cast<std::size_t>(count)));
-    }
-    if (name == "contains") {
-      need(2);
-      if (args[0].is_string()) {
-        return Value::boolean(args[0].as_string().find(args[1].as_string()) !=
-                              std::string::npos);
-      }
-      if (args[0].is_list()) {
-        for (const auto& v : *args[0].as_list()) {
-          if (v.equals(args[1])) return Value::boolean(true);
-        }
-        return Value::boolean(false);
-      }
-      throw EvalError("contains: unsupported type " + args[0].type_name());
-    }
-    if (name == "bytes") {
-      need(1);
-      return Value::bytes(util::to_bytes(args[0].as_string()));
-    }
-    if (name == "text") {
-      need(1);
-      return Value::string(util::to_string(args[0].as_bytes()));
-    }
-    if (name == "min") {
-      need(2);
-      return Value::integer(std::min(args[0].as_int(), args[1].as_int()));
-    }
-    if (name == "max") {
-      need(2);
-      return Value::integer(std::max(args[0].as_int(), args[1].as_int()));
-    }
-    if (name == "abs") {
-      need(1);
-      return Value::integer(std::abs(args[0].as_int()));
-    }
-    if (name == "typeof") {
-      need(1);
-      return Value::string(args[0].type_name());
-    }
-    if (name == "print") {
-      need(1);
-      PSF_INFO("minilang", args[0].to_display_string());
-      return Value::null();
-    }
-    return std::nullopt;
-  }
-
   InterpOptions options_;
+  ExecMode exec_mode_;
   std::size_t steps_ = 0;
   std::size_t depth_ = 0;
 };
 
 }  // namespace
 
+ExecMode default_exec_mode() {
+  static const ExecMode mode = [] {
+    const char* env = std::getenv("PSF_MINILANG_EXEC");
+    if (env != nullptr && std::string(env) == "interp") {
+      return ExecMode::kInterp;
+    }
+    return ExecMode::kBytecode;
+  }();
+  return mode;
+}
+
 const std::vector<std::string>& builtin_names() {
-  static const std::vector<std::string> names = {
-      "list", "map",  "len",      "push",  "pop",   "get",  "put",
-      "has",  "remove", "keys",   "str",   "substr", "contains",
-      "bytes", "text", "min",     "max",   "abs",   "typeof", "print"};
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    out.reserve(static_cast<std::size_t>(builtin_count()));
+    for (int i = 0; i < builtin_count(); ++i) out.push_back(builtin_name(i));
+    return out;
+  }();
   return names;
 }
 

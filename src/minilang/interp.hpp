@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,9 +14,24 @@
 
 namespace psf::minilang {
 
+/// How method bodies execute: the tree-walking interpreter, or register
+/// bytecode compiled on first use (compile.hpp) and run by the threaded VM
+/// (vm.hpp). Bytecode is the default; methods the compiler cannot handle
+/// fall back to the interpreter per call, counted in
+/// psf.minilang.interp_fallbacks. The two engines are value- and
+/// side-effect-identical (tests/bytecode_diff_test.cpp).
+enum class ExecMode { kInterp, kBytecode };
+
+/// Process-wide default: PSF_MINILANG_EXEC=interp selects the tree walker,
+/// anything else (including unset) selects bytecode. Read once and cached.
+ExecMode default_exec_mode();
+
 struct InterpOptions {
   std::size_t max_steps = 2'000'000;
   std::size_t max_depth = 128;
+  /// Per-call engine override; unset means default_exec_mode(). Benches and
+  /// the differential suite use this to pin both engines in one process.
+  std::optional<ExecMode> exec;
 };
 
 /// Create an instance of `class_name` and run its `constructor` method (if

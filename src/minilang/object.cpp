@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "minilang/compile.hpp"
+
 namespace psf::minilang {
 
 std::string binding_name(Binding b) {
@@ -31,6 +33,9 @@ MethodDef MethodDef::clone() const {
   out.is_native = is_native;
   out.native = native;
   out.coherence_wrapped = coherence_wrapped;
+  // A clone is usually about to be spliced into a different class, whose
+  // field layout the original's bytecode would not match — start fresh.
+  out.compiled = std::make_shared<CompiledSlot>();
   return out;
 }
 
@@ -49,6 +54,12 @@ const FieldDef* ClassDef::find_field(const std::string& field) const {
 }
 
 void ClassRegistry::register_class(std::shared_ptr<ClassDef> cls) {
+  // Ensure every method has its bytecode slot before the class becomes
+  // reachable: registration is single-threaded setup, so the engine's lazy
+  // compile never has to create (and race on) the shared_ptr itself.
+  for (auto& m : cls->methods) {
+    if (m.compiled == nullptr) m.compiled = std::make_shared<CompiledSlot>();
+  }
   classes_[cls->name] = std::move(cls);
 }
 
@@ -117,6 +128,13 @@ Instance::Instance(std::shared_ptr<const ClassDef> cls,
   for (const FieldDef* f : registry_->all_fields(*cls_)) {
     fields_[f->name] = f->initial;
   }
+  // Map iterators are stable and the field set is fixed at construction, so
+  // slot k aliases the k-th field in sorted-name order for the instance's
+  // whole lifetime (the layout the bytecode compiler resolves against).
+  field_slots_.reserve(fields_.size());
+  for (auto it = fields_.begin(); it != fields_.end(); ++it) {
+    field_slots_.push_back(it);
+  }
 }
 
 Value Instance::get_field(const std::string& name) const {
@@ -137,6 +155,15 @@ void Instance::set_field(const std::string& name, Value value) {
   // A direct write invalidates any fingerprint recorded for the old value;
   // drop it so a later in-place mutation of the new container is not masked.
   field_fingerprints_.erase(name);
+}
+
+void Instance::set_field_slot(std::size_t slot, Value value) {
+  // Must mirror set_field's dirty-tracking side effects exactly: delta
+  // coherence reads field_versions_ to decide what to ship.
+  auto it = field_slots_[slot];
+  it->second = std::move(value);
+  field_versions_[it->first] = ++version_;
+  field_fingerprints_.erase(it->first);
 }
 
 bool Instance::has_field(const std::string& name) const {

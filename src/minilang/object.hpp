@@ -18,6 +18,7 @@ namespace psf::minilang {
 
 class Instance;
 class ClassRegistry;
+struct CompiledSlot;  // bytecode compilation cache (compile.hpp)
 
 enum class Visibility { kPublic, kPrivate };
 
@@ -59,6 +60,14 @@ struct MethodDef {
   // hooks at run time (paper §4.3).
   bool coherence_wrapped = false;
 
+  // Bytecode cache, one per registered method. ClassRegistry::register_class
+  // creates it (and clone() makes a fresh one) so it always exists before
+  // the method can be invoked; the engine compiles into it lazily, VIG at
+  // generation time. Compiled code is keyed to a concrete ClassDef — a
+  // plain struct copy shares the slot and simply falls back to the
+  // interpreter on the class-identity check, so sharing is safe, just slow.
+  std::shared_ptr<CompiledSlot> compiled;
+
   MethodDef clone() const;
 };
 
@@ -78,6 +87,9 @@ struct ClassDef {
   // View metadata (set by VIG; empty for ordinary classes).
   std::string represents;                       // original object's class
   std::map<std::string, Binding> interface_bindings;
+  // Dead added members VIG dropped during generation ("method foo" /
+  // "field bar"); codegen surfaces them as a comment in the emitted source.
+  std::vector<std::string> stripped_members;
 
   const MethodDef* find_method(const std::string& method) const;
   const FieldDef* find_field(const std::string& field) const;
@@ -139,6 +151,15 @@ class Instance : public CallTarget,
   bool has_field(const std::string& name) const;
   const ValueMap& fields() const { return fields_; }
 
+  // Slot-indexed field access for the bytecode VM. Slot order is the sorted
+  // field-name order — exactly the iteration order of fields_ — and the
+  // compiler derives the same indices from the class's field set, so a slot
+  // resolved at compile time stays valid for every instance of that class.
+  const Value& get_field_slot(std::size_t slot) const {
+    return field_slots_[slot]->second;
+  }
+  void set_field_slot(std::size_t slot, Value value);
+
   // --- field-level dirty tracking (views delta coherence) ---
   //
   // Every set_field bumps a monotonic per-instance counter and stamps the
@@ -174,6 +195,7 @@ class Instance : public CallTarget,
   std::shared_ptr<const ClassDef> cls_;
   const ClassRegistry* registry_;
   ValueMap fields_;
+  std::vector<ValueMap::iterator> field_slots_;  // std::map iterators: stable
   std::uint64_t uid_;
   mutable std::uint64_t version_ = 0;
   mutable std::map<std::string, std::uint64_t> field_versions_;

@@ -76,6 +76,9 @@ enum DrbacEvent : std::uint16_t {
 enum ViewsEvent : std::uint16_t {
   kViFullImageFallback = 1,  // a0=instance uid, a1=image bytes
   kViVigGenerate = 2,        // a0=tag(view name), a1=tag(represented class)
+  kViBytecodeFallback = 3,   // a0=tag(view name), a1=tag(method name)
+  kViMemberStrip = 4,        // a0=tag(view name), a1=methods stripped,
+                             //   a2=fields stripped
 };
 enum PsfEvent : std::uint16_t {
   kPsRequestOk = 1,      // a0=tag(service), a1=tag(client node), a2=tag(view)

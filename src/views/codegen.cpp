@@ -84,6 +84,13 @@ std::string generate_java_source(const ClassDef& view_class,
     emit_interface(os, *iface, binding);
   }
 
+  if (!view_class.stripped_members.empty()) {
+    os << "/** VIG stripped unreachable added members:";
+    for (const auto& member : view_class.stripped_members) {
+      os << " " << member << ";";
+    }
+    os << " set PSF_VIG_STRIP=0 to keep them **/\n";
+  }
   os << "public class " << view_class.name;
   if (!view_class.super_name.empty()) os << " extends " << view_class.super_name;
   if (!view_class.interfaces.empty()) {

@@ -1,11 +1,14 @@
 #include "views/vig.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <sstream>
+#include <string_view>
 
 #include "analysis/analyzer.hpp"
 #include "analysis/ast_scan.hpp"
+#include "minilang/compile.hpp"
 #include "minilang/interp.hpp"
 #include "minilang/parser.hpp"
 #include "minilang/value_codec.hpp"
@@ -28,6 +31,8 @@ struct VigMetrics {
       obs::counter("psf.views.vig.methods.stubbed");
   obs::Counter& methods_spliced =
       obs::counter("psf.views.vig.methods.spliced");
+  obs::Counter& members_stripped =
+      obs::counter("psf.views.vig.members_stripped");
   obs::Histogram& generate_us = obs::histogram("psf.views.vig.generate_us");
   static VigMetrics& get() {
     static VigMetrics m;
@@ -69,6 +74,16 @@ bool is_coherence_method(const std::string& name) {
     if (name == m) return true;
   }
   return false;
+}
+
+/// Run-time escape hatch for member stripping (PSF_VIG_STRIP=0); anything
+/// else — including unset — keeps the VigOptions::strip default in force.
+bool strip_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("PSF_VIG_STRIP");
+    return env == nullptr || std::string_view(env) != "0";
+  }();
+  return enabled;
 }
 
 // ---- default coherence handlers (VigOptions::auto_coherence) ----
@@ -267,6 +282,24 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
     return util::Result<std::shared_ptr<ClassDef>>::failure("vig", os.str());
   }
 
+  // ---- member stripping: added members the analysis proved unreachable
+  // (the PSA035/PSA036 warnings above) are dropped before generation, so
+  // the transitive copy pass never pulls in their dependencies and the
+  // coherence image never carries their fields. verdict.stripped is the
+  // same compute_dead_members fact base the warnings came from, so the
+  // report and the drop cannot disagree. ----
+  std::set<std::string> dead_methods;
+  std::set<std::string> dead_fields;
+  if (options_.strip && strip_enabled()) {
+    for (const std::string& entry : verdict.stripped) {
+      if (entry.rfind("method ", 0) == 0) {
+        dead_methods.insert(entry.substr(7));
+      } else if (entry.rfind("field ", 0) == 0) {
+        dead_fields.insert(entry.substr(6));
+      }
+    }
+  }
+
   // ---- generation mechanics. The analysis above guarantees every name
   // resolves, so the copy logic below runs diagnostic-free. ----
   auto represented = registry_->find_class(def.represents);
@@ -274,6 +307,16 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
   auto view = std::make_shared<ClassDef>();
   view->name = def.name;
   view->represents = def.represents;
+  if (!dead_methods.empty() || !dead_fields.empty()) {
+    view->stripped_members = verdict.stripped;
+    const std::size_t n = dead_methods.size() + dead_fields.size();
+    stats_.members_stripped += n;
+    metrics.members_stripped.inc(n);
+    obs::journal::emit(obs::journal::Subsystem::kViews,
+                       obs::journal::kViMemberStrip,
+                       obs::journal::tag(def.name), dead_methods.size(),
+                       dead_fields.size());
+  }
 
   std::set<std::string> view_method_names;
   std::vector<MethodDef> methods;
@@ -349,6 +392,7 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
   {
     obs::ScopedSpan splice_span("vig.splice");
     for (const auto& spec : def.added_methods) {
+      if (dead_methods.count(spec.name) > 0) continue;  // stripped
       splice(spec, /*customize=*/false);
       metrics.methods_spliced.inc();
     }
@@ -371,6 +415,7 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
 
   // ---- (3) fields ----
   for (const auto& field : def.added_fields) {
+    if (dead_fields.count(field.name) > 0) continue;  // stripped
     if (represented->find_field(field.name) == nullptr) {
       // PSA010 upstream rules out stub collisions.
       view->fields.push_back(FieldDef{field.name, field.type, Value::null()});
@@ -432,6 +477,26 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
   view->methods = std::move(methods);
 
   registry_->register_class(view);
+
+  // Generation-time lowering: compile every view method body now, so the
+  // first dispatch pays no compile latency and unsupported constructs are
+  // discovered (and journaled) at generation rather than mid-request. A
+  // method the compiler rejects simply stays on the tree-walker.
+  if (minilang::default_exec_mode() == minilang::ExecMode::kBytecode) {
+    for (const MethodDef& m : view->methods) {
+      if (m.is_native) continue;
+      if (minilang::ensure_compiled(*registry_, *view, m) != nullptr) {
+        ++stats_.methods_compiled;
+      } else {
+        ++stats_.compile_fallbacks;
+        obs::journal::emit(obs::journal::Subsystem::kViews,
+                           obs::journal::kViBytecodeFallback,
+                           obs::journal::tag(def.name),
+                           obs::journal::tag(m.name));
+      }
+    }
+  }
+
   ++stats_.generated;
   metrics.generated.inc();
   obs::journal::emit(obs::journal::Subsystem::kViews,

@@ -47,11 +47,22 @@ struct VigOptions {
   /// Reuse an already-generated class for the same view name (lazy
   /// generation cache).
   bool cache = true;
+  /// Drop added members no exposed entry point can reach (the PSA035/PSA036
+  /// set from analysis::compute_dead_members) so generated views stay as
+  /// small as their restriction implies and coherence images shrink with
+  /// them. PSF_VIG_STRIP=0 disables at run time without a rebuild.
+  bool strip = true;
 };
 
 struct VigStats {
   std::size_t generated = 0;
   std::size_t cache_hits = 0;
+  /// Dead added members dropped across all generate() calls.
+  std::size_t members_stripped = 0;
+  /// View methods lowered to bytecode at generation time, and those the
+  /// compiler could not handle (they stay on the tree-walker).
+  std::size_t methods_compiled = 0;
+  std::size_t compile_fallbacks = 0;
 };
 
 class Vig {

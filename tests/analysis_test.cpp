@@ -202,6 +202,53 @@ TEST_F(AnalysisFixtureTest, JsonReportMatchesGoldenFile) {
   EXPECT_EQ("[" + result.json() + "]", expected);
 }
 
+// --------------------------------------------------------- member stripping
+
+TEST_F(AnalysisFixtureTest, StrippedMatchesDeadMemberDiagnostics) {
+  // The `stripped` report and the PSA035/PSA036 warnings come from the same
+  // compute_dead_members fact base; their member sets must be identical.
+  auto result = analyze_fixture("bad_dead_members.xml");
+  std::set<std::string> warned;
+  for (const auto& d : result.diagnostics) {
+    if (d.code == "PSA035" || d.code == "PSA036") warned.insert(d.span.where);
+  }
+  EXPECT_FALSE(warned.empty());
+  EXPECT_EQ(std::set<std::string>(result.stripped.begin(),
+                                  result.stripped.end()),
+            warned);
+}
+
+TEST_F(AnalysisFixtureTest, VigStripsExactlyTheReportedDeadMemberSet) {
+  auto def = views::ViewDefinition::from_xml(
+      read_file(fixture_path("bad_dead_members.xml")));
+  ASSERT_TRUE(def.ok());
+  auto report = analysis::analyze(def.value(), registry_);
+  ASSERT_FALSE(report.stripped.empty());
+
+  views::Vig vig(&registry_);
+  auto cls = vig.generate(def.value());
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(cls.value()->stripped_members, report.stripped);
+  EXPECT_EQ(vig.stats().members_stripped, report.stripped.size());
+  EXPECT_EQ(cls.value()->find_method("orphan"), nullptr);
+  EXPECT_EQ(cls.value()->find_field("unusedField"), nullptr);
+}
+
+TEST_F(AnalysisFixtureTest, VigStripOptOutKeepsDeadMembers) {
+  auto def = views::ViewDefinition::from_xml(
+      read_file(fixture_path("bad_dead_members.xml")));
+  ASSERT_TRUE(def.ok());
+  views::VigOptions options;
+  options.strip = false;
+  views::Vig vig(&registry_, options);
+  auto cls = vig.generate(def.value());
+  ASSERT_TRUE(cls.ok());
+  EXPECT_TRUE(cls.value()->stripped_members.empty());
+  EXPECT_EQ(vig.stats().members_stripped, 0u);
+  EXPECT_NE(cls.value()->find_method("orphan"), nullptr);
+  EXPECT_NE(cls.value()->find_field("unusedField"), nullptr);
+}
+
 // ----------------------------------------------------------- pass registry
 
 TEST(PassRegistry, GlobalRegistryHasAllBuiltinPasses) {

@@ -1,0 +1,416 @@
+// Differential suite for the two MiniLang execution engines (DESIGN.md §4j):
+// every method body must produce the same value, the same field mutations,
+// the same coherence image, and the same error message whether it runs on
+// the tree-walking interpreter or the register-bytecode VM. Each scenario
+// runs twice — once pinned to each engine via InterpOptions::exec — against
+// a fresh instance, and the full outcome transcripts are compared.
+//
+// Coverage: every builtin, the arithmetic/comparison/logical operator
+// surface, control flow (loops, break/continue, short-circuit), dynamic
+// locals, the five in-tree mail views plus the good_* analysis fixtures,
+// error parity (division by zero, undefined variables, bad indexing, step
+// limits), and the per-method interpreter fallback when compilation fails.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mail/components.hpp"
+#include "minilang/compile.hpp"
+#include "minilang/interp.hpp"
+#include "minilang/parser.hpp"
+#include "obs/metrics.hpp"
+#include "views/cache.hpp"
+#include "views/vig.hpp"
+
+namespace psf {
+namespace {
+
+using minilang::ClassDef;
+using minilang::ClassRegistry;
+using minilang::EvalError;
+using minilang::ExecMode;
+using minilang::Instance;
+using minilang::InterpOptions;
+using minilang::MethodDef;
+using minilang::Value;
+using minilang::Visibility;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// One call's observable outcome: tagged result or the exact error text.
+std::string call_outcome(const std::shared_ptr<Instance>& self,
+                         const std::string& method, std::vector<Value> args,
+                         ExecMode mode) {
+  InterpOptions options;
+  options.exec = mode;
+  try {
+    Value v = minilang::invoke_method(self, method, std::move(args),
+                                      /*external=*/true, options);
+    return "ok " + v.type_name() + ":" + v.to_display_string();
+  } catch (const EvalError& e) {
+    return std::string("error ") + e.what();
+  }
+}
+
+// Serializable field state (object-valued fields carry no stable printable
+// identity and are excluded, mirroring views::instance_image).
+std::string field_snapshot(const ClassRegistry& registry, Instance& self) {
+  std::ostringstream os;
+  for (const auto* field : registry.all_fields(self.cls())) {
+    const Value v = self.get_field(field->name);
+    if (v.is_object()) continue;
+    os << field->name << "=" << v.type_name() << ":" << v.to_display_string()
+       << "\n";
+  }
+  return os.str();
+}
+
+// Run the same call sequence on a fresh instance under one engine and
+// return the full transcript: per-call outcomes, the final field state,
+// and the coherence image the view would push.
+std::string transcript(const ClassRegistry& registry,
+                       const std::string& class_name,
+                       std::vector<Value> ctor_args,
+                       const std::vector<std::pair<std::string,
+                                                   std::vector<Value>>>& calls,
+                       ExecMode mode) {
+  InterpOptions options;
+  options.exec = mode;
+  std::ostringstream os;
+  std::shared_ptr<Instance> self;
+  try {
+    self = minilang::instantiate(registry, class_name, std::move(ctor_args),
+                                 options);
+  } catch (const EvalError& e) {
+    return std::string("ctor error ") + e.what();
+  }
+  for (const auto& [method, args] : calls) {
+    os << method << " -> " << call_outcome(self, method, args, mode) << "\n";
+  }
+  os << "-- fields --\n" << field_snapshot(registry, *self);
+  os << "-- image --\n" << util::to_hex(views::instance_image(*self)) << "\n";
+  return os.str();
+}
+
+void expect_engines_agree(
+    const ClassRegistry& registry, const std::string& class_name,
+    const std::vector<Value>& ctor_args,
+    const std::vector<std::pair<std::string, std::vector<Value>>>& calls) {
+  const std::string interp =
+      transcript(registry, class_name, ctor_args, calls, ExecMode::kInterp);
+  const std::string bytecode =
+      transcript(registry, class_name, ctor_args, calls, ExecMode::kBytecode);
+  EXPECT_EQ(interp, bytecode) << class_name;
+}
+
+// Build a one-class registry from (name, params, body) method triples.
+std::shared_ptr<ClassRegistry> make_registry(
+    const std::string& class_name,
+    const std::vector<std::tuple<std::string, std::vector<std::string>,
+                                 std::string>>& methods,
+    const std::vector<std::pair<std::string, Value>>& fields = {}) {
+  auto registry = std::make_shared<ClassRegistry>();
+  auto cls = std::make_shared<ClassDef>();
+  cls->name = class_name;
+  for (const auto& [name, initial] : fields) {
+    cls->fields.push_back({name, initial.type_name(), initial});
+  }
+  for (const auto& [name, params, body] : methods) {
+    MethodDef m;
+    m.name = name;
+    m.params = params;
+    m.source = body;
+    auto parsed = minilang::parse_block_source(body);
+    EXPECT_TRUE(parsed.ok()) << name << ": " << parsed.error().message;
+    m.body = std::move(parsed).take();
+    m.visibility = Visibility::kPublic;
+    cls->methods.push_back(std::move(m));
+  }
+  registry->register_class(cls);
+  return registry;
+}
+
+// ---------------------------------------------------------------- builtins
+
+TEST(BytecodeDiff, EveryBuiltinAgrees) {
+  auto registry = make_registry(
+      "Builtins",
+      {
+          {"lists", {}, R"(
+              var l = list(1, 2, 3);
+              push(l, 4);
+              var popped = pop(l);
+              return str(l) + "|" + str(popped) + "|" + str(len(l)) +
+                     "|" + str(contains(l, 2));)"},
+          {"maps", {}, R"(
+              var m = map();
+              put(m, "a", 1);
+              put(m, "b", 2);
+              var r = remove(m, "a");
+              return str(get(m, "b")) + "|" + str(has(m, "a")) + "|" +
+                     str(keys(m)) + "|" + str(len(m)) + "|" + str(r) +
+                     "|" + str(get(m, "missing"));)"},
+          {"strings", {}, R"(
+              var s = "hello world";
+              return substr(s, 0, 5) + "|" + str(contains(s, "wor")) +
+                     "|" + str(len(s)) + "|" + text(bytes(s));)"},
+          {"numbers", {}, R"(
+              return str(min(3, 7)) + "|" + str(max(3, 7)) + "|" +
+                     str(abs(0 - 9)) + "|" + typeof(1) + "|" + typeof("x") +
+                     "|" + typeof(list());)"},
+          {"printing", {}, R"(print("diff probe"); return 0;)"},
+      });
+  expect_engines_agree(*registry, "Builtins", {},
+                       {{"lists", {}},
+                        {"maps", {}},
+                        {"strings", {}},
+                        {"numbers", {}},
+                        {"printing", {}}});
+}
+
+// ------------------------------------------------------- language surface
+
+TEST(BytecodeDiff, OperatorsAndControlFlowAgree) {
+  auto registry = make_registry(
+      "Lang",
+      {
+          {"constructor", {}, "acc = 0;"},
+          {"arith", {"a", "b"}, R"(
+              return str(a + b) + "|" + str(a - b) + "|" + str(a * b) +
+                     "|" + str(a / b) + "|" + str(a % b) + "|" + str(0 - a);)"},
+          {"compare", {"a", "b"}, R"(
+              return str(a == b) + str(a != b) + str(a < b) + str(a <= b) +
+                     str(a > b) + str(a >= b) + str("x" < "y");)"},
+          {"logic", {"x"}, R"(
+              var hits = 0;
+              if (x > 0 && sideEffect() > 0) { hits = hits + 1; }
+              if (x > 0 || sideEffect() > 0) { hits = hits + 10; }
+              return str(hits) + "|" + str(acc) + "|" + str(!(x > 0));)"},
+          {"sideEffect", {}, "acc = acc + 1; return acc;"},
+          {"loops", {"n"}, R"(
+              var total = 0;
+              for (var i = 0; i < n; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 7) { break; }
+                total = total + i;
+              }
+              var j = 0;
+              while (true) {
+                j = j + 1;
+                if (j >= 3) { break; }
+              }
+              return str(total) + "|" + str(j);)"},
+          {"dynamicLocals", {"flag"}, R"(
+              if (flag) { var late = 41; }
+              var late = late + 1;
+              return late;)"},
+          {"stringConcat", {}, R"(return "n=" + 42 + " b=" + true;)"},
+      },
+      {{"acc", Value::integer(0)}});
+  expect_engines_agree(
+      *registry, "Lang", {},
+      {{"arith", {Value::integer(17), Value::integer(5)}},
+       {"arith", {Value::integer(-17), Value::integer(5)}},
+       {"compare", {Value::integer(3), Value::integer(3)}},
+       {"compare", {Value::integer(2), Value::integer(9)}},
+       {"logic", {Value::integer(1)}},
+       {"logic", {Value::integer(0)}},
+       {"loops", {Value::integer(20)}},
+       {"dynamicLocals", {Value::boolean(true)}},
+       {"dynamicLocals", {Value::boolean(false)}},  // use-before-declare error
+       {"stringConcat", {}}});
+}
+
+// ------------------------------------------------------------ error parity
+
+TEST(BytecodeDiff, ErrorMessagesAgree) {
+  auto registry = make_registry(
+      "Errs",
+      {
+          {"constructor", {}, "hits = 0;"},
+          {"divZero", {}, "return 1 / (hits * 0);"},
+          {"modZero", {}, "return 1 % (hits * 0);"},
+          {"undefinedVar", {}, "return ghost + 1;"},
+          {"listRange", {}, "var l = list(1); return l[5];"},
+          {"strRange", {}, "var s = \"ab\"; return s[9];"},
+          {"badIndex", {}, "var n = 4; return n[0];"},
+          {"badMember", {}, "var n = 4; return n.field;"},
+          {"missingMethod", {}, "hits = hits + 1; return nowhere();"},
+          {"mutateThenThrow", {}, "hits = hits + 1; return 1 / 0;"},
+      },
+      {{"hits", Value::integer(0)}});
+  expect_engines_agree(*registry, "Errs", {},
+                       {{"divZero", {}},
+                        {"modZero", {}},
+                        {"undefinedVar", {}},
+                        {"listRange", {}},
+                        {"strRange", {}},
+                        {"badIndex", {}},
+                        {"badMember", {}},
+                        {"missingMethod", {}},   // args/mutations before throw
+                        {"mutateThenThrow", {}},
+                        {"divZero", {}}});
+}
+
+TEST(BytecodeDiff, StepLimitAgrees) {
+  auto registry = make_registry(
+      "Spin", {{"spin", {}, "var i = 0; while (true) { i = i + 1; }"}});
+  for (ExecMode mode : {ExecMode::kInterp, ExecMode::kBytecode}) {
+    InterpOptions options;
+    options.exec = mode;
+    options.max_steps = 10'000;
+    auto obj = minilang::instantiate(*registry, "Spin", {}, options);
+    try {
+      minilang::invoke_method(obj, "spin", {}, /*external=*/true, options);
+      FAIL() << "step limit did not fire";
+    } catch (const EvalError& e) {
+      EXPECT_STREQ(e.what(), "step limit exceeded");
+    }
+  }
+}
+
+// ----------------------------------------------------------- view classes
+
+// Generate a view, then run its public scripted methods under both engines
+// and require identical transcripts (results, fields, coherence image).
+void diff_view(ClassRegistry& registry, const std::string& xml,
+               const std::vector<std::pair<std::string,
+                                           std::vector<Value>>>& calls) {
+  auto def = views::ViewDefinition::from_xml(xml);
+  ASSERT_TRUE(def.ok()) << def.error().message;
+  views::Vig vig(&registry);
+  auto cls = vig.generate(def.value());
+  ASSERT_TRUE(cls.ok()) << cls.error().message;
+  expect_engines_agree(registry, cls.value()->name, {}, calls);
+}
+
+// Every public spliced/copied method with no parameters, probed generically
+// (int args would only exercise the arity check, which is engine-neutral).
+std::vector<std::pair<std::string, std::vector<Value>>> zero_arg_calls(
+    const ClassDef& cls) {
+  std::vector<std::pair<std::string, std::vector<Value>>> calls;
+  for (const auto& m : cls.methods) {
+    if (m.is_native || m.name == "constructor") continue;
+    if (m.visibility != Visibility::kPublic) continue;
+    if (!m.params.empty()) continue;
+    calls.push_back({m.name, {}});
+  }
+  return calls;
+}
+
+TEST(BytecodeDiff, MemberViewAgrees) {
+  ClassRegistry registry;
+  mail::register_all(registry);
+  diff_view(registry, mail::view_xml_member(),
+            {{"addNote", {Value::string("remember the milk")}},
+             {"addNote", {Value::string("second note")}},
+             {"receiveMessages", {}},
+             {"addAccount",
+              {Value::string("a"), Value::string("p"), Value::string("e")}}});
+}
+
+TEST(BytecodeDiff, PartnerViewAgrees) {
+  ClassRegistry registry;
+  mail::register_all(registry);
+  diff_view(registry, mail::view_xml_partner(),
+            {{"addAccount",
+              {Value::string("alice"), Value::string("555"),
+               Value::string("alice@x")}},
+             {"getPhone", {Value::string("alice")}},
+             {"getEmail", {Value::string("alice")}},
+             {"getPhone", {Value::string("nobody")}},
+             {"addNote", {Value::string("from the view")}}});
+}
+
+TEST(BytecodeDiff, RemainingInTreeViewsAgree) {
+  const std::string xmls[] = {mail::view_xml_anonymous(),
+                              mail::view_xml_mail_server_cache(),
+                              mail::view_xml_client_replica()};
+  for (const std::string& xml : xmls) {
+    ClassRegistry registry;
+    mail::register_all(registry);
+    auto def = views::ViewDefinition::from_xml(xml);
+    ASSERT_TRUE(def.ok());
+    views::Vig vig(&registry);
+    auto cls = vig.generate(def.value());
+    ASSERT_TRUE(cls.ok()) << cls.error().message;
+    expect_engines_agree(registry, cls.value()->name, {},
+                         zero_arg_calls(*cls.value()));
+  }
+}
+
+TEST(BytecodeDiff, GoodAnalysisFixtureViewsAgree) {
+  const char* fixtures[] = {"good_reachability.xml", "good_use_before_init.xml",
+                            "good_dead_members.xml", "good_exposure.xml",
+                            "good_coherence.xml"};
+  for (const char* name : fixtures) {
+    ClassRegistry registry;
+    mail::register_all(registry);
+    auto def = views::ViewDefinition::from_xml(
+        read_file(std::string(PSF_ANALYSIS_FIXTURE_DIR) + "/" + name));
+    ASSERT_TRUE(def.ok()) << name;
+    views::Vig vig(&registry);
+    auto cls = vig.generate(def.value());
+    ASSERT_TRUE(cls.ok()) << name << ": " << cls.error().message;
+    expect_engines_agree(registry, cls.value()->name, {},
+                         zero_arg_calls(*cls.value()));
+  }
+}
+
+// ------------------------------------------------------ fallback behaviour
+
+TEST(BytecodeDiff, FailedCompileFallsBackToInterpreter) {
+  auto registry = make_registry(
+      "Fb", {{"work", {"a", "b"}, "return a * 10 + b;"}});
+  const auto cls = registry->find_class("Fb");
+  const MethodDef* method = cls->find_method("work");
+  ASSERT_NE(method, nullptr);
+
+  // Poison the method's compile slot: a 1-register budget cannot hold the
+  // parameters, so compilation fails and the failure sticks.
+  minilang::CompileOptions tiny;
+  tiny.max_registers = 1;
+  EXPECT_EQ(minilang::ensure_compiled(*registry, *cls, *method, tiny),
+            nullptr);
+
+  auto& fallbacks = obs::counter("psf.minilang.interp_fallbacks");
+  const std::uint64_t before = fallbacks.value();
+
+  auto obj = minilang::instantiate(*registry, "Fb");
+  InterpOptions options;
+  options.exec = ExecMode::kBytecode;
+  const Value v = minilang::invoke_method(
+      obj, "work", {Value::integer(4), Value::integer(2)}, /*external=*/true,
+      options);
+  EXPECT_EQ(v.as_int(), 42);  // interpreter answered
+  EXPECT_GT(fallbacks.value(), before);
+}
+
+TEST(BytecodeDiff, VigPrecompilesViewMethods) {
+  if (minilang::default_exec_mode() != ExecMode::kBytecode) {
+    GTEST_SKIP() << "PSF_MINILANG_EXEC=interp disables generation-time "
+                    "compilation";
+  }
+  ClassRegistry registry;
+  mail::register_all(registry);
+  views::Vig vig(&registry);
+  auto def = views::ViewDefinition::from_xml(mail::view_xml_member());
+  ASSERT_TRUE(def.ok());
+  auto cls = vig.generate(def.value());
+  ASSERT_TRUE(cls.ok());
+  EXPECT_GT(vig.stats().methods_compiled, 0u);
+  EXPECT_EQ(vig.stats().compile_fallbacks, 0u)
+      << "an in-tree view method failed to compile";
+}
+
+}  // namespace
+}  // namespace psf

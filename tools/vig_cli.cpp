@@ -7,6 +7,11 @@
 //   vig_cli --check <view.xml>  validate only; print diagnostics
 //   vig_cli --builtin partner|member|anonymous|cache
 //                               run on one of the paper's definitions
+//   vig_cli --dump-bytecode <view.xml>
+//                               generate, then disassemble every compiled
+//                               view method (the register bytecode the
+//                               engine executes when PSF_MINILANG_EXEC is
+//                               not "interp")
 //
 // The represented classes come from the mail application registry
 // (MailClient, MailServer, Encryptor, Decryptor and their interfaces).
@@ -15,6 +20,7 @@
 #include <sstream>
 
 #include "mail/components.hpp"
+#include "minilang/compile.hpp"
 #include "views/codegen.hpp"
 #include "views/vig.hpp"
 
@@ -24,15 +30,19 @@ void print_usage(std::ostream& out) {
   out << "usage: vig_cli <view.xml>\n"
          "       vig_cli --check <view.xml>\n"
          "       vig_cli --builtin partner|member|anonymous|cache\n"
+         "       vig_cli --dump-bytecode <view.xml>\n"
          "\n"
          "The View Generator as a command-line tool: generates and prints a\n"
          "view's Java source from a Table 3(b) XML definition, against the\n"
          "mail application registry.\n"
          "\n"
          "options:\n"
-         "  --help       print this help and exit 0\n"
-         "  --check      validate only; print diagnostics, generate nothing\n"
-         "  --builtin X  run on one of the paper's definitions\n";
+         "  --help            print this help and exit 0\n"
+         "  --check           validate only; print diagnostics, generate nothing\n"
+         "  --builtin X       run on one of the paper's definitions\n"
+         "  --dump-bytecode   generate, then disassemble every view method the\n"
+         "                    bytecode compiler accepts (methods it rejects are\n"
+         "                    listed as interpreter fallbacks)\n";
 }
 
 int usage() {
@@ -58,6 +68,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
 
   bool check_only = false;
+  bool dump_bytecode = false;
   std::string xml;
   std::string arg1 = argv[1];
   if (arg1 == "--help" || arg1 == "-h") {
@@ -66,6 +77,10 @@ int main(int argc, char** argv) {
   } else if (arg1 == "--check") {
     if (argc < 3) return usage();
     check_only = true;
+    xml = read_file(argv[2]);
+  } else if (arg1 == "--dump-bytecode") {
+    if (argc < 3) return usage();
+    dump_bytecode = true;
     xml = read_file(argv[2]);
   } else if (arg1 == "--builtin") {
     if (argc < 3) return usage();
@@ -107,6 +122,23 @@ int main(int argc, char** argv) {
     std::cout << "view '" << cls.value()->name << "' OK: "
               << cls.value()->methods.size() << " methods, "
               << cls.value()->fields.size() << " fields\n";
+    return 0;
+  }
+  if (dump_bytecode) {
+    const minilang::ClassDef& view = *cls.value();
+    for (const auto& m : view.methods) {
+      if (m.is_native) {
+        std::cout << "; " << m.name << ": native, not compiled\n\n";
+        continue;
+      }
+      const auto* code = minilang::ensure_compiled(registry, view, m);
+      if (code == nullptr) {
+        std::cout << "; " << m.name << ": interpreter fallback "
+                  << "(unsupported by the bytecode compiler)\n\n";
+        continue;
+      }
+      std::cout << minilang::disassemble(*code) << "\n";
+    }
     return 0;
   }
   std::cout << views::generate_java_source(*cls.value(), registry);
