@@ -36,6 +36,7 @@
 #include "obs/contention.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "switchboard/channel.hpp"
@@ -369,8 +370,15 @@ void reproduce_event_core(
 
   obs::journal::set_enabled(true);
   obs::set_contention_profiling(true);
+  // ISSUE 9: the continuous profiler rides the whole event section. The
+  // loop threads registered themselves in EventLoop::run() at
+  // reactor.start(); default cadence (997 us CPU, tick-floored to ~4-10 ms
+  // by the kernel) still lands hundreds of samples over the ramp.
+  obs::profile::clear();
+  const bool profiler_on = obs::profile::start();
   const std::uint64_t hard_before = obs::journal::hard_dropped();
   std::int64_t event_threshold_us = 0;
+  obs::Histogram& sojourn_us = obs::histogram("psf.loop.task_sojourn_us");
 
   for (std::size_t step = 0; step < ramp.size(); ++step) {
     const long clients = ramp[step];
@@ -398,12 +406,18 @@ void reproduce_event_core(
     }
 
     const auto before = rpc_us.snapshot();
+    const auto sojourn_before = sojourn_us.snapshot();
     const double secs = run_event_loaded(by_worker, requests_by_worker,
                                          requests, rpc_us, /*chatty=*/true);
     const auto after = rpc_us.snapshot();
+    const auto sojourn_after = sojourn_us.snapshot();
 
     const std::int64_t p50 = delta_percentile(before, after, 50.0);
     const std::int64_t p99 = delta_percentile(before, after, 99.0);
+    // Loop lag = post->run sojourn of tasks posted during the step (the
+    // loop.lag SLO input): how long cross-thread work waits for the loop.
+    const std::int64_t lag_p99 =
+        delta_percentile(sojourn_before, sojourn_after, 99.0);
     const double rps = secs > 0 ? static_cast<double>(requests) / secs : 0.0;
     const int threads_now = switchboard::count_os_threads();
     const std::string tag = "event_ramp_" + std::to_string(clients);
@@ -412,12 +426,15 @@ void reproduce_event_core(
     report.add(tag + ".rps", rps, "req/s", requests);
     report.add(tag + ".threads", static_cast<double>(threads_now), "threads",
                requests);
+    report.add(tag + ".loop_lag_p99_us", static_cast<double>(lag_p99), "us",
+               requests);
     const std::size_t drained = obs::journal::drain().size();
     obs::journal::reset();
 
     std::cout << "  [event core] " << clients << " sessions (" << requests
               << " requests, +" << static_cast<long>(grow_secs * 1000)
               << " ms setup): p50 " << p50 << " us, p99 " << p99 << " us, "
+              << "loop lag p99 " << lag_p99 << " us, "
               << static_cast<long>(rps) << " req/s, " << threads_now
               << " OS threads, journal drained " << drained << "\n";
 
@@ -511,6 +528,92 @@ void reproduce_event_core(
   if (overhead_pct > 5.0) {
     std::cout << "  GATE FAILED: event-core observability overhead "
               << overhead_pct << "% > 5%\n";
+    ++g_gate_failures;
+  }
+
+  // Gate (ISSUE 9): the profiler's top span-attributed folded stack names a
+  // real operation — CPU is attributed to logical span paths like
+  // loop.N > switchboard.dispatch, not just bare thread roots.
+  {
+    const obs::profile::Report prof = obs::profile::report();
+    report.derived("profile_samples", static_cast<double>(prof.samples));
+    static const char* const kKnownSpans[] = {
+        "switchboard.dispatch", "switchboard.call", "switchboard.authorize",
+        "switchboard.handshake", "drbac.prove", "psf.request"};
+    std::string top_line;
+    bool top_ok = false;
+    for (const auto& entry : prof.entries) {  // highest count first
+      bool has_span = false;
+      for (const auto& frame : entry.frames) {
+        for (const char* known : kKnownSpans) {
+          if (frame == known) has_span = true;
+        }
+      }
+      if (!has_span) continue;
+      top_ok = true;
+      for (const auto& frame : entry.frames) {
+        if (!top_line.empty()) top_line += ';';
+        top_line += frame;
+      }
+      top_line += ' ' + std::to_string(entry.count);
+      break;
+    }
+    report.derived("profile_top_stack_ok",
+                   profiler_on && top_ok ? 1.0 : 0.0);
+    if (!profiler_on || !top_ok) {
+      std::cout << "  GATE FAILED: profiler " << (profiler_on ? "found" : "off,")
+                << " no span-attributed stack in " << prof.samples
+                << " samples\n";
+      ++g_gate_failures;
+    } else {
+      std::cout << "  [event core] profiler: " << prof.samples
+                << " samples, top span stack: " << top_line << "\n";
+    }
+  }
+
+  // Gate (ISSUE 9): profiler overhead at load <= 5%. Same min-of-7
+  // alternating discipline; both arms keep the rest of the obs plane fully
+  // on, so the delta isolates the SIGPROF + ring-append cost.
+  double prof_on_s = 1e300, prof_off_s = 1e300;
+  const auto run_prof_off = [&] {
+    obs::profile::stop();
+    prof_off_s =
+        std::min(prof_off_s, run_event_loaded(by_worker, requests_by_worker,
+                                              gate_requests, rpc_us));
+  };
+  const auto run_prof_on = [&] {
+    obs::profile::start();
+    prof_on_s =
+        std::min(prof_on_s, run_event_loaded(by_worker, requests_by_worker,
+                                             gate_requests, rpc_us));
+  };
+  for (int pass = 0; pass < passes; ++pass) {
+    if (pass % 2 == 0) {
+      run_prof_off();
+      run_prof_on();
+    } else {
+      run_prof_on();
+      run_prof_off();
+    }
+  }
+  obs::profile::stop();
+  const double prof_on_us =
+      prof_on_s / static_cast<double>(gate_requests) * 1e6;
+  const double prof_off_us =
+      prof_off_s / static_cast<double>(gate_requests) * 1e6;
+  const double profiler_pct =
+      prof_off_us > 0 ? (prof_on_us / prof_off_us - 1.0) * 100.0 : 0.0;
+  report.add("event_loaded_rpc.profiler_on_us", prof_on_us, "us",
+             gate_requests);
+  report.add("event_loaded_rpc.profiler_off_us", prof_off_us, "us",
+             gate_requests);
+  report.derived("profiler_overhead_at_load_pct", profiler_pct);
+  std::cout << "  [event core] loaded RPC: profiler on " << prof_on_us
+            << " us, off " << prof_off_us << " us (" << profiler_pct
+            << "% overhead, budget 5%)\n";
+  if (profiler_pct > 5.0) {
+    std::cout << "  GATE FAILED: profiler overhead " << profiler_pct
+              << "% > 5%\n";
     ++g_gate_failures;
   }
 

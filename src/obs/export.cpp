@@ -46,6 +46,27 @@ void json_escape(std::ostringstream& os, const std::string& s) {
 
 }  // namespace
 
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
   std::ostringstream os;
   for (const auto& e : snapshot.entries) {
@@ -70,8 +91,12 @@ std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
           }
           const auto& ex = h.exemplars[bucket];
           std::ostringstream suffix;
-          suffix << " # {trace_id=\"" << hex_id(ex.trace_id)
-                 << "\",span_id=\"" << hex_id(ex.span_id) << "\"} "
+          // hex ids never need escaping today, but the spec escape keeps
+          // the emitter honest if the label values ever grow richer.
+          suffix << " # {trace_id=\""
+                 << prometheus_escape_label(hex_id(ex.trace_id))
+                 << "\",span_id=\""
+                 << prometheus_escape_label(hex_id(ex.span_id)) << "\"} "
                  << ex.value;
           return suffix.str();
         };

@@ -19,6 +19,13 @@
 
 namespace psf::obs {
 
+/// Escape a label value for the Prometheus/OpenMetrics text exposition
+/// format: backslash, double-quote, and line-feed become \\, \", and \n
+/// (the only three escapes the spec defines — every other byte passes
+/// through verbatim). Applied to every quoted label and exemplar-label
+/// value the exporter emits; public so tests can round-trip it.
+std::string prometheus_escape_label(const std::string& value);
+
 std::string to_prometheus_text(const MetricsSnapshot& snapshot);
 
 /// `{"context": {...}, "metrics": [{"name": ..., "type": ...}, ...]}`

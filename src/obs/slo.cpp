@@ -194,6 +194,15 @@ void install_builtin_slos() {
     sync.histogram = "psf.views.cache.pull_wait_us";
     sync.threshold_us = 500;
     registry.declare(sync);
+
+    // Event-core responsiveness (ISSUE 9): a task posted to a loop should
+    // start running within 1 ms — sustained sojourn above that means the
+    // loop is saturated or a handler is hogging the iteration.
+    SloSpec lag;
+    lag.name = "loop.lag";
+    lag.histogram = "psf.loop.task_sojourn_us";
+    lag.threshold_us = 1000;
+    registry.declare(lag);
     return true;
   }();
   (void)installed;

@@ -96,6 +96,8 @@ class SloRegistry {
 ///   drbac.prove      99% of delegation proofs (psf.drbac.prove_us) <= 1ms
 ///   views.sync       99% of coherence pulls (psf.views.cache.pull_wait_us)
 ///                    <= 500us
+///   loop.lag         99% of event-loop task sojourns
+///                    (psf.loop.task_sojourn_us) <= 1ms
 void install_builtin_slos();
 
 /// `{"version":"slo-v1","slos":[...]}` over peek() (no window rotation).

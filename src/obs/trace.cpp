@@ -28,6 +28,37 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 
 }  // namespace
 
+namespace detail {
+
+SpanNameStack& span_name_stack() {
+  thread_local SpanNameStack stack;
+  return stack;
+}
+
+#ifndef PSF_OBS_NO_PROFILE
+namespace {
+
+// Push/pop are always depth-symmetric: the counter tracks every open span
+// even when the name array is full, so a deep stack truncates instead of
+// corrupting.
+inline void push_span_name(const char* name) {
+  SpanNameStack& stack = span_name_stack();
+  const std::uint32_t d = stack.depth.load(std::memory_order_relaxed);
+  if (d < kSpanStackDepth) stack.names[d] = name;
+  std::atomic_signal_fence(std::memory_order_release);
+  stack.depth.store(d + 1, std::memory_order_relaxed);
+}
+
+inline void pop_span_name() {
+  SpanNameStack& stack = span_name_stack();
+  const std::uint32_t d = stack.depth.load(std::memory_order_relaxed);
+  if (d > 0) stack.depth.store(d - 1, std::memory_order_relaxed);
+}
+
+}  // namespace
+#endif  // PSF_OBS_NO_PROFILE
+}  // namespace detail
+
 SpanContext current_context() { return t_current; }
 
 std::uint64_t next_id() {
@@ -184,9 +215,15 @@ ScopedSpan::ScopedSpan(const char* name)
   ctx_.span_id = next_id();
   parent_id_ = prev_.valid() ? prev_.span_id : 0;
   t_current = ctx_;
+#ifndef PSF_OBS_NO_PROFILE
+  detail::push_span_name(name_);
+#endif
 }
 
 ScopedSpan::~ScopedSpan() {
+#ifndef PSF_OBS_NO_PROFILE
+  detail::pop_span_name();
+#endif
   t_current = prev_;
   SpanRecord record;
   record.trace_id = ctx_.trace_id;

@@ -18,6 +18,7 @@
 //    caller's span and shares its trace_id.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -28,6 +29,30 @@
 #include "util/bytes.hpp"
 
 namespace psf::obs {
+
+namespace detail {
+
+/// Capacity of the per-thread span-name stack sampled by the profiler.
+inline constexpr std::size_t kSpanStackDepth = 16;
+
+/// Per-thread stack of the names of the currently-open ScopedSpans,
+/// outermost first. Maintained by ScopedSpan and read by the SIGPROF
+/// sampling handler on the *same* thread, so the only ordering required is
+/// compiler ordering: the writer publishes names[d] before depth with an
+/// atomic_signal_fence, and the handler reads depth before names with the
+/// matching acquire fence. `depth` counts every open span; entries past
+/// kSpanStackDepth are not recorded (the reader clamps and reports
+/// truncation).
+struct SpanNameStack {
+  std::atomic<std::uint32_t> depth{0};
+  const char* names[kSpanStackDepth] = {};
+};
+
+/// The calling thread's span-name stack. The profiler resolves this pointer
+/// once at thread registration (never from the signal handler).
+SpanNameStack& span_name_stack();
+
+}  // namespace detail
 
 using TraceId = std::uint64_t;
 using SpanId = std::uint64_t;

@@ -10,6 +10,7 @@
 #include "obs/health.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
@@ -68,7 +69,9 @@ void register_introspect_components(ClassRegistry& registry) {
   deep.methods = {{"journal_tail", {"n"}},
                   {"spans_for_trace", {"id"}},
                   {"slo_status", {}},
-                  {"lock_contention", {}}};
+                  {"lock_contention", {}},
+                  {"profile_status", {}},
+                  {"profile_dump", {}}};
   registry.register_interface(deep);
 
   auto cls = std::make_shared<ClassDef>();
@@ -128,6 +131,20 @@ void register_introspect_components(ClassRegistry& registry) {
       "lock_contention", {}, "IntrospectDeepI",
       [](minilang::Instance&, std::vector<Value>) {
         return Value::string(obs::contention_to_json(obs::contention_report()));
+      }));
+  cls->methods.push_back(native_method(
+      "profile_status", {}, "IntrospectDeepI",
+      [](minilang::Instance&, std::vector<Value>) {
+        return Value::string(obs::profile::status_json());
+      }));
+  cls->methods.push_back(native_method(
+      "profile_dump", {}, "IntrospectDeepI",
+      [](minilang::Instance&, std::vector<Value>) {
+        // speedscope JSON of the current rings — the Admin-only flamegraph
+        // surface; the Viewer class never had the method (attenuation by
+        // construction, not by runtime check).
+        return Value::string(
+            obs::profile::to_speedscope_json(obs::profile::report()));
       }));
   registry.register_class(cls);
 }

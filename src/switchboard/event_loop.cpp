@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -17,6 +18,7 @@
 #endif
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "util/log.hpp"
 
 namespace psf::switchboard {
@@ -185,6 +187,49 @@ struct LoopMetrics {
   }
 };
 
+// Latency anatomy of one loop iteration (ISSUE 9): where wall time goes,
+// section by section, across every worker. psf.loop.poll_wait_us is
+// observed every iteration (idle loops show their sleep); the work-section
+// histograms only when that section did work, so an idle loop does not
+// flood them with zeros. Queue sojourn and timer slip are observed at the
+// drain/advance sites below.
+struct LoopAnatomy {
+  obs::Histogram& poll_wait_us = obs::histogram("psf.loop.poll_wait_us");
+  obs::Histogram& fd_dispatch_us = obs::histogram("psf.loop.fd_dispatch_us");
+  obs::Histogram& task_run_us = obs::histogram("psf.loop.task_run_us");
+  obs::Histogram& timer_fire_us = obs::histogram("psf.loop.timer_fire_us");
+  static LoopAnatomy& get() {
+    static LoopAnatomy m;
+    return m;
+  }
+};
+
+// Per-worker Stats export (psf.loop.<n>.*): resolved once per run() for
+// indexed loops, refreshed with relaxed stores each iteration.
+struct WorkerGauges {
+  obs::Gauge* iterations = nullptr;
+  obs::Gauge* wakeups = nullptr;
+  obs::Gauge* tasks_run = nullptr;
+  obs::Gauge* timers_fired = nullptr;
+  obs::Gauge* fd_dispatches = nullptr;
+
+  static WorkerGauges resolve(int worker_index) {
+    WorkerGauges g;
+    if (worker_index < 0) return g;
+    const std::string prefix = "psf.loop." + std::to_string(worker_index);
+    g.iterations = &obs::gauge(prefix + ".iterations");
+    g.wakeups = &obs::gauge(prefix + ".wakeups");
+    g.tasks_run = &obs::gauge(prefix + ".tasks_run");
+    g.timers_fired = &obs::gauge(prefix + ".timers_fired");
+    g.fd_dispatches = &obs::gauge(prefix + ".fd_dispatches");
+    return g;
+  }
+};
+
+inline std::int64_t ns_to_us(std::uint64_t ns) {
+  return static_cast<std::int64_t>(ns / 1000);
+}
+
 }  // namespace
 
 std::unique_ptr<Poller> Poller::create(PollerKind kind) {
@@ -258,6 +303,15 @@ std::size_t TimerWheel::advance(std::uint64_t now_ns) {
   });
   armed_ -= due.size();
   fired_ += due.size();
+  // Timer slip (deadline→fire): how late the wheel actually ran each timer.
+  // Within-tick early fires clamp to zero — the wheel's contract is tick
+  // resolution, so only whole-tick lateness is slip.
+  static obs::Histogram& slip_us = obs::histogram("psf.loop.timer_slip_us");
+  for (const auto& entry : due) {
+    slip_us.observe(now_ns > entry.deadline_ns
+                        ? ns_to_us(now_ns - entry.deadline_ns)
+                        : 0);
+  }
   for (auto& entry : due) entry.fn();
   return due.size();
 }
@@ -328,9 +382,10 @@ void EventLoop::stop() {
 }
 
 void EventLoop::post(std::function<void()> fn) {
+  const std::uint64_t post_ns = now_ns();
   {
     std::lock_guard lock(tasks_mutex_);
-    tasks_.push_back(std::move(fn));
+    tasks_.push_back({std::move(fn), post_ns});
   }
   wake();
 }
@@ -391,22 +446,50 @@ bool EventLoop::cancel_timer(TimerWheel::TimerId id) {
   return wheel_.cancel(id);
 }
 
-void EventLoop::drain_tasks() {
-  std::vector<std::function<void()>> batch;
+std::size_t EventLoop::drain_tasks() {
+  std::vector<PostedTask> batch;
   {
     std::lock_guard lock(tasks_mutex_);
     batch.swap(tasks_);
   }
-  for (auto& task : batch) task();
-  const auto n = static_cast<std::uint64_t>(batch.size());
-  if (n != 0) {
-    tasks_run_.fetch_add(n, std::memory_order_relaxed);
-    LoopMetrics::get().tasks.inc(static_cast<std::int64_t>(n));
+  if (batch.empty()) return 0;
+  // Queue sojourn (post→run), one observation per task against the batch's
+  // drain time: the signal the loop.lag SLO watches. Batch-granular on the
+  // run side — a task is "late" because it waited for the loop, not because
+  // an earlier task in the same drain ran first.
+  static obs::Histogram& sojourn_us =
+      obs::histogram("psf.loop.task_sojourn_us");
+  const std::uint64_t run_ns = now_ns();
+  for (auto& task : batch) {
+    sojourn_us.observe(run_ns > task.post_ns
+                           ? ns_to_us(run_ns - task.post_ns)
+                           : 0);
+    task.fn();
   }
+  const auto n = static_cast<std::uint64_t>(batch.size());
+  tasks_run_.fetch_add(n, std::memory_order_relaxed);
+  LoopMetrics::get().tasks.inc(static_cast<std::int64_t>(n));
+  return batch.size();
 }
 
 void EventLoop::run() {
   thread_id_.store(std::this_thread::get_id());
+
+  // Make this worker visible to the sampling profiler: its folded stacks
+  // root at "loop.<n>" and its samples carry the phase published below.
+  char profile_name[24];
+  if (worker_index_ >= 0) {
+    std::snprintf(profile_name, sizeof(profile_name), "loop.%d",
+                  worker_index_);
+  } else {
+    std::snprintf(profile_name, sizeof(profile_name), "loop");
+  }
+  obs::profile::register_thread(profile_name);
+
+  LoopAnatomy& anatomy = LoopAnatomy::get();
+  const WorkerGauges gauges = WorkerGauges::resolve(worker_index_);
+
+  using obs::profile::LoopPhase;
   std::vector<PollerEvent> events;
   while (!stopping_.load(std::memory_order_acquire)) {
     iterations_.fetch_add(1, std::memory_order_relaxed);
@@ -425,8 +508,14 @@ void EventLoop::run() {
       if (!tasks_.empty()) timeout_ms = 0;
     }
 
+    const std::uint64_t t_poll = now_ns();
+    obs::profile::set_thread_phase(LoopPhase::kPollWait);
     events.clear();
     poller_->wait(timeout_ms, events);
+    const std::uint64_t t_dispatch = now_ns();
+    anatomy.poll_wait_us.observe(ns_to_us(t_dispatch - t_poll));
+
+    obs::profile::set_thread_phase(LoopPhase::kFdDispatch);
     for (const auto& event : events) {
       if (event.token == 0) {
         // Wake fd: swallow the counter; the work is in the task queue.
@@ -441,17 +530,46 @@ void EventLoop::run() {
       LoopMetrics::get().fd_dispatches.inc();
       it->second.handler(event.readable, event.writable, event.error);
     }
+    const std::uint64_t t_tasks = now_ns();
+    if (!events.empty()) {
+      anatomy.fd_dispatch_us.observe(ns_to_us(t_tasks - t_dispatch));
+    }
 
-    drain_tasks();
+    obs::profile::set_thread_phase(LoopPhase::kTaskRun);
+    const std::size_t ran = drain_tasks();
+    const std::uint64_t t_timers = now_ns();
+    if (ran != 0) anatomy.task_run_us.observe(ns_to_us(t_timers - t_tasks));
 
-    const std::size_t fired = wheel_.advance(now_ns());
+    obs::profile::set_thread_phase(LoopPhase::kTimerFire);
+    const std::size_t fired = wheel_.advance(t_timers);
     if (fired != 0) {
       timers_fired_.fetch_add(fired, std::memory_order_relaxed);
       LoopMetrics::get().timers.inc(static_cast<std::int64_t>(fired));
+      anatomy.timer_fire_us.observe(ns_to_us(now_ns() - t_timers));
+    }
+    obs::profile::set_thread_phase(LoopPhase::kNone);
+
+    if (gauges.iterations != nullptr) {
+      gauges.iterations->set(static_cast<std::int64_t>(
+          iterations_.load(std::memory_order_relaxed)));
+      gauges.wakeups->set(static_cast<std::int64_t>(
+          wakeups_.load(std::memory_order_relaxed)));
+      gauges.tasks_run->set(static_cast<std::int64_t>(
+          tasks_run_.load(std::memory_order_relaxed)));
+      gauges.timers_fired->set(static_cast<std::int64_t>(
+          timers_fired_.load(std::memory_order_relaxed)));
+      gauges.fd_dispatches->set(static_cast<std::int64_t>(
+          fd_dispatches_.load(std::memory_order_relaxed)));
     }
   }
   // Final drain so stop() never strands a posted task.
   drain_tasks();
+  if (gauges.tasks_run != nullptr) {
+    gauges.tasks_run->set(static_cast<std::int64_t>(
+        tasks_run_.load(std::memory_order_relaxed)));
+  }
+  obs::profile::set_thread_phase(LoopPhase::kNone);
+  obs::profile::unregister_thread();
   thread_id_.store(std::thread::id());
 }
 

@@ -163,6 +163,14 @@ class EventLoop {
     std::uint64_t fd_dispatches = 0;
   };
 
+  /// Give this loop a stable worker index (the Reactor numbers its pool).
+  /// An indexed loop exports its Stats as psf.loop.<n>.* gauges each
+  /// iteration and registers with the sampling profiler as "loop.<n>";
+  /// unindexed loops (tests, ad-hoc) register as "loop" and export no
+  /// per-worker gauges. Call before start().
+  void set_worker_index(int index) { worker_index_ = index; }
+  int worker_index() const { return worker_index_; }
+
   explicit EventLoop(PollerKind kind = poller_kind_from_env(),
                      std::uint64_t timer_tick_ns = 1'000'000);
   ~EventLoop();
@@ -213,7 +221,7 @@ class EventLoop {
 
  private:
   void run();
-  void drain_tasks();
+  std::size_t drain_tasks();
   void wake();
 
   std::unique_ptr<Poller> poller_;
@@ -231,9 +239,18 @@ class EventLoop {
   std::uint64_t next_token_ = 1;  // 0 is reserved for the wake fd
 
   // Leaf mutex: guards only the pending-task vector; never held while a
-  // task, fd handler, or timer callback runs.
+  // task, fd handler, or timer callback runs. Each task carries its post
+  // timestamp so drain_tasks() can observe queue sojourn (post→run) into
+  // psf.loop.task_sojourn_us — the latency-anatomy signal behind the
+  // loop.lag SLO.
+  struct PostedTask {
+    std::function<void()> fn;
+    std::uint64_t post_ns;
+  };
   std::mutex tasks_mutex_;
-  std::vector<std::function<void()>> tasks_;
+  std::vector<PostedTask> tasks_;
+
+  int worker_index_ = -1;
 
   std::thread thread_;
   std::atomic<std::thread::id> thread_id_{};

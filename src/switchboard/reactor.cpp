@@ -9,6 +9,7 @@
 #include "crypto/chacha20.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 
 #ifdef __linux__
@@ -437,7 +438,13 @@ void EventChannel::on_readable() {
     bytes_in_.fetch_add(n, std::memory_order_relaxed);
     ReactorMetrics::get().session_bytes.inc(n);
   }
-  process_read_buffer();
+  {
+    // One span per dispatch batch (not per frame): unseal + parse + handler
+    // all run inside it, so sampling profiles attribute event-core CPU to
+    // switchboard.dispatch rather than to a bare loop-thread root.
+    obs::ScopedSpan span("switchboard.dispatch");
+    process_read_buffer();
+  }
   if (state_.load() == State::kClosed) return;
   flush();
   if (conduit_->peer_closed() && read_buf_.size() == read_pos_) {
@@ -755,6 +762,9 @@ Reactor::Reactor(ReactorOptions options) {
   for (int i = 0; i < workers; ++i) {
     loops_.push_back(
         std::make_unique<EventLoop>(options.poller, options.timer_tick_ns));
+    // Number the pool: loop i exports psf.loop.<i>.* gauges and shows up in
+    // profiles as "loop.<i>".
+    loops_.back()->set_worker_index(i);
   }
 }
 

@@ -87,6 +87,53 @@ inline void report(const char* site, int rank, std::int64_t wait_ns) {
 }
 }  // namespace detail
 
+namespace detail {
+
+/// Published for the sampling profiler (obs/profile): the ranked site the
+/// calling thread is currently blocked on, nullptr when not waiting. Written
+/// only by this thread around a blocking acquire and read by the SIGPROF
+/// handler on the same thread, so relaxed atomics suffice; the fields are
+/// atomics so a cross-thread report() reader would also be defined.
+struct WaitSlot {
+  std::atomic<const char*> site{nullptr};
+  std::atomic<int> rank{0};
+};
+
+inline WaitSlot& wait_slot() {
+  thread_local WaitSlot slot;
+  return slot;
+}
+
+/// RAII publication bracketing one blocking acquire of a contended site.
+/// Unconditional (independent of contention::active()): the profiler wants
+/// the wait site even when the contention hook is disabled.
+class ScopedWait {
+ public:
+  ScopedWait(const char* site, int rank) {
+#ifndef PSF_OBS_NO_PROFILE
+    WaitSlot& slot = wait_slot();
+    slot.rank.store(rank, std::memory_order_relaxed);
+    slot.site.store(site, std::memory_order_relaxed);
+#else
+    (void)site;
+    (void)rank;
+#endif
+  }
+  ~ScopedWait() {
+#ifndef PSF_OBS_NO_PROFILE
+    wait_slot().site.store(nullptr, std::memory_order_relaxed);
+#endif
+  }
+  ScopedWait(const ScopedWait&) = delete;
+  ScopedWait& operator=(const ScopedWait&) = delete;
+};
+
+}  // namespace detail
+
+/// Profiler access point: the calling thread's blocked-on-lock slot (see
+/// obs/profile.hpp). Resolved once at thread registration.
+inline detail::WaitSlot& thread_wait_slot() { return detail::wait_slot(); }
+
 /// Install the process-wide hook (nullptr uninstalls); returns the previous
 /// one. Installing does not enable sampling — set_enabled(true) does.
 inline Hook set_hook(Hook hook) {
@@ -188,6 +235,7 @@ class RankedMutex {
   void lock() {
     lock_rank::detail::check(rank_, name_);
     if (!mutex_.try_lock()) {
+      contention::detail::ScopedWait waiting(name_, rank_);
       if (contention::detail::active()) {
         const auto t0 = std::chrono::steady_clock::now();
         mutex_.lock();
@@ -218,6 +266,7 @@ class RankedMutex {
   void lock_shared() {
     lock_rank::detail::check(rank_, name_);
     if (!static_cast<M&>(mutex_).try_lock_shared()) {
+      contention::detail::ScopedWait waiting(name_, rank_);
       if (contention::detail::active()) {
         const auto t0 = std::chrono::steady_clock::now();
         static_cast<M&>(mutex_).lock_shared();
@@ -263,6 +312,7 @@ class RankedMutex {
 
   void lock() {
     if (mutex_.try_lock()) return;
+    contention::detail::ScopedWait waiting(name_, rank_);
     if (contention::detail::active()) {
       const auto t0 = std::chrono::steady_clock::now();
       mutex_.lock();
@@ -281,6 +331,7 @@ class RankedMutex {
   template <typename M = MutexT>
   void lock_shared() {
     if (static_cast<M&>(mutex_).try_lock_shared()) return;
+    contention::detail::ScopedWait waiting(name_, rank_);
     if (contention::detail::active()) {
       const auto t0 = std::chrono::steady_clock::now();
       static_cast<M&>(mutex_).lock_shared();

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "switchboard/event_loop.hpp"
 
 #ifdef __linux__
@@ -263,6 +264,77 @@ TEST(EventLoop, StatsCountIterationsAndWakeups) {
   EXPECT_GE(stats.iterations, 1u);
   EXPECT_GE(stats.wakeups, 1u);
   EXPECT_GE(stats.tasks_run, 1u);
+}
+
+TEST(EventLoop, AnatomyHistogramsRecordIterationPhases) {
+  // Iteration anatomy (ISSUE 9): every loop pass times its poll wait; task
+  // batches record run time and per-task post->run sojourn (the loop.lag SLO
+  // input); fired timers record deadline->fire slip. Process-wide metrics,
+  // so assert deltas.
+  auto& poll_wait = obs::histogram("psf.loop.poll_wait_us");
+  auto& task_run = obs::histogram("psf.loop.task_run_us");
+  auto& sojourn = obs::histogram("psf.loop.task_sojourn_us");
+  auto& slip = obs::histogram("psf.loop.timer_slip_us");
+  const std::uint64_t poll_wait_before = poll_wait.count();
+  const std::uint64_t task_run_before = task_run.count();
+  const std::uint64_t sojourn_before = sojourn.count();
+  const std::uint64_t slip_before = slip.count();
+
+  EventLoop loop;
+  loop.start();
+  std::atomic<int> tasks{0};
+  loop.post([&] { tasks.fetch_add(1); });
+  loop.post([&] { tasks.fetch_add(1); });
+  std::atomic<bool> fired{false};
+  loop.post(
+      [&] { loop.schedule(1'000'000, [&] { fired.store(true); }); });
+  ASSERT_TRUE(eventually([&] { return tasks.load() == 2 && fired.load(); }));
+  loop.stop();
+
+  EXPECT_GT(poll_wait.count(), poll_wait_before);
+  EXPECT_GT(task_run.count(), task_run_before);
+  // One sojourn observation per task, not per batch.
+  EXPECT_GE(sojourn.count(), sojourn_before + 3);
+  EXPECT_GE(slip.count(), slip_before + 1);
+}
+
+TEST(EventLoop, WorkerIndexedLoopExportsPerWorkerGauges) {
+  // A loop given a worker index (Reactor numbers its pool) exports its Stats
+  // as psf.loop.<n>.* gauges, refreshed every iteration.
+  EventLoop loop;
+  loop.set_worker_index(42);
+  EXPECT_EQ(loop.worker_index(), 42);
+  loop.start();
+  std::atomic<bool> ran{false};
+  loop.post([&] { ran.store(true); });
+  ASSERT_TRUE(eventually([&] { return ran.load(); }));
+  loop.stop();
+
+  const auto stats = loop.stats();
+  EXPECT_GE(obs::gauge("psf.loop.42.iterations").value(),
+            static_cast<std::int64_t>(1));
+  EXPECT_EQ(obs::gauge("psf.loop.42.tasks_run").value(),
+            static_cast<std::int64_t>(stats.tasks_run));
+  EXPECT_GE(obs::gauge("psf.loop.42.wakeups").value(),
+            static_cast<std::int64_t>(1));
+}
+
+TEST(EventLoop, UnindexedLoopExportsNoPerWorkerGauges) {
+  // Ad-hoc loops (worker_index < 0) must not mint gauge families; the name
+  // would collide across every unindexed loop in the process.
+  EventLoop loop;
+  EXPECT_EQ(loop.worker_index(), -1);
+  loop.start();
+  std::atomic<bool> ran{false};
+  loop.post([&] { ran.store(true); });
+  ASSERT_TRUE(eventually([&] { return ran.load(); }));
+  loop.stop();
+  // No "psf.loop.-1.*" family appeared in the registry snapshot.
+  const auto snapshot = obs::Registry::instance().snapshot();
+  for (const auto& entry : snapshot.entries) {
+    EXPECT_EQ(entry.name.find("psf.loop.-1."), std::string::npos)
+        << entry.name;
+  }
 }
 
 TEST(EventLoop, EnvSelectsPoller) {

@@ -144,6 +144,8 @@ TEST(Introspect, ViewerViewOmitsTheDeepMethodsEntirely) {
   EXPECT_THROW(view.call("spans_for_trace", {Value::string("0")}), EvalError);
   EXPECT_THROW(view.call("slo_status", {}), EvalError);
   EXPECT_THROW(view.call("lock_contention", {}), EvalError);
+  EXPECT_THROW(view.call("profile_status", {}), EvalError);
+  EXPECT_THROW(view.call("profile_dump", {}), EvalError);
 }
 
 TEST(Introspect, MonitorSeesSloAndContentionSurfaces) {
@@ -166,6 +168,15 @@ TEST(Introspect, MonitorSeesSloAndContentionSurfaces) {
 
   const std::string contention = view.call("lock_contention", {}).as_string();
   EXPECT_NE(contention.find("\"version\":\"contention-v1\""),
+            std::string::npos);
+
+  // The profiler surfaces ride the same deep interface: a status document
+  // and a speedscope dump (empty profile when nothing is registered — the
+  // formatters always render valid documents).
+  const std::string profile = view.call("profile_status", {}).as_string();
+  EXPECT_NE(profile.find("\"version\":\"profile-v1\""), std::string::npos);
+  const std::string dump = view.call("profile_dump", {}).as_string();
+  EXPECT_NE(dump.find("speedscope.app/file-format-schema.json"),
             std::string::npos);
 }
 

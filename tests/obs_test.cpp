@@ -221,6 +221,42 @@ TEST(Export, PrometheusExemplarSyntaxRoundTrips) {
   EXPECT_NE(bucket_line.find("\"} 5000"), std::string::npos) << bucket_line;
 }
 
+TEST(Export, PrometheusLabelEscapingRoundTrips) {
+  // The exposition format defines exactly three escapes in quoted label
+  // values: \\ , \" , \n. Everything else passes through verbatim.
+  const std::string nasty = "a\\b\"c\nd{e}f,g=h\ti";
+  const std::string escaped = prometheus_escape_label(nasty);
+  EXPECT_EQ(escaped, "a\\\\b\\\"c\\nd{e}f,g=h\ti");
+  // No raw quote, backslash, or newline survives unescaped — the emitted
+  // label value can never terminate the quoted string early.
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '\\') {
+      ASSERT_LT(i + 1, escaped.size());
+      const char next = escaped[++i];
+      EXPECT_TRUE(next == '\\' || next == '"' || next == 'n');
+    } else {
+      EXPECT_NE(escaped[i], '"');
+      EXPECT_NE(escaped[i], '\n');
+    }
+  }
+
+  // Round-trip through a spec unescaper recovers the original exactly.
+  std::string unescaped;
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '\\') {
+      const char next = escaped[++i];
+      unescaped += next == 'n' ? '\n' : next;
+    } else {
+      unescaped += escaped[i];
+    }
+  }
+  EXPECT_EQ(unescaped, nasty);
+
+  // Benign values are untouched.
+  EXPECT_EQ(prometheus_escape_label("0123456789abcdef"), "0123456789abcdef");
+  EXPECT_EQ(prometheus_escape_label(""), "");
+}
+
 // ------------------------------------------------------------------ spans
 
 TEST(Trace, ScopedSpansLinkParentAndChild) {

@@ -146,10 +146,12 @@ TEST(Slo, BuiltinSlosDeclareTheStandardTriple) {
             names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "drbac.prove"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "views.sync"), names.end());
+  // ISSUE 9 added the event-loop responsiveness objective to the builtins.
+  EXPECT_NE(std::find(names.begin(), names.end(), "loop.lag"), names.end());
   // A quiet process must not fail its objectives.
   const HealthReport report = HealthRegistry::instance().report();
-  for (const char* name :
-       {"slo.switchboard.rpc", "slo.drbac.prove", "slo.views.sync"}) {
+  for (const char* name : {"slo.switchboard.rpc", "slo.drbac.prove",
+                           "slo.views.sync", "slo.loop.lag"}) {
     const auto* check = find_check(report, name);
     ASSERT_NE(check, nullptr) << name;
     EXPECT_EQ(check->result.level, HealthLevel::kOk) << name;

@@ -8,6 +8,8 @@
 //   obs_dump --journal      flight-recorder event journal as JSON
 //   obs_dump --trace        human-readable tree of one cross-host trace
 //   obs_dump --slo          declared latency objectives + burn rates as JSON
+//   obs_dump --profile      sample the workload with the span-attributed
+//                           profiler, dump speedscope JSON
 //
 // Unknown arguments exit 2.
 #include <iostream>
@@ -17,6 +19,7 @@
 #include "obs/export.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
@@ -54,7 +57,7 @@ void run_workload() {
 
 void print_usage(std::ostream& out) {
   out << "usage: obs_dump [--prometheus|--text|--json|--spans|--journal|"
-         "--trace|--slo]\n"
+         "--trace|--slo|--profile]\n"
          "\n"
          "Runs the mail case study as a representative workload, then dumps\n"
          "the process-wide observability state.\n"
@@ -68,6 +71,9 @@ void print_usage(std::ostream& out) {
          "  --journal     flight-recorder event journal as JSON\n"
          "  --trace       human-readable tree of one cross-host trace\n"
          "  --slo         declared latency objectives + burn rates as JSON\n"
+         "  --profile     sample the workload with the span-attributed\n"
+         "                profiler (SIGPROF, 200us CPU interval), dump\n"
+         "                speedscope JSON\n"
          "\n"
          "Unknown arguments exit 2.\n";
 }
@@ -89,7 +95,8 @@ int main(int argc, char** argv) {
   }
   if (mode == "--text") mode = "--prometheus";  // legacy spelling
   if (mode != "--prometheus" && mode != "--json" && mode != "--spans" &&
-      mode != "--journal" && mode != "--trace" && mode != "--slo") {
+      mode != "--journal" && mode != "--trace" && mode != "--slo" &&
+      mode != "--profile") {
     return usage();
   }
 
@@ -97,7 +104,24 @@ int main(int argc, char** argv) {
   // thresholds are armed while the RPCs run (no introspection service here
   // to do it for us).
   psf::obs::install_builtin_slos();
+  if (mode == "--profile") {
+    // Sample scenario build + workload: both are span-dense. The kernel
+    // services CPU-time timers at scheduler-tick granularity (~4-10 ms),
+    // so one ~30 ms workload pass yields a handful of samples; iterate
+    // until the profile is statistically useful.
+    psf::obs::profile::register_thread("main");
+    psf::obs::profile::start({.interval_us = 200});
+    for (int i = 0; i < 24; ++i) run_workload();
+  }
   run_workload();
+
+  if (mode == "--profile") {
+    psf::obs::profile::stop();
+    std::cout << psf::obs::profile::to_speedscope_json(
+                     psf::obs::profile::report())
+              << "\n";
+    return 0;
+  }
 
   if (mode == "--json") {
     std::cout << psf::obs::dump_json() << "\n";

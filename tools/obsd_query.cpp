@@ -8,12 +8,12 @@
 // the Introspect component.
 //
 //   obsd_query [--as admin|viewer|anonymous] [metrics|health|journal [n]|
-//               spans [trace-id]|slo|contention|all]
+//               spans [trace-id]|slo|contention|profile [status|dump]|all]
 //
 //   --as admin      holds Admin.Monitor: full surface (default)
 //   --as viewer     holds Admin.Viewer: metrics+health view only; the deep
-//                   methods (journal/spans/slo/contention) do not exist on
-//                   the generated view class
+//                   methods (journal/spans/slo/contention/profile) do not
+//                   exist on the generated view class
 //   --as anonymous  no Admin credential: the ACL denies the request
 //
 // Unknown arguments exit 2; denied access or failed queries exit 1.
@@ -25,6 +25,7 @@
 
 #include "mail/scenario.hpp"
 #include "obs/journal.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "psf/introspect.hpp"
 
@@ -37,7 +38,7 @@ using psf::minilang::Value;
 void print_usage(std::ostream& out) {
   out << "usage: obsd_query [--as admin|viewer|anonymous] "
          "[metrics|health|journal [n]|spans [trace-id]|slo|"
-         "contention|all]\n"
+         "contention|profile [status|dump]|all]\n"
          "\n"
          "Remotely queries the view-served observability surface of the mail\n"
          "scenario over an authenticated, sealed Switchboard connection.\n"
@@ -55,7 +56,10 @@ void print_usage(std::ostream& out) {
          "  spans [trace-id] spans for a trace (default: latest dispatch)\n"
          "  slo             SLO burn-rate status\n"
          "  contention      lock contention profile\n"
-         "  all             every section above (default)\n"
+         "  profile [status|dump]\n"
+         "                  sampling-profiler status (default) or a\n"
+         "                  speedscope-JSON flamegraph of the workload\n"
+         "  all             every section above (profile: status only)\n"
          "\n"
          "Unknown arguments exit 2; denied access or failed queries exit 1.\n";
 }
@@ -118,10 +122,14 @@ int main(int argc, char** argv) {
     } else if (args[i] == "metrics" || args[i] == "health" ||
                args[i] == "journal" || args[i] == "spans" ||
                args[i] == "slo" || args[i] == "contention" ||
-               args[i] == "all") {
+               args[i] == "profile" || args[i] == "all") {
       command = args[i];
       if ((command == "journal" || command == "spans") &&
           i + 1 < args.size()) {
+        argument = args[++i];
+      }
+      if (command == "profile" && i + 1 < args.size() &&
+          (args[i + 1] == "status" || args[i + 1] == "dump")) {
         argument = args[++i];
       }
     } else {
@@ -144,7 +152,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Sample the workload when the profile surface is being queried, so
+  // profile_status/profile_dump report real folded stacks. A dense interval
+  // (200 us CPU) keeps the short workload statistically useful.
+  const bool profiling = command == "profile" || command == "all";
+  if (profiling) {
+    psf::obs::profile::register_thread("main");
+    psf::obs::profile::start({.interval_us = 200});
+  }
+
   run_workload(s);
+  if (profiling) psf::obs::profile::stop();
 
   // Operator principals, credentialed in the Admin domain.
   psf::framework::Guard* admin_guard = psf.guard(options.domain);
@@ -213,6 +231,10 @@ int main(int argc, char** argv) {
   if (command == "contention" || command == "all") {
     if (command == "all") std::cout << "==== contention ====\n";
     rc |= query("lock_contention", {});
+  }
+  if (command == "profile" || command == "all") {
+    if (command == "all") std::cout << "==== profile ====\n";
+    rc |= query(argument == "dump" ? "profile_dump" : "profile_status", {});
   }
   return rc;
 }
