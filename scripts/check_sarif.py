@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a SARIF 2.1.0 log against the minimal schema psf_analyze emits.
+
+Stdlib-only stand-in for a full JSON-Schema validator: checks the structural
+requirements code-scanning consumers actually rely on — version, runs,
+tool.driver.name, rules, and for every result a ruleId, a level from the
+SARIF enumeration, a non-empty message.text, and physical locations whose
+artifactLocation.uri is a non-empty string and whose region.startLine (when
+present) is a positive integer.
+
+Usage: check_sarif.py <log.sarif>   (or '-' for stdin)
+Exit:  0 = valid, 1 = invalid, 2 = unreadable/unparseable input.
+"""
+import json
+import sys
+
+LEVELS = {"none", "note", "warning", "error"}
+
+
+def fail(path, message):
+    print("check_sarif: %s: %s" % (path, message))
+    return False
+
+
+def check_result(path, i, result):
+    if not isinstance(result, dict):
+        return fail(path, "results[%d] is not an object" % i)
+    if not isinstance(result.get("ruleId"), str) or not result["ruleId"]:
+        return fail(path, "results[%d].ruleId missing or empty" % i)
+    if result.get("level") not in LEVELS:
+        return fail(path, "results[%d].level %r not in %s"
+                    % (i, result.get("level"), sorted(LEVELS)))
+    message = result.get("message")
+    if not isinstance(message, dict) or \
+            not isinstance(message.get("text"), str) or not message["text"]:
+        return fail(path, "results[%d].message.text missing or empty" % i)
+    for j, location in enumerate(result.get("locations", [])):
+        physical = location.get("physicalLocation") \
+            if isinstance(location, dict) else None
+        if not isinstance(physical, dict):
+            return fail(path, "results[%d].locations[%d] has no "
+                        "physicalLocation" % (i, j))
+        artifact = physical.get("artifactLocation")
+        if not isinstance(artifact, dict) or \
+                not isinstance(artifact.get("uri"), str) or not artifact["uri"]:
+            return fail(path, "results[%d].locations[%d] artifactLocation.uri "
+                        "missing or empty" % (i, j))
+        region = physical.get("region")
+        if region is not None:
+            start = region.get("startLine") if isinstance(region, dict) \
+                else None
+            if not isinstance(start, int) or isinstance(start, bool) \
+                    or start < 1:
+                return fail(path, "results[%d].locations[%d] region.startLine "
+                            "must be a positive integer" % (i, j))
+    return True
+
+
+def check_log(path, log):
+    if not isinstance(log, dict):
+        return fail(path, "top level is not an object")
+    if log.get("version") != "2.1.0":
+        return fail(path, "version %r != '2.1.0'" % log.get("version"))
+    runs = log.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return fail(path, "runs missing or empty")
+    results = 0
+    for r, run in enumerate(runs):
+        if not isinstance(run, dict):
+            return fail(path, "runs[%d] is not an object" % r)
+        driver = run.get("tool", {}).get("driver", {}) \
+            if isinstance(run.get("tool"), dict) else {}
+        if not isinstance(driver.get("name"), str) or not driver["name"]:
+            return fail(path, "runs[%d].tool.driver.name missing" % r)
+        for k, rule in enumerate(driver.get("rules", [])):
+            if not isinstance(rule, dict) or \
+                    not isinstance(rule.get("id"), str) or not rule["id"]:
+                return fail(path, "runs[%d] rules[%d].id missing" % (r, k))
+        run_results = run.get("results")
+        if not isinstance(run_results, list):
+            return fail(path, "runs[%d].results missing" % r)
+        for i, result in enumerate(run_results):
+            if not check_result(path, i, result):
+                return False
+        results += len(run_results)
+    print("check_sarif: %s: OK (%d run(s), %d result(s))"
+          % (path, len(runs), results))
+    return True
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip())
+        return 2
+    path = sys.argv[1]
+    try:
+        if path == "-":
+            log = json.load(sys.stdin)
+        else:
+            with open(path, encoding="utf-8") as f:
+                log = json.load(f)
+    except (OSError, ValueError) as e:
+        print("check_sarif: %s: %s" % (path, e))
+        return 2
+    return 0 if check_log(path, log) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

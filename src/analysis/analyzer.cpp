@@ -1,6 +1,8 @@
 #include "analysis/analyzer.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 namespace psf::analysis {
 
@@ -65,6 +67,15 @@ AnalysisResult analyze(const views::ViewDefinition& def,
   result.errors = sink.error_count();
   result.warnings = sink.warning_count();
   result.diagnostics = sink.take();
+  // Reports are sorted by a stable key so the JSON output is byte-identical
+  // across runs and across pass-registration order; ties keep emission order.
+  std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.code, a.span.view, a.span.where,
+                                     a.span.line) <
+                            std::tie(b.code, b.span.view, b.span.where,
+                                     b.span.line);
+                   });
   if (model.valid) {
     const DeadMembers dead = compute_dead_members(model);
     for (const std::string& m : dead.methods) {

@@ -77,4 +77,13 @@ void register_builtin_passes(PassRegistry& registry) {
   registry.add(std::make_unique<CredentialFlowPass>());
 }
 
+// Exported for the deployment analyzer (deployment.hpp): same generous
+// deploy-time provability question the PSA070 pass answers, without the
+// per-call visiting set in the signature.
+bool role_provable(const drbac::Repository& repository,
+                   const drbac::RoleRef& role) {
+  std::set<std::string> visiting;
+  return role_provable(repository, role, visiting);
+}
+
 }  // namespace psf::analysis

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "minilang/builtins.hpp"
+#include "minilang/optimize.hpp"
 #include "obs/metrics.hpp"
 
 namespace psf::minilang {
@@ -685,6 +686,14 @@ const CompiledMethod* ensure_compiled(const ClassRegistry& registry,
     return nullptr;
   }
   obs::counter("psf.minilang.methods_compiled").inc();
+  if (optimize_enabled()) {
+    // The code was created a few lines up and is still exclusively owned, so
+    // shedding const for the in-place optimization pass is sound.
+    auto mutable_code = std::const_pointer_cast<CompiledMethod>(result.code);
+    const OptimizeStats opt = optimize_method(*mutable_code);
+    obs::counter("psf.minilang.opt_loads_cse").inc(opt.loads_cse);
+    obs::counter("psf.minilang.opt_insns_removed").inc(opt.insns_removed);
+  }
   slot->code = std::move(result.code);
   slot->state.store(1, std::memory_order_release);
   return slot->code.get();
@@ -847,6 +856,10 @@ std::string disassemble(const CompiledMethod& m) {
         out << " \"" << m.names[insn.b] << "\"";
         break;
     }
+    if (insn.op == Op::kCallMember && insn.d != 0) {
+      out << " [ic " << insn.d << "]";
+    }
+    if (insn.cost != 1) out << " [cost " << insn.cost << "]";
     if (insn.line != 0) out << "  ; line " << insn.line;
     out << "\n";
   }

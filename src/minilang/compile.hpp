@@ -74,8 +74,27 @@ struct Insn {
   std::uint16_t a = 0;
   std::uint16_t b = 0;
   std::uint16_t c = 0;
+  std::uint16_t d = 0;     // kCallMember: 1-based inline-cache slot, 0 = none
   std::int32_t imm = 0;
   std::uint32_t line = 0;  // source line, for runtime error messages
+  // Step-budget units this instruction charges. The compiler emits cost 1
+  // everywhere; the optimizer folds the cost of each eliminated instruction
+  // into the next retained instruction of the same basic block, so optimized
+  // code hits "step limit exceeded" at exactly the same observable point as
+  // the unoptimized bytecode (eliminated ops are side-effect-free).
+  std::uint16_t cost = 1;
+};
+
+/// One monomorphic call-site cache for kCallMember dispatch (optimizer
+/// allocated, PSF_MINILANG_OPT). Filled on first dispatch — or seeded by VIG
+/// from deployment-analysis facts — with the receiver class and the resolved
+/// public method. The VM hits it only when the receiver's ClassDef pointer
+/// matches exactly; any other receiver falls back to the named slow path.
+/// state: 0 = empty, 1 = being filled, 2 = ready, 3 = uncacheable site.
+struct InlineCache {
+  std::atomic<int> state{0};
+  std::shared_ptr<const ClassDef> cls;  // keeps the guard pointer alive
+  const MethodDef* method = nullptr;    // owned by cls, public, non-inherited
 };
 
 struct CompiledMethod {
@@ -89,6 +108,11 @@ struct CompiledMethod {
   std::vector<std::string> names;   // member/field/method names, error texts
   std::vector<std::string> local_names;          // slot -> name (disassembly)
   std::vector<const MethodDef*> self_methods;    // kCallSelf targets
+  // Inline-cache slots, indexed by Insn::d - 1. Mutable runtime state inside
+  // an otherwise immutable CompiledMethod: unique_ptr<T[]>::operator[] hands
+  // out non-const entries through the const method pointer the VM holds.
+  std::unique_ptr<InlineCache[]> caches;
+  std::uint32_t num_caches = 0;
 };
 
 /// Per-MethodDef compilation cache. Created by ClassRegistry::register_class

@@ -514,6 +514,13 @@ Value invoke_method(const std::shared_ptr<Instance>& self,
   return engine.invoke(self, method, std::move(args), external);
 }
 
+Value invoke_method_resolved(const std::shared_ptr<Instance>& self,
+                             const MethodDef& method, std::vector<Value> args,
+                             InterpOptions options) {
+  Engine engine(options);
+  return engine.invoke_resolved(self, method, std::move(args));
+}
+
 Value eval_standalone(const std::string& source, InterpOptions options) {
   auto expr = parse_expression_source(source);
   if (!expr.ok()) throw EvalError(expr.error().message);

@@ -47,6 +47,14 @@ Value invoke_method(const std::shared_ptr<Instance>& self,
                     const std::string& method, std::vector<Value> args,
                     bool external, InterpOptions options = {});
 
+/// Invoke an already-resolved method on `self` in a fresh engine — exactly
+/// what Instance::call does after its name lookup and visibility check. The
+/// VM's inline-cache hit path uses this; callers must guarantee `method`
+/// is the public method the name lookup would have found (the IC guard does).
+Value invoke_method_resolved(const std::shared_ptr<Instance>& self,
+                             const MethodDef& method, std::vector<Value> args,
+                             InterpOptions options = {});
+
 /// Evaluate a standalone expression with no `this` (literals, arithmetic,
 /// builtins). Used by tests.
 Value eval_standalone(const std::string& source, InterpOptions options = {});

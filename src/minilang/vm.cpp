@@ -3,6 +3,8 @@
 #include <string>
 
 #include "minilang/builtins.hpp"
+#include "minilang/interp.hpp"
+#include "obs/metrics.hpp"
 
 // Dispatch strategy: computed goto (a direct threaded jump per instruction,
 // no bounds re-check, branch predictors see one indirect branch per opcode
@@ -127,7 +129,52 @@ void index_set(const Value& object, const Value& key, Value value) {
   throw EvalError("cannot index-assign " + object.type_name());
 }
 
+// First-dispatch inline-cache fill (optimizer-allocated sites only). Caches
+// exclusively the monomorphic happy case: the receiver's ClassDef is the one
+// currently registered under its name and declares the method itself as
+// public. Anything else — inherited resolution, private targets, stale class
+// generations — marks the site uncacheable so the named slow path stays
+// authoritative.
+void fill_inline_cache(InlineCache& ic, const Instance& instance,
+                       const std::string& name) {
+  int expected = 0;
+  if (!ic.state.compare_exchange_strong(expected, 1,
+                                        std::memory_order_acq_rel)) {
+    return;  // another thread is filling, or the site is already decided
+  }
+  std::shared_ptr<const ClassDef> registered =
+      instance.registry().find_class(instance.cls().name);
+  const MethodDef* method =
+      registered != nullptr && registered.get() == &instance.cls()
+          ? registered->find_method(name)
+          : nullptr;
+  if (method != nullptr && method->visibility == Visibility::kPublic) {
+    ic.cls = std::move(registered);
+    ic.method = method;
+    ic.state.store(2, std::memory_order_release);
+  } else {
+    ic.state.store(3, std::memory_order_release);
+  }
+}
+
 }  // namespace
+
+bool seed_inline_cache(InlineCache& ic, std::shared_ptr<const ClassDef> cls,
+                       const MethodDef* method) {
+  if (cls == nullptr || method == nullptr ||
+      method->visibility != Visibility::kPublic) {
+    return false;
+  }
+  int expected = 0;
+  if (!ic.state.compare_exchange_strong(expected, 1,
+                                        std::memory_order_acq_rel)) {
+    return false;
+  }
+  ic.cls = std::move(cls);
+  ic.method = method;
+  ic.state.store(2, std::memory_order_release);
+  return true;
+}
 
 Value vm_execute(const CompiledMethod& m,
                  const std::shared_ptr<Instance>& self,
@@ -166,8 +213,9 @@ Value vm_execute(const CompiledMethod& m,
                 "dispatch table out of sync with Op enum");
 #define VM_NEXT()                                                      \
   do {                                                                 \
-    if (++steps > max_steps) throw EvalError("step limit exceeded");   \
     insn = &code[ip++];                                                \
+    steps += insn->cost;                                               \
+    if (steps > max_steps) throw EvalError("step limit exceeded");     \
     goto* kTargets[static_cast<unsigned>(insn->op)];                   \
   } while (0)
 #define VM_OP(name) L_##name
@@ -176,8 +224,9 @@ Value vm_execute(const CompiledMethod& m,
 #define VM_NEXT() continue
 #define VM_OP(name) case Op::name
   for (;;) {
-    if (++steps > max_steps) throw EvalError("step limit exceeded");
     insn = &code[ip++];
+    steps += insn->cost;
+    if (steps > max_steps) throw EvalError("step limit exceeded");
     switch (insn->op) {
 #endif
 
@@ -347,6 +396,25 @@ Value vm_execute(const CompiledMethod& m,
       // Calls on `this` stay internal (private methods allowed).
       regs[insn->a] = host.vm_call_internal(instance, m.names[insn->b],
                                             std::move(call_args));
+    } else if (instance != nullptr && insn->d != 0) {
+      // Monomorphic inline cache (optimizer-allocated). A hit skips the name
+      // resolution but keeps Instance::call semantics exactly: fresh engine,
+      // default budgets, public target. Any guard mismatch falls back to the
+      // named slow path, which also fills an empty cache.
+      InlineCache& ic = m.caches[insn->d - 1];
+      if (ic.state.load(std::memory_order_acquire) == 2 &&
+          ic.cls.get() == &instance->cls()) {
+        static auto& hits = obs::counter("psf.minilang.ic_hits");
+        hits.inc();
+        regs[insn->a] =
+            invoke_method_resolved(instance, *ic.method, std::move(call_args));
+      } else {
+        static auto& misses = obs::counter("psf.minilang.ic_misses");
+        misses.inc();
+        fill_inline_cache(ic, *instance, m.names[insn->b]);
+        regs[insn->a] =
+            receiver.as_object()->call(m.names[insn->b], std::move(call_args));
+      }
     } else {
       regs[insn->a] =
           receiver.as_object()->call(m.names[insn->b], std::move(call_args));

@@ -8,8 +8,10 @@
 
 #include "analysis/analyzer.hpp"
 #include "analysis/ast_scan.hpp"
+#include "analysis/deployment.hpp"
 #include "minilang/compile.hpp"
 #include "minilang/interp.hpp"
+#include "minilang/vm.hpp"
 #include "minilang/parser.hpp"
 #include "minilang/value_codec.hpp"
 #include "obs/journal.hpp"
@@ -483,10 +485,40 @@ util::Result<std::shared_ptr<ClassDef>> Vig::generate(
   // discovered (and journaled) at generation rather than mid-request. A
   // method the compiler rejects simply stays on the tree-walker.
   if (minilang::default_exec_mode() == minilang::ExecMode::kBytecode) {
+    // IC seeding: a deployment fact proving a member-call site monomorphic
+    // lets generation pre-fill the site's inline cache with the receiver
+    // class, so even the first dispatch skips the name-hash lookup. The
+    // VM's receiver guard keeps a stale or wrong fact harmless.
+    auto seed_caches = [&](const MethodDef& m,
+                           const minilang::CompiledMethod& code) {
+      if (options_.deployment_facts == nullptr || code.num_caches == 0) {
+        return;
+      }
+      for (const minilang::Insn& insn : code.code) {
+        if (insn.op != minilang::Op::kCallMember || insn.d == 0) continue;
+        const std::string& member = code.names[insn.b];
+        for (const analysis::CallSiteFact& fact : *options_.deployment_facts) {
+          if (!fact.monomorphic || fact.view != def.name ||
+              fact.method != m.name || fact.member != member) {
+            continue;
+          }
+          auto receiver = registry_->find_class(fact.receiver_class);
+          if (receiver == nullptr) break;
+          const MethodDef* target = receiver->find_method(member);
+          if (minilang::seed_inline_cache(code.caches[insn.d - 1],
+                                          std::move(receiver), target)) {
+            ++stats_.caches_seeded;
+          }
+          break;
+        }
+      }
+    };
     for (const MethodDef& m : view->methods) {
       if (m.is_native) continue;
-      if (minilang::ensure_compiled(*registry_, *view, m) != nullptr) {
+      if (const minilang::CompiledMethod* code =
+              minilang::ensure_compiled(*registry_, *view, m)) {
         ++stats_.methods_compiled;
+        seed_caches(m, *code);
       } else {
         ++stats_.compile_fallbacks;
         obs::journal::emit(obs::journal::Subsystem::kViews,

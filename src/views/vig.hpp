@@ -24,6 +24,10 @@
 #include "util/result.hpp"
 #include "views/view_def.hpp"
 
+namespace psf::analysis {
+struct CallSiteFact;
+}
+
 namespace psf::views {
 
 struct VigDiagnostic {
@@ -52,6 +56,13 @@ struct VigOptions {
   /// small as their restriction implies and coherence images shrink with
   /// them. PSF_VIG_STRIP=0 disables at run time without a rebuild.
   bool strip = true;
+  /// Monomorphism facts from a whole-deployment analysis
+  /// (analysis::analyze_deployment). When set, generation seeds the inline
+  /// cache of every member-call site a fact covers with its unique receiver
+  /// class, so the first dispatch already hits. Facts are hints: the VM's
+  /// receiver-class guard still runs, and a wrong seed only costs the named
+  /// slow path. Borrowed pointer; must outlive generate() calls.
+  const std::vector<analysis::CallSiteFact>* deployment_facts = nullptr;
 };
 
 struct VigStats {
@@ -63,6 +74,8 @@ struct VigStats {
   /// compiler could not handle (they stay on the tree-walker).
   std::size_t methods_compiled = 0;
   std::size_t compile_fallbacks = 0;
+  /// Inline-cache slots pre-filled from deployment facts at generation time.
+  std::size_t caches_seeded = 0;
 };
 
 class Vig {

@@ -9,6 +9,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 
 #include "analysis/analyzer.hpp"
 #include "drbac/credential.hpp"
@@ -16,6 +17,15 @@
 #include "mail/components.hpp"
 #include "util/rng.hpp"
 #include "views/vig.hpp"
+
+namespace psf::analysis {
+// Registration points for the built-in pass groups (defined in the
+// passes_*.cpp units; redeclared here so the determinism test can build a
+// registry holding the same passes in reversed order).
+void register_dataflow_passes(PassRegistry& registry);
+void register_member_passes(PassRegistry& registry);
+void register_coherence_passes(PassRegistry& registry);
+}  // namespace psf::analysis
 
 namespace psf {
 namespace {
@@ -276,6 +286,72 @@ TEST(PassRegistry, AnalyzeHonorsCustomRegistry) {
   options.registry = &empty;
   auto result = analysis::analyze(def.value(), classes, options);
   EXPECT_EQ(result.errors, 0u);
+}
+
+// ----------------------------------------------------------- determinism
+
+TEST(Determinism, RepeatedAnalysisIsByteIdentical) {
+  // CI diffs --json output across runs; any map-iteration or pass-order
+  // leak in the report would show up as flaky golden failures.
+  const char* fixtures[] = {"bad_reachability.xml", "bad_use_before_init.xml",
+                            "bad_dead_members.xml", "bad_exposure.xml",
+                            "bad_coherence.xml"};
+  for (const char* name : fixtures) {
+    minilang::ClassRegistry classes;
+    mail::register_all(classes);
+    auto def = views::ViewDefinition::from_xml(read_file(fixture_path(name)));
+    ASSERT_TRUE(def.ok()) << name;
+    const std::string first = analysis::analyze(def.value(), classes).json();
+    const std::string second = analysis::analyze(def.value(), classes).json();
+    EXPECT_EQ(first, second) << name;
+    ASSERT_GT(analysis::analyze(def.value(), classes).diagnostics.size(), 1u)
+        << name << " no longer exercises multi-diagnostic ordering";
+  }
+}
+
+TEST(Determinism, DiagnosticOrderIsSortedNotRegistrationOrder) {
+  // Same pass set registered backwards must yield the same report: the
+  // analyzer sorts diagnostics by (code, view, where, line), so consumers
+  // can diff reports across builds that register passes differently.
+  analysis::PassRegistry reversed;
+  analysis::register_coherence_passes(reversed);
+  analysis::register_member_passes(reversed);
+  analysis::register_dataflow_passes(reversed);
+
+  const char* fixtures[] = {"bad_reachability.xml", "bad_use_before_init.xml",
+                            "bad_dead_members.xml", "bad_exposure.xml",
+                            "bad_coherence.xml"};
+  for (const char* name : fixtures) {
+    minilang::ClassRegistry classes;
+    mail::register_all(classes);
+    auto def = views::ViewDefinition::from_xml(read_file(fixture_path(name)));
+    ASSERT_TRUE(def.ok()) << name;
+    // The default registry additionally holds credential-flow, which is
+    // silent without a SecurityContext — so the reports must match exactly.
+    const std::string default_order =
+        analysis::analyze(def.value(), classes).json();
+    analysis::AnalysisOptions options;
+    options.registry = &reversed;
+    const std::string reversed_order =
+        analysis::analyze(def.value(), classes, options).json();
+    EXPECT_EQ(default_order, reversed_order) << name;
+  }
+}
+
+TEST(Determinism, DiagnosticsAreSortedByStableKey) {
+  minilang::ClassRegistry classes;
+  mail::register_all(classes);
+  auto def = views::ViewDefinition::from_xml(
+      read_file(fixture_path("bad_coherence.xml")));
+  ASSERT_TRUE(def.ok());
+  auto result = analysis::analyze(def.value(), classes);
+  ASSERT_GT(result.diagnostics.size(), 1u);
+  for (std::size_t i = 1; i < result.diagnostics.size(); ++i) {
+    const auto& a = result.diagnostics[i - 1];
+    const auto& b = result.diagnostics[i];
+    EXPECT_LE(std::tie(a.code, a.span.view, a.span.where, a.span.line),
+              std::tie(b.code, b.span.view, b.span.where, b.span.line));
+  }
 }
 
 // -------------------------------------------------------- VIG integration

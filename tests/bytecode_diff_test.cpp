@@ -12,7 +12,9 @@
 // limits), and the per-method interpreter fallback when compilation fails.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
+#include <numeric>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "mail/components.hpp"
 #include "minilang/compile.hpp"
 #include "minilang/interp.hpp"
+#include "minilang/optimize.hpp"
 #include "minilang/parser.hpp"
 #include "obs/metrics.hpp"
 #include "views/cache.hpp"
@@ -393,6 +396,242 @@ TEST(BytecodeDiff, FailedCompileFallsBackToInterpreter) {
       options);
   EXPECT_EQ(v.as_int(), 42);  // interpreter answered
   EXPECT_GT(fallbacks.value(), before);
+}
+
+// ------------------------------------------ optimizer (PSF_MINILANG_OPT)
+
+// Scoped PSF_MINILANG_OPT override; restores the prior value on exit so the
+// rest of the suite keeps running under the build's ambient setting.
+class OptEnv {
+ public:
+  explicit OptEnv(const char* value) {
+    const char* prior = std::getenv("PSF_MINILANG_OPT");
+    had_prior_ = prior != nullptr;
+    if (had_prior_) prior_ = prior;
+    setenv("PSF_MINILANG_OPT", value, 1);
+  }
+  ~OptEnv() {
+    if (had_prior_) {
+      setenv("PSF_MINILANG_OPT", prior_.c_str(), 1);
+    } else {
+      unsetenv("PSF_MINILANG_OPT");
+    }
+  }
+
+ private:
+  bool had_prior_ = false;
+  std::string prior_;
+};
+
+// Bodies the optimizer actually transforms: repeated field loads inside one
+// expression (field-load CSE), redundant local copies (move forwarding),
+// plus branches and calls that must invalidate availability.
+std::shared_ptr<ClassRegistry> make_opt_registry() {
+  return make_registry(
+      "Hotspot",
+      {
+          {"constructor", {}, "balance = 100; count = 7; acc = 0;"},
+          {"fieldExpr", {"n"}, R"(
+              var total = 0;
+              for (var i = 0; i < n; i = i + 1) {
+                total = total + balance * balance + balance
+                              - count * count + count;
+              }
+              acc = total;
+              return total;)"},
+          {"copies", {"a"}, R"(
+              var x = a;
+              var y = x;
+              var z = y;
+              return z + balance + balance + balance;)"},
+          {"storeReload", {"v"}, R"(
+              balance = v;
+              var twice = balance + balance;
+              sideEffect();
+              return twice + balance;)"},
+          {"sideEffect", {}, "balance = balance + 1; return balance;"},
+          {"branchy", {"n"}, R"(
+              var total = balance + balance;
+              if (n > 0) { balance = n; } else { count = n; }
+              return total + balance + count;)"},
+      },
+      {{"balance", Value::integer(0)},
+       {"count", Value::integer(0)},
+       {"acc", Value::integer(0)}});
+}
+
+const std::vector<std::pair<std::string, std::vector<Value>>>& opt_calls() {
+  static const std::vector<std::pair<std::string, std::vector<Value>>> calls =
+      {{"fieldExpr", {Value::integer(6)}},
+       {"copies", {Value::integer(5)}},
+       {"storeReload", {Value::integer(40)}},
+       {"branchy", {Value::integer(3)}},
+       {"branchy", {Value::integer(-3)}},
+       {"fieldExpr", {Value::integer(0)}}};
+  return calls;
+}
+
+TEST(BytecodeDiff, OptimizedAndUnoptimizedTranscriptsAgree) {
+  std::string unopt, opt, interp;
+  {
+    OptEnv off("0");
+    unopt = transcript(*make_opt_registry(), "Hotspot", {}, opt_calls(),
+                       ExecMode::kBytecode);
+    interp = transcript(*make_opt_registry(), "Hotspot", {}, opt_calls(),
+                        ExecMode::kInterp);
+  }
+  {
+    OptEnv on("1");
+    opt = transcript(*make_opt_registry(), "Hotspot", {}, opt_calls(),
+                     ExecMode::kBytecode);
+  }
+  EXPECT_EQ(unopt, opt);
+  EXPECT_EQ(interp, opt);
+}
+
+TEST(BytecodeDiff, OptimizedViewsAgreeWithUnoptimized) {
+  const std::string xmls[] = {mail::view_xml_member(), mail::view_xml_partner(),
+                              mail::view_xml_anonymous(),
+                              mail::view_xml_mail_server_cache(),
+                              mail::view_xml_client_replica()};
+  for (const std::string& xml : xmls) {
+    std::string transcripts[2];
+    for (int on = 0; on < 2; ++on) {
+      OptEnv env(on == 0 ? "0" : "1");
+      ClassRegistry registry;
+      mail::register_all(registry);
+      auto def = views::ViewDefinition::from_xml(xml);
+      ASSERT_TRUE(def.ok());
+      views::Vig vig(&registry);
+      auto cls = vig.generate(def.value());
+      ASSERT_TRUE(cls.ok()) << cls.error().message;
+      transcripts[on] = transcript(registry, cls.value()->name, {},
+                                   zero_arg_calls(*cls.value()),
+                                   ExecMode::kBytecode);
+    }
+    EXPECT_EQ(transcripts[0], transcripts[1]);
+  }
+}
+
+TEST(BytecodeDiff, OptimizerShrinksCodeAndConservesStepCost) {
+  auto compiled_field_expr = [](const char* env) {
+    OptEnv guard(env);
+    auto registry = make_opt_registry();
+    const auto cls = registry->find_class("Hotspot");
+    const MethodDef* method = cls->find_method("fieldExpr");
+    const minilang::CompiledMethod* code =
+        minilang::ensure_compiled(*registry, *cls, *method);
+    EXPECT_NE(code, nullptr);
+    // Keep the registry alive through the shared compiled slot.
+    struct Held {
+      std::shared_ptr<ClassRegistry> registry;
+      const minilang::CompiledMethod* code;
+    };
+    return Held{registry, code};
+  };
+  const auto unopt = compiled_field_expr("0");
+  const auto opt = compiled_field_expr("1");
+  ASSERT_NE(unopt.code, nullptr);
+  ASSERT_NE(opt.code, nullptr);
+  EXPECT_LT(opt.code->code.size(), unopt.code->code.size());
+  // Every eliminated instruction folded its unit cost into a retained
+  // successor, so the static cost total is invariant — the basis of
+  // step-limit parity.
+  auto total_cost = [](const minilang::CompiledMethod& m) {
+    return std::accumulate(
+        m.code.begin(), m.code.end(), std::size_t{0},
+        [](std::size_t acc, const minilang::Insn& i) { return acc + i.cost; });
+  };
+  EXPECT_EQ(total_cost(*opt.code), total_cost(*unopt.code));
+  EXPECT_EQ(total_cost(*unopt.code), unopt.code->code.size());
+}
+
+TEST(BytecodeDiff, StepLimitParityAcrossBudgetSweep) {
+  // The observable outcome (value, error text, or "step limit exceeded")
+  // must match between optimized and unoptimized bytecode at EVERY budget,
+  // not just generous ones — this is what the cost-folding rule guarantees.
+  for (std::size_t budget = 1; budget <= 160; ++budget) {
+    std::string outcomes[2];
+    for (int on = 0; on < 2; ++on) {
+      OptEnv env(on == 0 ? "0" : "1");
+      auto registry = make_opt_registry();
+      InterpOptions options;
+      options.exec = ExecMode::kBytecode;
+      options.max_steps = budget;
+      try {
+        auto obj = minilang::instantiate(*registry, "Hotspot", {}, options);
+        Value v = minilang::invoke_method(obj, "fieldExpr",
+                                          {Value::integer(2)},
+                                          /*external=*/true, options);
+        outcomes[on] = "ok " + v.to_display_string();
+      } catch (const EvalError& e) {
+        outcomes[on] = std::string("error ") + e.what();
+      }
+    }
+    EXPECT_EQ(outcomes[0], outcomes[1]) << "budget " << budget;
+  }
+}
+
+TEST(BytecodeDiff, InlineCacheHitAndGuardMissAgreeWithInterpreter) {
+  OptEnv env("1");  // IC slots are allocated by the optimizer
+  auto registry = std::make_shared<ClassRegistry>();
+  auto add_class = [&](const std::string& name, const std::string& body) {
+    auto cls = std::make_shared<ClassDef>();
+    cls->name = name;
+    MethodDef m;
+    m.name = "ping";
+    m.source = body;
+    auto parsed = minilang::parse_block_source(body);
+    ASSERT_TRUE(parsed.ok());
+    m.body = std::move(parsed).take();
+    cls->methods.push_back(std::move(m));
+    registry->register_class(cls);
+  };
+  add_class("Alpha", "return \"alpha\";");
+  add_class("Beta", "return \"beta\";");
+  {
+    auto cls = std::make_shared<ClassDef>();
+    cls->name = "Driver";
+    MethodDef m;
+    m.name = "relay";
+    m.params = {"target"};
+    m.source = "return target.ping();";
+    auto parsed = minilang::parse_block_source(m.source);
+    ASSERT_TRUE(parsed.ok());
+    m.body = std::move(parsed).take();
+    cls->methods.push_back(std::move(m));
+    registry->register_class(cls);
+  }
+
+  auto driver = minilang::instantiate(*registry, "Driver");
+  auto alpha = minilang::instantiate(*registry, "Alpha");
+  auto beta = minilang::instantiate(*registry, "Beta");
+  auto& hits = obs::counter("psf.minilang.ic_hits");
+  auto& misses = obs::counter("psf.minilang.ic_misses");
+  const std::uint64_t hits_before = hits.value();
+  const std::uint64_t misses_before = misses.value();
+
+  // The same polymorphic sequence under both engines: fill on Alpha, hit on
+  // Alpha, guard-miss on Beta (twice), then a receiver with no method.
+  const std::vector<Value> receivers = {
+      Value::object(alpha), Value::object(alpha), Value::object(beta),
+      Value::object(beta),  Value::object(alpha), Value::integer(9)};
+  std::string transcripts[2];
+  const ExecMode modes[2] = {ExecMode::kBytecode, ExecMode::kInterp};
+  for (int i = 0; i < 2; ++i) {
+    std::ostringstream os;
+    for (const Value& receiver : receivers) {
+      os << call_outcome(driver, "relay", {receiver}, modes[i]) << "\n";
+    }
+    transcripts[i] = os.str();
+  }
+  EXPECT_EQ(transcripts[0], transcripts[1]);
+  EXPECT_NE(transcripts[0].find("ok string:alpha"), std::string::npos);
+  EXPECT_NE(transcripts[0].find("ok string:beta"), std::string::npos);
+  // The bytecode pass filled the cache on Alpha, then hit it at least once
+  // and guard-missed on every Beta dispatch.
+  EXPECT_GT(hits.value(), hits_before);
+  EXPECT_GT(misses.value(), misses_before);
 }
 
 TEST(BytecodeDiff, VigPrecompilesViewMethods) {
